@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation study of the RIME design choices called out in section IV
+ * and DESIGN.md: early termination (the survivor-count tree),
+ * per-chip candidate buffering depth, chip-level parallelism, and
+ * channel count.  Metric: in-situ sort throughput (MKps) at 1M keys.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+
+using namespace rime;
+using namespace rime::bench;
+
+namespace
+{
+
+double
+measure(LibraryConfig cfg, std::uint64_t n)
+{
+    RimeLibrary lib(cfg);
+    const auto raws = randomRaws(n, 7);
+    const auto r = rimeSort(lib, raws, KeyMode::UnsignedFixed, 32,
+                            false);
+    return r.throughputKeysPerSec() / 1e6;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    const std::uint64_t n = scaledCap(1 << 20);
+    std::printf("=== RIME ablations (in-situ sort, %s keys) ===\n",
+                millions(n).c_str());
+
+    {
+        std::printf("\n[early termination] scans stop at one "
+                    "survivor vs always k steps\n");
+        auto cfg = tableOneRime();
+        const double on = measure(cfg, n);
+        cfg.device.timing.earlyTermination = false;
+        const double off = measure(cfg, n);
+        std::printf("  on  %8.2f MKps\n  off %8.2f MKps "
+                    "(%.2fx slower)\n", on, off, on / off);
+    }
+
+    {
+        std::printf("\n[buffer depth] candidates computed ahead per "
+                    "chip\n");
+        for (const unsigned depth : {1u, 2u, 4u, 8u, 16u}) {
+            auto cfg = tableOneRime();
+            cfg.device.bufferDepth = depth;
+            std::printf("  depth %2u: %8.2f MKps\n", depth,
+                        measure(cfg, n));
+        }
+    }
+
+    {
+        std::printf("\n[chips per channel] concurrent local-min "
+                    "streams\n");
+        for (const unsigned chips : {1u, 2u, 4u, 8u, 16u}) {
+            auto cfg = tableOneRime();
+            cfg.device.geometry.chipsPerChannel = chips;
+            std::printf("  chips %2u: %8.2f MKps\n", chips,
+                        measure(cfg, n));
+        }
+    }
+
+    {
+        std::printf("\n[channels] RIME DIMMs on separate channels\n");
+        for (const unsigned channels : {1u, 2u, 4u}) {
+            auto cfg = tableOneRime();
+            cfg.device.channels = channels;
+            std::printf("  channels %u: %8.2f MKps\n", channels,
+                        measure(cfg, n));
+        }
+    }
+
+    {
+        std::printf("\n[word width] scan steps scale with k\n");
+        for (const unsigned k : {8u, 16u, 32u, 64u}) {
+            RimeLibrary lib(tableOneRime());
+            const auto raws = randomRaws(n, 7);
+            std::vector<std::uint64_t> masked(raws);
+            const std::uint64_t mask =
+                k >= 64 ? ~0ULL : (1ULL << k) - 1;
+            for (auto &v : masked)
+                v &= mask;
+            const auto r = rimeSort(lib, masked,
+                                    KeyMode::UnsignedFixed, k,
+                                    false);
+            std::printf("  k=%2u: %8.2f MKps\n", k,
+                        r.throughputKeysPerSec() / 1e6);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches: the paper's
+ * data-size sweep, the Table-I RIME configuration, RIME throughput
+ * measurement with a simulation cap, and uniform table printing.
+ *
+ * Environment knobs:
+ *  - RIME_BENCH_SCALE: scales every simulation cap (default 1.0;
+ *    0.25 gives a quick smoke run, 4 a higher-fidelity run).
+ */
+
+#ifndef RIME_BENCH_BENCH_UTIL_HH
+#define RIME_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rime/ops.hh"
+
+namespace rime::bench
+{
+
+/** RIME_BENCH_SCALE (default 1.0). */
+inline double
+benchScale()
+{
+    const char *s = std::getenv("RIME_BENCH_SCALE");
+    const double v = s ? std::atof(s) : 1.0;
+    return v > 0 ? v : 1.0;
+}
+
+/** Apply the bench scale to a simulation cap. */
+inline std::uint64_t
+scaledCap(std::uint64_t cap)
+{
+    const auto scaled = static_cast<std::uint64_t>(
+        static_cast<double>(cap) * benchScale());
+    return std::max<std::uint64_t>(scaled, 1 << 14);
+}
+
+/** The paper's data-size sweep (0.5M - 65M keys). */
+inline std::vector<std::uint64_t>
+paperSizes()
+{
+    return {512 * 1024,       1 * 1024 * 1024,  2 * 1024 * 1024,
+            4 * 1024 * 1024,  8 * 1024 * 1024,  16 * 1024 * 1024,
+            32 * 1024 * 1024, 65 * 1024 * 1024};
+}
+
+/** Millions with one decimal, as the paper's x axes. */
+inline std::string
+millions(std::uint64_t n)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", n / 1048576.0);
+    return buf;
+}
+
+/** Table-I RIME system (one channel of eight 1 Gb chips). */
+inline LibraryConfig
+tableOneRime()
+{
+    LibraryConfig cfg;
+    cfg.device.channels = 1;
+    cfg.device.geometry = rimehw::RimeGeometry{};
+    cfg.device.timing = rimehw::RimeTimingParams{};
+    cfg.device.bitLevel = false;
+    cfg.driver.startupPages = 1 << 16;
+    cfg.driver.growthPages = 1 << 16;
+    return cfg;
+}
+
+/** Uniform random 32-bit raw keys. */
+inline std::vector<std::uint64_t>
+randomRaws(std::uint64_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> raws(n);
+    for (auto &r : raws)
+        r = rng() & 0xFFFFFFFFULL;
+    return raws;
+}
+
+/**
+ * RIME sort throughput (MKps) at size n: simulate min(n, cap) keys
+ * in full (RIME throughput is size-insensitive, which the simulated
+ * range itself demonstrates) and report the simulated value.
+ */
+inline double
+rimeSortThroughputMKps(std::uint64_t n, std::uint64_t cap,
+                       std::uint64_t seed = 99)
+{
+    const std::uint64_t sim = std::min(n, cap);
+    RimeLibrary lib(tableOneRime());
+    const auto raws = randomRaws(sim, seed);
+    const auto result = rimeSort(lib, raws, KeyMode::UnsignedFixed,
+                                 32, /*include_load=*/false);
+    return result.throughputKeysPerSec() / 1e6;
+}
+
+/** Print a row of a figure table. */
+inline void
+printRow(const std::string &label, const std::vector<double> &values)
+{
+    std::printf("%-14s", label.c_str());
+    for (const double v : values)
+        std::printf(" %10.3f", v);
+    std::printf("\n");
+}
+
+inline void
+printHeader(const std::string &label,
+            const std::vector<std::string> &columns)
+{
+    std::printf("%-14s", label.c_str());
+    for (const auto &c : columns)
+        std::printf(" %10s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace rime::bench
+
+#endif // RIME_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Regenerates Figure 1: bandwidth requirements of the sort kernels.
+ *  (a) memory accesses vs. data size (16 cores, unlimited BW);
+ *  (b) memory accesses vs. core count (65M keys);
+ *  (c) sustained memory bandwidth vs. core count (65M keys, DDR4) --
+ *      both the calibrated model value the throughput estimates use
+ *      and the raw first-principles probe, for transparency.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "perfmodel/baseline.hh"
+
+using namespace rime;
+using namespace rime::bench;
+
+namespace
+{
+
+const sort::Algorithm fig1Algos[] = {
+    sort::Algorithm::Mergesort, sort::Algorithm::Quicksort,
+    sort::Algorithm::Radixsort};
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    sort::SortModel::Config cfg;
+    cfg.sampleCap = scaledCap(1 << 21);
+    sort::SortModel sorts(cfg);
+    perfmodel::BaselinePerfModel model;
+
+    std::printf("=== Figure 1(a): memory accesses (millions) vs "
+                "data size, 16 cores ===\n");
+    const auto sizes = paperSizes();
+    {
+        std::vector<std::string> cols;
+        for (const auto n : sizes)
+            cols.push_back(millions(n) + "M");
+        printHeader("algo", cols);
+        for (const auto algo : fig1Algos) {
+            std::vector<double> row;
+            for (const auto n : sizes) {
+                const auto p = sorts.profile(algo, n, 16);
+                row.push_back((p.memReads + p.memWrites) / 1e6);
+            }
+            printRow(sort::algorithmName(algo), row);
+        }
+    }
+
+    const unsigned core_sweep[] = {1, 2, 4, 8, 16, 32, 64};
+    const std::uint64_t big = 65 * 1024 * 1024;
+
+    std::printf("\n=== Figure 1(b): memory accesses (millions) vs "
+                "cores, 65M keys ===\n");
+    {
+        std::vector<std::string> cols;
+        for (const auto c : core_sweep)
+            cols.push_back(std::to_string(c));
+        printHeader("algo", cols);
+        for (const auto algo : fig1Algos) {
+            std::vector<double> row;
+            for (const auto c : core_sweep) {
+                const auto p = sorts.profile(algo, big, c);
+                row.push_back((p.memReads + p.memWrites) / 1e6);
+            }
+            printRow(sort::algorithmName(algo), row);
+        }
+    }
+
+    std::printf("\n=== Figure 1(c): sustained bandwidth (MBps) vs "
+                "cores, 65M keys, DDR4 ===\n");
+    {
+        std::vector<std::string> cols;
+        for (const auto c : core_sweep)
+            cols.push_back(std::to_string(c));
+        printHeader("algo", cols);
+        for (const auto algo : fig1Algos) {
+            std::vector<double> row;
+            for (const auto c : core_sweep) {
+                const auto p = sorts.profile(algo, big, c);
+                const auto env = model.environment(
+                    SystemKind::OffChipDdr4, p.pattern, c);
+                row.push_back(env.sustainedGBps * 1000.0);
+            }
+            printRow(sort::algorithmName(algo), row);
+        }
+        std::printf("-- raw (uncalibrated) DRAM-model probe --\n");
+        for (const auto algo : fig1Algos) {
+            std::vector<double> row;
+            for (const auto c : core_sweep) {
+                const auto p = sorts.profile(algo, big, c);
+                const auto env = model.rawEnvironment(
+                    SystemKind::OffChipDdr4, p.pattern, c);
+                row.push_back(env.sustainedGBps * 1000.0);
+            }
+            printRow(std::string(sort::algorithmName(algo)) + " raw",
+                     row);
+        }
+    }
+    return 0;
+}

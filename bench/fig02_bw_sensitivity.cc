@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Figure 2: sort throughput (MKps) vs data size under
+ * (a) unlimited bandwidth, (b) in-package HBM, (c) off-chip DDR4,
+ * with 64 cores.  The paper's qualitative claim: R/S leads with
+ * unlimited bandwidth but loses its lead to Q/S on the realistic
+ * memories.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "perfmodel/baseline.hh"
+
+using namespace rime;
+using namespace rime::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    sort::SortModel::Config cfg;
+    cfg.sampleCap = scaledCap(1 << 21);
+    sort::SortModel sorts(cfg);
+    perfmodel::BaselinePerfModel model;
+    const unsigned cores = 64;
+    const auto sizes = paperSizes();
+    const sort::Algorithm algos[] = {sort::Algorithm::Mergesort,
+                                     sort::Algorithm::Quicksort,
+                                     sort::Algorithm::Radixsort};
+    const SystemKind systems[] = {SystemKind::Unlimited,
+                                  SystemKind::InPackageHbm,
+                                  SystemKind::OffChipDdr4};
+
+    for (const auto system : systems) {
+        std::printf("=== Figure 2: throughput (MKps), %s ===\n",
+                    systemName(system));
+        std::vector<std::string> cols;
+        for (const auto n : sizes)
+            cols.push_back(millions(n) + "M");
+        printHeader("algo", cols);
+        for (const auto algo : algos) {
+            std::vector<double> row;
+            for (const auto n : sizes) {
+                row.push_back(model.sortThroughputMKps(
+                    sorts, algo, n, cores, system));
+            }
+            printRow(sort::algorithmName(algo), row);
+        }
+        std::printf("\n");
+    }
+
+    // The headline crossover check.
+    const std::uint64_t big = 65 * 1024 * 1024;
+    const double rs_unl = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Radixsort, big, cores,
+        SystemKind::Unlimited);
+    const double qs_unl = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Quicksort, big, cores,
+        SystemKind::Unlimited);
+    const double rs_ddr = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Radixsort, big, cores,
+        SystemKind::OffChipDdr4);
+    const double qs_ddr = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Quicksort, big, cores,
+        SystemKind::OffChipDdr4);
+    std::printf("crossover check (65M): unlimited R/S %.2f %s "
+                "Q/S %.2f; DDR4 R/S %.2f %s Q/S %.2f\n",
+                rs_unl, rs_unl > qs_unl ? ">" : "<=", qs_unl,
+                rs_ddr, rs_ddr < qs_ddr ? "<" : ">=", qs_ddr);
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Regenerates Figure 15: throughput (MKps) of mergesort, quicksort,
+ * radixsort, and heapsort on the off-chip DDR4 and in-package HBM
+ * baselines versus RIME, for 0.5-65M keys, plus the paper's average
+ * speedup summary (paper: RIME gains 30.2x M/S, 12.4x Q/S, 50.7x
+ * R/S, 26x H/S over off-chip; HBM gains 2.4/2.3/8.1/1.9x).
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.hh"
+#include "perfmodel/baseline.hh"
+
+using namespace rime;
+using namespace rime::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("=== Figure 15: sorting throughput (MKps) ===\n");
+
+    sort::SortModel::Config sort_cfg;
+    sort_cfg.sampleCap = scaledCap(1 << 21);
+    sort::SortModel sorts(sort_cfg);
+    perfmodel::BaselinePerfModel model;
+    const unsigned cores = 64;
+    const auto sizes = paperSizes();
+    const std::uint64_t rime_cap = scaledCap(4 << 20);
+
+    std::map<int, std::map<std::uint64_t, double>> ddr;
+    std::map<int, std::map<std::uint64_t, double>> hbm;
+    std::map<std::uint64_t, double> rime;
+
+    for (const auto n : sizes) {
+        for (const auto algo : sort::allAlgorithms) {
+            ddr[static_cast<int>(algo)][n] = model.sortThroughputMKps(
+                sorts, algo, n, cores, SystemKind::OffChipDdr4);
+            hbm[static_cast<int>(algo)][n] = model.sortThroughputMKps(
+                sorts, algo, n, cores, SystemKind::InPackageHbm);
+        }
+        rime[n] = rimeSortThroughputMKps(n, rime_cap);
+    }
+
+    std::vector<std::string> cols{"system"};
+    for (const auto n : sizes)
+        cols.push_back(millions(n) + "M");
+    printHeader("algo", {cols.begin() + 1, cols.end()});
+
+    for (const char *system : {"ddr4", "hbm"}) {
+        for (const auto algo : sort::allAlgorithms) {
+            auto &table = system == std::string("ddr4") ? ddr : hbm;
+            std::vector<double> row;
+            for (const auto n : sizes)
+                row.push_back(table[static_cast<int>(algo)][n]);
+            printRow(std::string(sort::algorithmName(algo)) + " " +
+                     system, row);
+        }
+    }
+    {
+        std::vector<double> row;
+        for (const auto n : sizes)
+            row.push_back(rime[n]);
+        printRow("RIME", row);
+    }
+
+    std::printf("\n--- average speedups across sizes "
+                "(paper: HBM 2.4/2.3/8.1/1.9x, "
+                "RIME 30.2/12.4/50.7/26x) ---\n");
+    printHeader("algo", {"hbm/ddr4", "rime/ddr4"});
+    for (const auto algo : sort::allAlgorithms) {
+        double hbm_gain = 0;
+        double rime_gain = 0;
+        for (const auto n : sizes) {
+            const double d = ddr[static_cast<int>(algo)][n];
+            hbm_gain += hbm[static_cast<int>(algo)][n] / d;
+            rime_gain += rime[n] / d;
+        }
+        printRow(sort::algorithmName(algo),
+                 {hbm_gain / sizes.size(), rime_gain / sizes.size()});
+    }
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Regenerates Figure 16: GroupBy and MergeJoin throughput (million
+ * records per second) on off-chip DDR4, in-package HBM, and RIME,
+ * for 0.5-65M records.  Paper: HBM gains 1.1-2x over DDR4; RIME
+ * gains 5.4-23.1x (GroupBy) and 5.6-24.1x (MergeJoin).
+ */
+
+#include <cstdio>
+
+#include "bench/workload_util.hh"
+#include "workloads/kv.hh"
+
+using namespace rime;
+using namespace rime::bench;
+using namespace rime::workloads;
+
+namespace
+{
+
+/**
+ * Baseline pricing: the paper builds GroupBy and MergeJoin on the
+ * quicksort key-value database ("We devise a key-value database
+ * using quick sort (Q/S)"), so the baseline cost is the calibrated
+ * Q/S model over the record volume (8-byte records = 2x the 4-byte
+ * key volume) plus the streaming aggregation/merge pass it hides.
+ */
+double
+baselineGroupByMKps(perfmodel::BaselinePerfModel &model,
+                    const sort::SortModel &sorts, std::uint64_t rows,
+                    SystemKind system)
+{
+    const double keys = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Quicksort, rows * 2, 64, system);
+    return keys / 2.0;
+}
+
+double
+baselineMergeJoinMKps(perfmodel::BaselinePerfModel &model,
+                      const sort::SortModel &sorts, std::uint64_t rows,
+                      SystemKind system)
+{
+    // Sorts rows + rows/2 keys, then one merge scan.
+    const double keys = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Quicksort, rows + rows / 2, 64,
+        system);
+    return keys / 1.5;
+}
+
+double
+rimeGroupByMKps(std::uint64_t rows)
+{
+    RimeLibrary lib(tableOneRime());
+    const auto table = randomTable(rows, 65536, 17);
+    const Tick t0 = lib.now();
+    const auto r = groupByRime(lib, table);
+    const double rime_seconds = ticksToSeconds(lib.now() - t0);
+    // Host-side aggregation is a streaming scan: ~4 instructions per
+    // record at native speed.
+    const double host = static_cast<double>(rows) * 4.0 / (2e9 * 2.0);
+    return rows / (rime_seconds + host) / 1e6;
+}
+
+double
+rimeMergeJoinMKps(std::uint64_t rows)
+{
+    RimeLibrary lib(tableOneRime());
+    Rng rng(19);
+    std::vector<std::uint32_t> a(rows);
+    std::vector<std::uint32_t> b(rows / 2);
+    for (auto &k : a)
+        k = static_cast<std::uint32_t>(rng());
+    for (auto &k : b)
+        k = static_cast<std::uint32_t>(rng());
+    const Tick t0 = lib.now();
+    const auto r = mergeJoinRime(lib, a, b);
+    const double rime_seconds = ticksToSeconds(lib.now() - t0);
+    const double host =
+        static_cast<double>(rows + rows / 2) * 4.0 / (2e9 * 2.0);
+    (void)r;
+    return rows / (rime_seconds + host) / 1e6;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("=== Figure 16: GroupBy / MergeJoin throughput "
+                "(M records/s) ===\n");
+    perfmodel::BaselinePerfModel model;
+    sort::SortModel::Config sort_cfg;
+    sort_cfg.sampleCap = scaledCap(1 << 21);
+    sort::SortModel sorts(sort_cfg);
+    const auto sizes = paperSizes();
+    const std::uint64_t rime_cap = scaledCap(1 << 21);
+
+    std::vector<std::string> cols;
+    for (const auto n : sizes)
+        cols.push_back(millions(n) + "M");
+    printHeader("workload", cols);
+
+    std::vector<double> gb_ddr, gb_hbm, gb_rime;
+    std::vector<double> mj_ddr, mj_hbm, mj_rime;
+    for (const auto n : sizes) {
+        gb_ddr.push_back(baselineGroupByMKps(
+            model, sorts, n, SystemKind::OffChipDdr4));
+        gb_hbm.push_back(baselineGroupByMKps(
+            model, sorts, n, SystemKind::InPackageHbm));
+        gb_rime.push_back(rimeGroupByMKps(std::min(n, rime_cap)));
+        mj_ddr.push_back(baselineMergeJoinMKps(
+            model, sorts, n, SystemKind::OffChipDdr4));
+        mj_hbm.push_back(baselineMergeJoinMKps(
+            model, sorts, n, SystemKind::InPackageHbm));
+        mj_rime.push_back(rimeMergeJoinMKps(std::min(n, rime_cap)));
+    }
+    printRow("GroupBy ddr4", gb_ddr);
+    printRow("GroupBy hbm", gb_hbm);
+    printRow("GroupBy RIME", gb_rime);
+    printRow("MrgJoin ddr4", mj_ddr);
+    printRow("MrgJoin hbm", mj_hbm);
+    printRow("MrgJoin RIME", mj_rime);
+
+    auto span = [](const std::vector<double> &num,
+                   const std::vector<double> &den) {
+        double lo = 1e30, hi = 0;
+        for (std::size_t i = 0; i < num.size(); ++i) {
+            const double g = num[i] / den[i];
+            lo = std::min(lo, g);
+            hi = std::max(hi, g);
+        }
+        std::printf("  %.1f - %.1fx\n", lo, hi);
+    };
+    std::printf("\nGroupBy HBM/DDR4 (paper 1.1-2x):");
+    span(gb_hbm, gb_ddr);
+    std::printf("GroupBy RIME/DDR4 (paper 5.4-23.1x):");
+    span(gb_rime, gb_ddr);
+    std::printf("MergeJoin HBM/DDR4 (paper 1.1-2x):");
+    span(mj_hbm, mj_ddr);
+    std::printf("MergeJoin RIME/DDR4 (paper 5.6-24.1x):");
+    span(mj_rime, mj_ddr);
+    return 0;
+}

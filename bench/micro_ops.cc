@@ -1,0 +1,150 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core operations: bit-level
+ * column search, chip-level scans, the fast model, key codecs, the
+ * driver allocator, the DRAM bank machine, and the cache hierarchy.
+ * These measure *simulator* (host) performance, useful for keeping
+ * the models fast enough for paper-scale sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cachesim/hierarchy.hh"
+#include "common/rng.hh"
+#include "memsim/dram_system.hh"
+#include "rime/driver.hh"
+#include "rimehw/chip.hh"
+#include "rimehw/fast_model.hh"
+
+using namespace rime;
+using namespace rime::rimehw;
+
+namespace
+{
+
+RimeGeometry
+smallGeometry()
+{
+    RimeGeometry g;
+    g.banksPerChip = 4;
+    g.subbanksPerBank = 8;
+    return g;
+}
+
+void
+BM_EncodeFloatKey(benchmark::State &state)
+{
+    Rng rng(1);
+    std::uint64_t raw = rng();
+    for (auto _ : state) {
+        raw = raw * 0x9E3779B97F4A7C15ULL + 1;
+        benchmark::DoNotOptimize(
+            encodeKey(raw & 0xFFFFFFFF, 32, KeyMode::Float));
+    }
+}
+BENCHMARK(BM_EncodeFloatKey);
+
+void
+BM_ColumnSearch(benchmark::State &state)
+{
+    RramArray array(512, 512);
+    Rng rng(2);
+    for (unsigned row = 0; row < 512; ++row)
+        array.writeRowBits(row, 0, 32,
+                           rng() & 0xFFFFFFFF);
+    BitVector select(512);
+    select.setAll();
+    unsigned col = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            array.columnSearch(col, true, select));
+        col = (col + 1) % 32;
+    }
+}
+BENCHMARK(BM_ColumnSearch);
+
+void
+BM_BitLevelExtract(benchmark::State &state)
+{
+    RimeChip chip(smallGeometry());
+    chip.configure(32, KeyMode::UnsignedFixed);
+    Rng rng(3);
+    const std::uint64_t n = 4096;
+    for (std::uint64_t i = 0; i < n; ++i)
+        chip.writeValue(i, rng() & 0xFFFFFFFF);
+    chip.initRange(0, n);
+    for (auto _ : state) {
+        auto r = chip.extract(0, n, false);
+        if (!r.found) {
+            chip.initRange(0, n);
+        }
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_BitLevelExtract);
+
+void
+BM_FastModelExtract(benchmark::State &state)
+{
+    FastRime fast;
+    fast.configure(32, KeyMode::UnsignedFixed);
+    Rng rng(4);
+    const std::uint64_t n = 1 << 16;
+    for (std::uint64_t i = 0; i < n; ++i)
+        fast.writeValue(i, rng() & 0xFFFFFFFF);
+    fast.initRange(0, n);
+    for (auto _ : state) {
+        auto r = fast.extract(0, n, false);
+        if (!r.found) {
+            fast.initRange(0, n);
+        }
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_FastModelExtract);
+
+void
+BM_DriverAllocateFree(benchmark::State &state)
+{
+    RimeDriver driver(1ULL << 30);
+    for (auto _ : state) {
+        const auto a = driver.allocate(8192);
+        benchmark::DoNotOptimize(a);
+        if (a)
+            driver.release(*a);
+    }
+}
+BENCHMARK(BM_DriverAllocateFree);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    memsim::DramSystem mem(memsim::DramParams::offChipDdr4());
+    Rng rng(5);
+    Tick now = 0;
+    for (auto _ : state) {
+        MemRequest req;
+        req.addr = rng.below(1ULL << 30) & ~63ULL;
+        req.type = AccessType::Read;
+        now = mem.access(req, now);
+        benchmark::DoNotOptimize(now);
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_CacheHierarchyAccess(benchmark::State &state)
+{
+    cachesim::Hierarchy h(1);
+    Rng rng(6);
+    for (auto _ : state) {
+        h.access(0, rng.below(1ULL << 26) & ~3ULL,
+                 AccessType::Read);
+    }
+    benchmark::DoNotOptimize(h.memReads());
+}
+BENCHMARK(BM_CacheHierarchyAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Prints the Table-I configuration as instantiated by this
+ * repository -- processor, DDR4, HBM, and RIME parameters -- plus
+ * the derived RIME area overheads (section VI-B: 3% match vectors
+ * per mat, 8% per-mat total, 5% die) and the measured raw memory
+ * characteristics of the two DRAM models.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "cpusim/core_params.hh"
+#include "memsim/bandwidth_probe.hh"
+#include "rimehw/params.hh"
+
+using namespace rime;
+using namespace rime::bench;
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("=== Table I: simulation parameters ===\n");
+
+    const auto cores = cpusim::CoreParams::tableOne();
+    std::printf("[cores]    %u x %u-issue @ %.1f GHz, %u-entry ROB\n",
+                cores.cores, cores.issueWidth, cores.freqGHz,
+                cores.robEntries);
+
+    for (const auto &p : {memsim::DramParams::offChipDdr4(),
+                          memsim::DramParams::inPackageHbm()}) {
+        std::printf("[%s] %.1f GB, ch/ranks/banks %u/%u/%u, "
+                    "row %llu B, peak %.1f GB/s\n",
+                    p.name.c_str(), p.capacityBytes / double(1 << 30),
+                    p.channels, p.ranksPerChannel, p.banksPerRank,
+                    static_cast<unsigned long long>(p.rowBufferBytes),
+                    p.peakBandwidthGBps());
+        std::printf("  tRCD %.1f tCAS %.1f tRP %.1f tRAS %.1f "
+                    "tRC %.1f tFAW %.1f ns\n",
+                    ticksToNs(p.tRCD), ticksToNs(p.tCAS),
+                    ticksToNs(p.tRP), ticksToNs(p.tRAS),
+                    ticksToNs(p.tRC), ticksToNs(p.tFAW));
+        memsim::DramSystem mem(p);
+        const auto seq = memsim::probeBandwidth(
+            mem, memsim::AccessPattern::Sequential, 50000);
+        const auto rnd = memsim::probeBandwidth(
+            mem, memsim::AccessPattern::Random, 50000);
+        std::printf("  measured (raw model): seq %.1f GB/s "
+                    "(hit rate %.2f), random %.1f GB/s, "
+                    "idle latency %.1f ns\n",
+                    seq.sustainedGBps, seq.rowHitRate,
+                    rnd.sustainedGBps,
+                    memsim::probeIdleLatencyNs(mem, 3000));
+    }
+
+    const rimehw::RimeGeometry g;
+    const rimehw::RimeTimingParams t;
+    const rimehw::RimeAreaModel a;
+    std::printf("[rime]     1 channel x %u chips, %u banks x %u "
+                "subbanks, %ux%u SLC arrays\n",
+                g.chipsPerChannel, g.banksPerChip, g.subbanksPerBank,
+                g.arrayRows, g.arrayCols);
+    std::printf("  capacity %.2f GB/channel; per chip %llu x 32-bit "
+                "values\n",
+                g.bytesPerChannel() / double(1 << 30),
+                static_cast<unsigned long long>(g.valuesPerArray(32) *
+                    g.banksPerChip * g.subbanksPerBank));
+    std::printf("  tRead %.1f ns, tWrite %.1f ns, tCompute %.1f ns, "
+                "compute energy %.1f nJ/chip\n",
+                ticksToNs(t.tRead), ticksToNs(t.tWrite),
+                ticksToNs(t.tCompute),
+                t.computeEnergyPerChip / 1000.0);
+    std::printf("  per-step (32-bit words): %.2f ns, %.2f nJ\n",
+                ticksToNs(t.stepTime()), t.stepEnergy() / 1000.0);
+    std::printf("[area]     die %.2f mm^2; overheads: match vectors "
+                "%.0f%%/mat, mat total %.0f%%, die %.0f%% "
+                "(+%.2f mm^2)\n",
+                a.dieAreaMm2, a.matchVectorOverhead * 100,
+                a.matOverhead * 100, a.dieOverhead * 100,
+                a.overheadAreaMm2());
+
+    // Sustained RIME sort throughput at the Table-I configuration.
+    const double mkps =
+        rimeSortThroughputMKps(1 << 20, 1 << 20, 7);
+    std::printf("[check]    RIME in-situ sort throughput at 1M keys: "
+                "%.1f MKps\n", mkps);
+    return 0;
+}

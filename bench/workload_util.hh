@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Shared machinery for the application-workload benches (Figures
+ * 16-19): baseline estimation from instrumented sampled runs, host-
+ * side cost accounting for the RIME variants, and size scaling.
+ *
+ * Baseline estimation: the CPU variant runs at a sampled size with
+ * every data-structure access fed through the real cache hierarchy;
+ * the resulting traffic and instruction counts are scaled to the
+ * target size (linear in elements, logarithmic heap factor for the
+ * PQ-driven workloads) and priced by the calibrated multicore model.
+ *
+ * RIME estimation: the RIME variant actually executes against the
+ * simulated device; its in-memory time comes from the library clock
+ * and the host-side work (relaxations, union-find, aggregation) is
+ * priced at native core speed plus a memory-latency term for its
+ * random accesses.
+ */
+
+#ifndef RIME_BENCH_WORKLOAD_UTIL_HH
+#define RIME_BENCH_WORKLOAD_UTIL_HH
+
+#include <cmath>
+
+#include "bench/bench_util.hh"
+#include "cachesim/hierarchy.hh"
+#include "energy/energy_model.hh"
+#include "perfmodel/baseline.hh"
+#include "workloads/shortest_path.hh"
+
+namespace rime::bench
+{
+
+/** Everything needed to price a baseline workload at any size. */
+struct BaselineSample
+{
+    double memReads = 0;
+    double memWrites = 0;
+    double instructions = 0;
+    std::uint64_t sampledElements = 0;
+    memsim::AccessPattern pattern = memsim::AccessPattern::Random;
+    double mlp = 1.5;
+    double baseIpc = 1.5;
+    /** Log-scaling of per-element work with size (heap depth). */
+    bool logScaling = true;
+    /** Apply the full-system IPC calibration derate. */
+    bool derateIpc = false;
+    unsigned cores = 1;
+    /** Amdahl fraction (sort kernels ~0.98, PQ kernels ~0.5). */
+    double parallelFraction = 0.5;
+};
+
+/** Scale a sample's totals to `elements` and build the profile. */
+inline cpusim::WorkloadProfile
+scaleSample(const BaselineSample &s, std::uint64_t elements)
+{
+    const double lin = static_cast<double>(elements) /
+        static_cast<double>(std::max<std::uint64_t>(
+            s.sampledElements, 1));
+    const double log_factor = s.logScaling
+        ? std::log2(static_cast<double>(elements) + 2) /
+          std::log2(static_cast<double>(s.sampledElements) + 2)
+        : 1.0;
+    cpusim::WorkloadProfile w;
+    w.instructions = s.instructions * lin * log_factor;
+    w.memReads = s.memReads * lin * log_factor;
+    w.memWrites = s.memWrites * lin * log_factor;
+    w.baseIpc = s.baseIpc;
+    w.mlp = s.mlp;
+    w.parallelFraction = s.parallelFraction;
+    return w;
+}
+
+/** Baseline throughput in million elements per second. */
+inline double
+baselineThroughputMKps(perfmodel::BaselinePerfModel &model,
+                       const BaselineSample &s, std::uint64_t elements,
+                       SystemKind system)
+{
+    cpusim::WorkloadProfile w = scaleSample(s, elements);
+    if (!s.derateIpc) {
+        // Cancel the global sort-anchored IPC derate: these kernels
+        // are latency/bandwidth bound, not issue-rate bound.
+        w.baseIpc /= model.calibration().ipcScale;
+    }
+    const auto est = model.estimate(w, s.pattern, system, s.cores);
+    return est.totalSeconds > 0
+        ? static_cast<double>(elements) / est.totalSeconds / 1e6
+        : 0.0;
+}
+
+/**
+ * Host-side seconds of a RIME variant: instructions at native speed
+ * plus a latency term for its random memory touches.
+ */
+inline double
+rimeHostSeconds(const workloads::PqWorkloadCounts &counts,
+                double memory_touches, double latency_ns = 60.0,
+                double mlp = 6.0)
+{
+    const double instr_seconds = counts.instructions() / (2e9 * 2.0);
+    const double mem_seconds =
+        memory_touches * latency_ns * 1e-9 / mlp;
+    return instr_seconds + mem_seconds;
+}
+
+/** Fresh cache hierarchy + sink for a baseline sample run. */
+struct SampleContext
+{
+    cachesim::Hierarchy hierarchy;
+    sort::CacheSink sink;
+
+    SampleContext() : hierarchy(1), sink(hierarchy) {}
+
+    void
+    fill(BaselineSample &sample, double instructions,
+         std::uint64_t elements)
+    {
+        sample.memReads =
+            static_cast<double>(hierarchy.memReads());
+        sample.memWrites =
+            static_cast<double>(hierarchy.memWrites());
+        sample.instructions = instructions;
+        sample.sampledElements = elements;
+    }
+};
+
+} // namespace rime::bench
+
+#endif // RIME_BENCH_WORKLOAD_UTIL_HH

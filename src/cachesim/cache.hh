@@ -1,0 +1,201 @@
+/**
+ * @file
+ * A fast set-associative cache model with LRU replacement and
+ * write-back/write-allocate policy, used to turn the instrumented
+ * workload access streams into below-cache memory traffic.
+ */
+
+#ifndef RIME_CACHESIM_CACHE_HH
+#define RIME_CACHESIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace rime::cachesim
+{
+
+/** Static configuration of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned associativity = 4;
+    std::uint64_t blockBytes = 64;
+    /** Hit latency in CPU cycles (Table I). */
+    unsigned hitCycles = 2;
+
+    /** Table I: 32KB direct-mapped L1I. */
+    static CacheConfig
+    l1i()
+    {
+        return {32 * 1024, 1, 64, 2};
+    }
+
+    /** Table I: 32KB 4-way LRU L1D. */
+    static CacheConfig
+    l1d()
+    {
+        return {32 * 1024, 4, 64, 2};
+    }
+
+    /** Table I: 8MB 16-way LRU shared L2. */
+    static CacheConfig
+    l2()
+    {
+        return {8 * 1024 * 1024, 16, 64, 15};
+    }
+};
+
+/** Outcome of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    /** A dirty block was evicted and must be written back. */
+    bool writeback = false;
+    /** Block address of the written-back victim (valid iff writeback). */
+    Addr writebackAddr = 0;
+};
+
+/** One level of set-associative write-back cache. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config)
+        : config_(config)
+    {
+        if (!isPowerOf2(config.blockBytes))
+            fatal("cache block size must be a power of two");
+        const std::uint64_t blocks = config.sizeBytes / config.blockBytes;
+        if (blocks % config.associativity != 0)
+            fatal("cache size not divisible by associativity");
+        numSets_ = blocks / config.associativity;
+        if (!isPowerOf2(numSets_))
+            fatal("cache set count must be a power of two");
+        blockBits_ = floorLog2(config.blockBytes);
+        setMask_ = numSets_ - 1;
+        lines_.resize(blocks);
+    }
+
+    /**
+     * Access one address.  Allocates on miss; evicts LRU.
+     *
+     * @param addr   byte address
+     * @param write  true for a store
+     */
+    CacheResult
+    access(Addr addr, bool write)
+    {
+        const std::uint64_t block = addr >> blockBits_;
+        const std::uint64_t set = block & setMask_;
+        const std::uint64_t tag = block >> 0; // full block id as tag
+        Line *base = &lines_[set * config_.associativity];
+        ++clock_;
+
+        // Hit path.
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == tag) {
+                line.lastUse = clock_;
+                line.dirty = line.dirty || write;
+                ++hits_;
+                return {true, false, 0};
+            }
+        }
+
+        // Miss: choose victim (invalid first, then LRU).
+        ++misses_;
+        unsigned victim = 0;
+        std::uint64_t oldest = ~0ULL;
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            Line &line = base[way];
+            if (!line.valid) {
+                victim = way;
+                oldest = 0;
+                break;
+            }
+            if (line.lastUse < oldest) {
+                oldest = line.lastUse;
+                victim = way;
+            }
+        }
+
+        CacheResult result;
+        Line &line = base[victim];
+        if (line.valid && line.dirty) {
+            result.writeback = true;
+            result.writebackAddr = line.tag << blockBits_;
+            ++writebacks_;
+        }
+        line.valid = true;
+        line.dirty = write;
+        line.tag = tag;
+        line.lastUse = clock_;
+        return result;
+    }
+
+    /** Evict (and report dirtiness of) a block if present. */
+    bool
+    invalidate(Addr addr)
+    {
+        const std::uint64_t block = addr >> blockBits_;
+        const std::uint64_t set = block & setMask_;
+        Line *base = &lines_[set * config_.associativity];
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == block) {
+                const bool was_dirty = line.dirty;
+                line.valid = false;
+                line.dirty = false;
+                return was_dirty;
+            }
+        }
+        return false;
+    }
+
+    /** Forget all contents and statistics. */
+    void
+    reset()
+    {
+        for (auto &line : lines_)
+            line = Line();
+        clock_ = hits_ = misses_ = writebacks_ = 0;
+    }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    const CacheConfig &config() const { return config_; }
+
+    double
+    missRate() const
+    {
+        const std::uint64_t total = hits_ + misses_;
+        return total ? static_cast<double>(misses_) / total : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    CacheConfig config_;
+    std::uint64_t numSets_ = 0;
+    std::uint64_t setMask_ = 0;
+    unsigned blockBits_ = 0;
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+    std::vector<Line> lines_;
+};
+
+} // namespace rime::cachesim
+
+#endif // RIME_CACHESIM_CACHE_HH

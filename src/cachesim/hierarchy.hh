@@ -1,0 +1,145 @@
+/**
+ * @file
+ * The Table-I cache hierarchy: per-core L1D caches in front of a shared
+ * L2, producing the below-cache memory request stream.  A lightweight
+ * MESI-style invariant is kept for shared blocks: a core writing a block
+ * cached by another core invalidates the other copy (sufficient for the
+ * mostly-private sorting workloads while still charging coherence
+ * traffic when sharing happens).
+ */
+
+#ifndef RIME_CACHESIM_HIERARCHY_HH
+#define RIME_CACHESIM_HIERARCHY_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rime::cachesim
+{
+
+/**
+ * Multi-core cache hierarchy.
+ *
+ * Every below-cache request (L2 miss fill or L2 writeback) is delivered
+ * to the registered sink.  The sink typically forwards to a
+ * memsim::MemorySystem or simply counts traffic.
+ */
+class Hierarchy
+{
+  public:
+    using MemSink = std::function<void(const MemRequest &)>;
+
+    Hierarchy(unsigned cores,
+              const CacheConfig &l1_config = CacheConfig::l1d(),
+              const CacheConfig &l2_config = CacheConfig::l2())
+        : stats_("cache"), l2_(l2_config)
+    {
+        if (cores == 0)
+            fatal("hierarchy needs at least one core");
+        l1_.reserve(cores);
+        for (unsigned i = 0; i < cores; ++i)
+            l1_.push_back(std::make_unique<Cache>(l1_config));
+    }
+
+    /** Register the below-cache request sink. */
+    void setMemSink(MemSink sink) { sink_ = std::move(sink); }
+
+    /** Issue one data access from a core. */
+    void
+    access(unsigned core, Addr addr, AccessType type)
+    {
+        if (core >= l1_.size())
+            fatal("access from unknown core %u", core);
+        const bool write = type == AccessType::Write;
+        stats_.inc(write ? "stores" : "loads");
+
+        // Simple invalidation-based sharing: a store must invalidate
+        // any other core's copy before the local L1 owns the block.
+        if (write) {
+            for (unsigned c = 0; c < l1_.size(); ++c) {
+                if (c == core)
+                    continue;
+                if (l1_[c]->invalidate(addr))
+                    stats_.inc("coherenceWritebacks");
+            }
+        }
+
+        const CacheResult l1r = l1_[core]->access(addr, write);
+        if (l1r.writeback)
+            accessL2(core, l1r.writebackAddr, true);
+        if (l1r.hit)
+            return;
+        accessL2(core, addr, false, write);
+    }
+
+    const Cache &l1(unsigned core) const { return *l1_[core]; }
+    const Cache &l2() const { return l2_; }
+    unsigned numCores() const { return static_cast<unsigned>(l1_.size()); }
+
+    std::uint64_t memReads() const { return memReads_; }
+    std::uint64_t memWrites() const { return memWrites_; }
+    std::uint64_t memAccesses() const { return memReads_ + memWrites_; }
+
+    StatGroup &stats() { return stats_; }
+
+    /** Drop all cached state and counters. */
+    void
+    reset()
+    {
+        for (auto &l1 : l1_)
+            l1->reset();
+        l2_.reset();
+        stats_.reset();
+        memReads_ = memWrites_ = 0;
+    }
+
+  private:
+    void
+    accessL2(unsigned core, Addr addr, bool is_writeback,
+             bool demand_write = false)
+    {
+        const CacheResult l2r = l2_.access(addr, is_writeback ||
+                                           demand_write);
+        if (l2r.writeback)
+            emit({l2r.writebackAddr, AccessType::Write,
+                  static_cast<std::uint16_t>(core)});
+        if (!l2r.hit && !is_writeback) {
+            // Demand miss: fill from memory.
+            emit({addr, AccessType::Read,
+                  static_cast<std::uint16_t>(core)});
+        }
+        if (!l2r.hit && is_writeback) {
+            // Writeback missed in L2 (block already evicted):
+            // forward straight to memory.
+            emit({addr, AccessType::Write,
+                  static_cast<std::uint16_t>(core)});
+        }
+    }
+
+    void
+    emit(const MemRequest &req)
+    {
+        if (req.type == AccessType::Read)
+            ++memReads_;
+        else
+            ++memWrites_;
+        if (sink_)
+            sink_(req);
+    }
+
+    StatGroup stats_;
+    std::vector<std::unique_ptr<Cache>> l1_;
+    Cache l2_;
+    MemSink sink_;
+    std::uint64_t memReads_ = 0;
+    std::uint64_t memWrites_ = 0;
+};
+
+} // namespace rime::cachesim
+
+#endif // RIME_CACHESIM_HIERARCHY_HH

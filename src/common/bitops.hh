@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Bit manipulation helpers used by the key codecs, the address mappers,
+ * and the bit-level RIME array model.
+ */
+
+#ifndef RIME_COMMON_BITOPS_HH
+#define RIME_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace rime
+{
+
+/** Extract bits [first, last] (inclusive, last >= first) of value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned last, unsigned first)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+    return (value >> first) & mask;
+}
+
+/** Extract a single bit of value. */
+constexpr bool
+bit(std::uint64_t value, unsigned pos)
+{
+    return (value >> pos) & 1ULL;
+}
+
+/** Insert bits [first, last] of value into base and return the result. */
+constexpr std::uint64_t
+insertBits(std::uint64_t base, unsigned last, unsigned first,
+           std::uint64_t value)
+{
+    const unsigned nbits = last - first + 1;
+    const std::uint64_t mask =
+        nbits >= 64 ? ~0ULL : ((1ULL << nbits) - 1);
+    return (base & ~(mask << first)) | ((value & mask) << first);
+}
+
+/** True if value is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** ceil(log2(value)) for value >= 1. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return value <= 1 ? 0
+        : 64 - static_cast<unsigned>(std::countl_zero(value - 1));
+}
+
+/** floor(log2(value)) for value >= 1. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63 - static_cast<unsigned>(std::countl_zero(value));
+}
+
+/** Round value up to the next multiple of align (a power of two). */
+constexpr std::uint64_t
+roundUp(std::uint64_t value, std::uint64_t align)
+{
+    return (value + align - 1) & ~(align - 1);
+}
+
+/** Round value down to a multiple of align (a power of two). */
+constexpr std::uint64_t
+roundDown(std::uint64_t value, std::uint64_t align)
+{
+    return value & ~(align - 1);
+}
+
+/**
+ * Length of the common leading-bit prefix of two k-bit values.
+ *
+ * Both values are interpreted as k-bit strings with bit (k-1) the most
+ * significant.  Returns k when the values are equal.
+ */
+constexpr unsigned
+commonPrefixLength(std::uint64_t a, std::uint64_t b, unsigned k)
+{
+    const std::uint64_t diff = a ^ b;
+    if (diff == 0)
+        return k;
+    const unsigned highest =
+        63 - static_cast<unsigned>(std::countl_zero(diff));
+    // Bits (k-1) .. (highest+1) agree.
+    return k - 1 - highest;
+}
+
+} // namespace rime
+
+#endif // RIME_COMMON_BITOPS_HH

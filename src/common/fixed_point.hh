@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A runtime-parameterised fixed-point format descriptor matching the
+ * paper's b(alpha-1)..b0 . b(-1)..b(-beta) layout (section III-A-1),
+ * used by examples and tests to move between real values and the raw
+ * bit patterns stored in RIME arrays.
+ */
+
+#ifndef RIME_COMMON_FIXED_POINT_HH
+#define RIME_COMMON_FIXED_POINT_HH
+
+#include <cmath>
+#include <cstdint>
+
+#include "key_codec.hh"
+#include "logging.hh"
+
+namespace rime
+{
+
+/** Describes a fixed-point layout with alpha integer / beta fraction bits. */
+class FixedPointFormat
+{
+  public:
+    /**
+     * @param alpha      integer bits (including the sign bit when signed)
+     * @param beta       fraction bits
+     * @param is_signed  two's-complement when true
+     */
+    FixedPointFormat(unsigned alpha, unsigned beta, bool is_signed)
+        : alpha_(alpha), beta_(beta), isSigned_(is_signed)
+    {
+        if (alpha + beta == 0 || alpha + beta > 64)
+            fatal("fixed-point width %u out of range", alpha + beta);
+        if (is_signed && alpha == 0)
+            fatal("signed fixed-point needs at least one integer bit");
+    }
+
+    unsigned width() const { return alpha_ + beta_; }
+    unsigned alpha() const { return alpha_; }
+    unsigned beta() const { return beta_; }
+    bool isSigned() const { return isSigned_; }
+
+    KeyMode
+    mode() const
+    {
+        return isSigned_ ? KeyMode::SignedFixed : KeyMode::UnsignedFixed;
+    }
+
+    /** Largest representable value. */
+    double
+    maxValue() const
+    {
+        const double scale = std::ldexp(1.0, -static_cast<int>(beta_));
+        const std::uint64_t max_raw = isSigned_
+            ? (1ULL << (width() - 1)) - 1
+            : (width() >= 64 ? ~0ULL : (1ULL << width()) - 1);
+        return static_cast<double>(max_raw) * scale;
+    }
+
+    /** Smallest representable value. */
+    double
+    minValue() const
+    {
+        if (!isSigned_)
+            return 0.0;
+        const double scale = std::ldexp(1.0, -static_cast<int>(beta_));
+        return -std::ldexp(1.0, static_cast<int>(width() - 1)) * scale;
+    }
+
+    /** Quantize a real value to the nearest representable raw pattern. */
+    std::uint64_t
+    fromDouble(double value) const
+    {
+        double clamped = value;
+        if (clamped < minValue())
+            clamped = minValue();
+        if (clamped > maxValue())
+            clamped = maxValue();
+        const double scaled =
+            clamped * std::ldexp(1.0, static_cast<int>(beta_));
+        const auto fixed =
+            static_cast<std::int64_t>(std::llround(scaled));
+        return signedToRaw(fixed, width());
+    }
+
+    /** Real value represented by a raw pattern. */
+    double
+    toDouble(std::uint64_t raw) const
+    {
+        const double scale = std::ldexp(1.0, -static_cast<int>(beta_));
+        if (isSigned_)
+            return static_cast<double>(rawToSigned(raw, width())) * scale;
+        const std::uint64_t mask =
+            width() >= 64 ? ~0ULL : (1ULL << width()) - 1;
+        return static_cast<double>(raw & mask) * scale;
+    }
+
+  private:
+    unsigned alpha_;
+    unsigned beta_;
+    bool isSigned_;
+};
+
+} // namespace rime
+
+#endif // RIME_COMMON_FIXED_POINT_HH

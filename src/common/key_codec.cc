@@ -1,0 +1,17 @@
+#include "key_codec.hh"
+
+namespace rime
+{
+
+const char *
+keyModeName(KeyMode mode)
+{
+    switch (mode) {
+      case KeyMode::UnsignedFixed: return "unsigned-fixed";
+      case KeyMode::SignedFixed:   return "signed-fixed";
+      case KeyMode::Float:         return "float";
+    }
+    return "unknown";
+}
+
+} // namespace rime

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Order-preserving key codecs for the three RIME data-type modes.
+ *
+ * RIME (paper section III-A) finds the minimum of N stored numbers with a
+ * k-step bit-serial column scan.  For unsigned fixed-point values the scan
+ * searches for 1s at each position and excludes the matching rows (unless
+ * all selected rows match).  Signed fixed-point and IEEE-754 values need
+ * the search polarity flipped at the sign position (and, for floats with
+ * negatives surviving, at every following position).
+ *
+ * Both behaviours are equivalent to running the *unsigned* algorithm on an
+ * order-preserving transform of the raw bits:
+ *
+ *  - unsigned fixed-point:  encoded = raw
+ *  - two's-complement:      encoded = raw XOR sign-bit
+ *  - IEEE-754:              encoded = raw XOR sign-bit      (raw >= 0)
+ *                           encoded = NOT raw               (raw <  0)
+ *
+ * The bit-level hardware model (rimehw) implements the polarity-based
+ * algorithm on raw bits; this codec provides the reference semantics and
+ * the per-step search polarity the chip controller uses.
+ *
+ * Note on the paper text: section III-A-2 states that when only positive
+ * signed values are present the scan "proceeds to search for matching 0s"
+ * after the sign step.  Taken literally that keeps the *largest* value;
+ * the worked examples (Figs. 4 and 5) and the correctness requirement
+ * (min extraction) imply the polarity below, which our property tests
+ * check against numeric min/max.
+ */
+
+#ifndef RIME_COMMON_KEY_CODEC_HH
+#define RIME_COMMON_KEY_CODEC_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "bitops.hh"
+
+namespace rime
+{
+
+/** Interpretation of the k-bit words stored in a RIME region. */
+enum class KeyMode : std::uint8_t
+{
+    /** Unsigned fixed-point (any binary-point position). */
+    UnsignedFixed,
+    /** Two's-complement signed fixed-point. */
+    SignedFixed,
+    /** IEEE-754 binary interchange format (32- or 64-bit). */
+    Float,
+};
+
+/** Human-readable name of a KeyMode. */
+const char *keyModeName(KeyMode mode);
+
+/**
+ * Map a raw k-bit word to an unsigned word whose natural unsigned order
+ * equals the numeric order of the value the raw word represents.
+ *
+ * @param raw   the stored bit pattern, right-aligned in 64 bits
+ * @param k     word width in bits (1..64)
+ * @param mode  interpretation of the bit pattern
+ */
+constexpr std::uint64_t
+encodeKey(std::uint64_t raw, unsigned k, KeyMode mode)
+{
+    const std::uint64_t sign = 1ULL << (k - 1);
+    const std::uint64_t mask = k >= 64 ? ~0ULL : ((1ULL << k) - 1);
+    switch (mode) {
+      case KeyMode::UnsignedFixed:
+        return raw & mask;
+      case KeyMode::SignedFixed:
+        return (raw ^ sign) & mask;
+      case KeyMode::Float:
+        return ((raw & sign) ? ~raw : (raw | sign)) & mask;
+    }
+    return raw & mask;
+}
+
+/** Inverse of encodeKey(). */
+constexpr std::uint64_t
+decodeKey(std::uint64_t encoded, unsigned k, KeyMode mode)
+{
+    const std::uint64_t sign = 1ULL << (k - 1);
+    const std::uint64_t mask = k >= 64 ? ~0ULL : ((1ULL << k) - 1);
+    switch (mode) {
+      case KeyMode::UnsignedFixed:
+        return encoded & mask;
+      case KeyMode::SignedFixed:
+        return (encoded ^ sign) & mask;
+      case KeyMode::Float:
+        return ((encoded & sign) ? (encoded & ~sign) : ~encoded) & mask;
+    }
+    return encoded & mask;
+}
+
+/**
+ * The bit value the chip controller searches for (and excludes on match)
+ * at a given scan step of the raw-bit algorithm.
+ *
+ * @param pos               bit position being scanned (k-1 first)
+ * @param k                 word width
+ * @param mode              data-type mode of the region
+ * @param negativesPresent  outcome of the sign-position scan: true when
+ *                          at least one surviving row had its sign bit
+ *                          set (only meaningful for pos < k-1)
+ * @param findMax           true when computing max instead of min
+ */
+constexpr bool
+searchPolarity(unsigned pos, unsigned k, KeyMode mode,
+               bool negativesPresent, bool findMax)
+{
+    bool exclude_ones = true; // unsigned min: rows with 1 are non-minimal
+    switch (mode) {
+      case KeyMode::UnsignedFixed:
+        exclude_ones = true;
+        break;
+      case KeyMode::SignedFixed:
+        // Sign step: rows with 0 (non-negative) are non-minimal.
+        exclude_ones = (pos != k - 1);
+        break;
+      case KeyMode::Float:
+        // Sign step as above; among negatives, larger magnitude is
+        // smaller, so rows with 0 are non-minimal at every later step.
+        exclude_ones = (pos != k - 1) && !negativesPresent;
+        break;
+    }
+    // Max search mirrors min search exactly.
+    return findMax ? !exclude_ones : exclude_ones;
+}
+
+/** Reinterpret a float as its raw 32-bit pattern. */
+inline std::uint32_t
+floatToRaw(float value)
+{
+    std::uint32_t raw;
+    std::memcpy(&raw, &value, sizeof(raw));
+    return raw;
+}
+
+/** Reinterpret a raw 32-bit pattern as a float. */
+inline float
+rawToFloat(std::uint32_t raw)
+{
+    float value;
+    std::memcpy(&value, &raw, sizeof(value));
+    return value;
+}
+
+/** Reinterpret a double as its raw 64-bit pattern. */
+inline std::uint64_t
+doubleToRaw(double value)
+{
+    std::uint64_t raw;
+    std::memcpy(&raw, &value, sizeof(raw));
+    return raw;
+}
+
+/** Reinterpret a raw 64-bit pattern as a double. */
+inline double
+rawToDouble(std::uint64_t raw)
+{
+    double value;
+    std::memcpy(&value, &raw, sizeof(value));
+    return value;
+}
+
+/** Raw storage pattern for a signed integer, mode SignedFixed. */
+constexpr std::uint64_t
+signedToRaw(std::int64_t value, unsigned k)
+{
+    const std::uint64_t mask = k >= 64 ? ~0ULL : ((1ULL << k) - 1);
+    return static_cast<std::uint64_t>(value) & mask;
+}
+
+/** Recover a signed integer from its k-bit two's-complement pattern. */
+constexpr std::int64_t
+rawToSigned(std::uint64_t raw, unsigned k)
+{
+    const std::uint64_t sign = 1ULL << (k - 1);
+    const std::uint64_t mask = k >= 64 ? ~0ULL : ((1ULL << k) - 1);
+    raw &= mask;
+    if (raw & sign)
+        return static_cast<std::int64_t>(raw | ~mask);
+    return static_cast<std::int64_t>(raw);
+}
+
+} // namespace rime
+
+#endif // RIME_COMMON_KEY_CODEC_HH

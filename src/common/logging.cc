@@ -1,0 +1,40 @@
+#include "logging.hh"
+
+#include <cstdarg>
+#include <vector>
+
+namespace rime
+{
+namespace log_detail
+{
+
+bool verbose = true;
+
+std::string
+format(const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::va_list args_copy;
+    va_copy(args_copy, args);
+    const int len = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    if (len < 0) {
+        va_end(args_copy);
+        return std::string(fmt);
+    }
+    std::vector<char> buf(static_cast<std::size_t>(len) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args_copy);
+    va_end(args_copy);
+    return std::string(buf.data(), static_cast<std::size_t>(len));
+}
+
+} // namespace log_detail
+
+void
+setVerbose(bool on)
+{
+    log_detail::verbose = on;
+}
+
+} // namespace rime

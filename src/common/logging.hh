@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status-message and error helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal() is for user errors (bad configuration or arguments) and throws
+ * a FatalError so library embedders can recover; panic() is for internal
+ * invariant violations and aborts the process.
+ */
+
+#ifndef RIME_COMMON_LOGGING_HH
+#define RIME_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace rime
+{
+
+/** Exception thrown by fatal() for recoverable user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace log_detail
+{
+
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Global verbosity switch; tests may silence inform/warn output. */
+extern bool verbose;
+
+} // namespace log_detail
+
+/** Enable or disable inform()/warn() console output. */
+void setVerbose(bool on);
+
+/** Print an informational message to stderr (when verbose). */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    if (log_detail::verbose) {
+        std::fprintf(stderr, "info: %s\n",
+                     log_detail::format(fmt, args...).c_str());
+    }
+}
+
+/** Print a warning message to stderr (when verbose). */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    if (log_detail::verbose) {
+        std::fprintf(stderr, "warn: %s\n",
+                     log_detail::format(fmt, args...).c_str());
+    }
+}
+
+/**
+ * Report an unrecoverable *user* error (bad configuration, invalid
+ * arguments).  Throws FatalError.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    throw FatalError(log_detail::format(fmt, args...));
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library).
+ * Prints and aborts.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    std::fprintf(stderr, "panic: %s\n",
+                 log_detail::format(fmt, args...).c_str());
+    std::abort();
+}
+
+} // namespace rime
+
+#endif // RIME_COMMON_LOGGING_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) so that
+ * every experiment in the repository is exactly reproducible from a seed.
+ */
+
+#ifndef RIME_COMMON_RNG_HH
+#define RIME_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace rime
+{
+
+/** SplitMix64, used to seed the main generator. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** 1.0 by Blackman and Vigna (public domain reference
+ * algorithm), wrapped in a value-type generator.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5EEDDA7A5EEDDA7AULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    /** Next raw 64-bit output. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free mapping is fine for simulation workloads.
+        return (*this)() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace rime
+
+#endif // RIME_COMMON_RNG_HH

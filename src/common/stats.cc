@@ -1,0 +1,17 @@
+#include "stats.hh"
+
+#include <iomanip>
+
+namespace rime
+{
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &kv : values_) {
+        os << (name_.empty() ? "" : name_ + ".") << kv.first
+           << " " << std::setprecision(12) << kv.second << "\n";
+    }
+}
+
+} // namespace rime

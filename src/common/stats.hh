@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A small named-counter statistics registry, loosely modelled on gem5's
+ * stats package.  Components register counters under a hierarchical name
+ * and the harness dumps them uniformly.
+ */
+
+#ifndef RIME_COMMON_STATS_HH
+#define RIME_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace rime
+{
+
+/** A group of named scalar statistics. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name = "") : name_(std::move(name)) {}
+
+    /** Add delta to the named counter (creating it at zero). */
+    void
+    inc(const std::string &stat, double delta = 1.0)
+    {
+        values_[stat] += delta;
+    }
+
+    /** Overwrite the named value. */
+    void
+    set(const std::string &stat, double value)
+    {
+        values_[stat] = value;
+    }
+
+    /** Read a value; returns 0 for unknown names. */
+    double
+    get(const std::string &stat) const
+    {
+        auto it = values_.find(stat);
+        return it == values_.end() ? 0.0 : it->second;
+    }
+
+    /** True if the named stat has ever been written. */
+    bool
+    has(const std::string &stat) const
+    {
+        return values_.count(stat) != 0;
+    }
+
+    /** Reset all counters to zero. */
+    void
+    reset()
+    {
+        for (auto &kv : values_)
+            kv.second = 0.0;
+    }
+
+    /** Merge another group's counters into this one (summing). */
+    void
+    merge(const StatGroup &other)
+    {
+        for (const auto &kv : other.values_)
+            values_[kv.first] += kv.second;
+    }
+
+    const std::string &name() const { return name_; }
+    const std::map<std::string, double> &values() const { return values_; }
+
+    /** Write "group.stat value" lines. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string name_;
+    std::map<std::string, double> values_;
+};
+
+} // namespace rime
+
+#endif // RIME_COMMON_STATS_HH

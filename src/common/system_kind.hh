@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The three memory systems the paper evaluates baselines on.
+ */
+
+#ifndef RIME_COMMON_SYSTEM_KIND_HH
+#define RIME_COMMON_SYSTEM_KIND_HH
+
+namespace rime
+{
+
+/** Baseline memory-system configuration (Table I). */
+enum class SystemKind
+{
+    Unlimited,    ///< idealized unlimited-bandwidth memory
+    OffChipDdr4,  ///< 2 GB DDR4-2000, 4 channels
+    InPackageHbm, ///< eight-vault in-package HBM
+};
+
+/** Paper-style system name. */
+constexpr const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Unlimited:    return "Unlimited";
+      case SystemKind::OffChipDdr4:  return "Off-Chip (DDR4)";
+      case SystemKind::InPackageHbm: return "In-Package (HBM)";
+    }
+    return "?";
+}
+
+} // namespace rime
+
+#endif // RIME_COMMON_SYSTEM_KIND_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the RIME code base.
+ */
+
+#ifndef RIME_COMMON_TYPES_HH
+#define RIME_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace rime
+{
+
+/** A physical or device address in bytes. */
+using Addr = std::uint64_t;
+
+/** A time duration or timestamp expressed in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A duration expressed in clock cycles of some named clock domain. */
+using Cycles = std::uint64_t;
+
+/** Energy expressed in picojoules. */
+using PicoJoules = double;
+
+/** Number of ticks per nanosecond. */
+constexpr Tick ticksPerNs = 1000;
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+nsToTicks(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(ticksPerNs) + 0.5);
+}
+
+/** Convert ticks to (fractional) nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticksPerNs);
+}
+
+/** Convert ticks to (fractional) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-12;
+}
+
+/** Kinds of memory access issued below the cache hierarchy. */
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+/** One memory request at cache-block granularity. */
+struct MemRequest
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Read;
+    /** Issuing core, used for per-core bank conflicts statistics. */
+    std::uint16_t coreId = 0;
+};
+
+} // namespace rime
+
+#endif // RIME_COMMON_TYPES_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Processor configuration from Table I: 64 four-issue out-of-order
+ * cores at 2 GHz with 256-entry ROBs.
+ */
+
+#ifndef RIME_CPUSIM_CORE_PARAMS_HH
+#define RIME_CPUSIM_CORE_PARAMS_HH
+
+namespace rime::cpusim
+{
+
+/** Static core/processor parameters. */
+struct CoreParams
+{
+    double freqGHz = 2.0;
+    unsigned issueWidth = 4;
+    unsigned robEntries = 256;
+    unsigned cores = 64;
+
+    /** Table I configuration. */
+    static CoreParams
+    tableOne()
+    {
+        return CoreParams{};
+    }
+};
+
+} // namespace rime::cpusim
+
+#endif // RIME_CPUSIM_CORE_PARAMS_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multicore execution-time model.
+ *
+ * This is the substitution for the paper's ESESC/QEMU cycle-accurate
+ * processor (see DESIGN.md): execution time is the maximum of three
+ * bounds computed from *measured* inputs --
+ *
+ *  1. the compute bound: dynamic instructions over aggregate issue
+ *     throughput with an Amdahl serial fraction,
+ *  2. the bandwidth bound: below-cache bytes (from the real cache
+ *     simulator) over the sustained bandwidth *measured* on the DRAM
+ *     timing model for the workload's access pattern,
+ *  3. the latency bound: dependent-miss chains at the loaded memory
+ *     latency divided by the workload's memory-level parallelism.
+ *
+ * The same structure is used for every baseline result in the paper's
+ * evaluation; only the measured inputs differ per workload/system.
+ */
+
+#ifndef RIME_CPUSIM_MULTICORE_MODEL_HH
+#define RIME_CPUSIM_MULTICORE_MODEL_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.hh"
+#include "cpusim/core_params.hh"
+
+namespace rime::cpusim
+{
+
+/** Everything the model needs to know about one workload execution. */
+struct WorkloadProfile
+{
+    std::string name;
+    /** Total dynamic instructions across all cores. */
+    double instructions = 0;
+    /** Below-cache block reads / writes (64B each). */
+    double memReads = 0;
+    double memWrites = 0;
+    /** Per-core IPC when memory never stalls. */
+    double baseIpc = 2.0;
+    /** Average outstanding misses per core (memory-level parallelism). */
+    double mlp = 4.0;
+    /** Parallelizable fraction of the work (Amdahl). */
+    double parallelFraction = 0.99;
+    std::uint64_t blockBytes = 64;
+};
+
+/** Memory-system characteristics measured by memsim probes. */
+struct MemoryEnvironment
+{
+    /** Sustained bandwidth for this workload's pattern, GB/s.
+     *  Infinity for the idealized memory. */
+    double sustainedGBps = 0.0;
+    /** Loaded average access latency, ns. */
+    double loadedLatencyNs = 60.0;
+};
+
+/** The three bounds and the resulting execution time. */
+struct ExecutionEstimate
+{
+    double computeSeconds = 0.0;
+    double bandwidthSeconds = 0.0;
+    double latencySeconds = 0.0;
+    double totalSeconds = 0.0;
+};
+
+/** Closed-form multicore performance model. */
+class MulticoreModel
+{
+  public:
+    explicit MulticoreModel(const CoreParams &params = CoreParams{})
+        : params_(params)
+    {}
+
+    /**
+     * Estimate execution time of a workload on `cores` cores attached
+     * to the given memory environment.
+     */
+    ExecutionEstimate
+    estimate(const WorkloadProfile &profile, unsigned cores,
+             const MemoryEnvironment &env) const
+    {
+        if (cores == 0)
+            fatal("estimate requires at least one core");
+
+        ExecutionEstimate est;
+
+        // 1. Compute bound with Amdahl scaling.
+        const double issue_rate =
+            params_.freqGHz * 1e9 * profile.baseIpc;
+        const double serial = 1.0 - profile.parallelFraction;
+        const double scaled_instr = profile.instructions *
+            (serial + profile.parallelFraction / cores);
+        est.computeSeconds = scaled_instr / issue_rate;
+
+        // 2. Bandwidth bound.
+        const double bytes = (profile.memReads + profile.memWrites) *
+            static_cast<double>(profile.blockBytes);
+        est.bandwidthSeconds = env.sustainedGBps > 0
+            ? bytes / (env.sustainedGBps * 1e9) : 0.0;
+
+        // 3. Latency bound: per-core miss chain at loaded latency,
+        //    overlapped by the workload's MLP.
+        const double misses_per_core =
+            profile.memReads / static_cast<double>(cores);
+        est.latencySeconds = misses_per_core *
+            (env.loadedLatencyNs * 1e-9) / std::max(1.0, profile.mlp);
+
+        est.totalSeconds = std::max({est.computeSeconds,
+                                     est.bandwidthSeconds,
+                                     est.latencySeconds});
+        return est;
+    }
+
+    const CoreParams &params() const { return params_; }
+
+  private:
+    CoreParams params_;
+};
+
+} // namespace rime::cpusim
+
+#endif // RIME_CPUSIM_MULTICORE_MODEL_HH

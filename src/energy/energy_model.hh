@@ -1,0 +1,151 @@
+/**
+ * @file
+ * System-level energy model (paper section VII-B / Figure 19).
+ *
+ * The paper's energy evaluation combines McPAT (processor), the
+ * Micron power calculator (off-chip DRAM), prior-work models (HBM),
+ * and circuit simulation (RIME).  This model keeps the same
+ * accounting structure with public-literature constants:
+ *
+ *  - CPU: per-core static power + uncore static power + energy per
+ *    dynamic instruction;
+ *  - DDR4: background power per channel + energy per 64B burst;
+ *  - HBM: stack background power + (cheaper) energy per burst; the
+ *    HBM *system* also carries the idle off-chip DIMMs, which is why
+ *    the paper reports HBM consuming ~24% more than off-chip for the
+ *    workloads it cannot accelerate;
+ *  - RIME: the device energy accumulated by the simulator plus a
+ *    small background term (the library enforces the paper's ~1W
+ *    device power envelope).
+ */
+
+#ifndef RIME_ENERGY_ENERGY_MODEL_HH
+#define RIME_ENERGY_ENERGY_MODEL_HH
+
+#include "common/system_kind.hh"
+#include "common/types.hh"
+
+namespace rime::energy
+{
+
+/** Tunable constants of the energy model. */
+struct EnergyParams
+{
+    // Processor (64 OOO cores at 2 GHz; McPAT-flavoured numbers).
+    double coreStaticWatts = 0.3;
+    double uncoreStaticWatts = 8.0;
+    double energyPerInstructionNJ = 0.1;
+
+    // Off-chip DDR4 (Micron power-calculator-flavoured numbers).
+    double ddr4AccessNJ = 20.0; ///< per 64B burst incl. activation
+    double ddr4BackgroundWattsPerChannel = 1.0;
+    unsigned ddr4Channels = 4;
+
+    // In-package HBM (per Fine-Grained DRAM / JESD235 literature).
+    double hbmAccessNJ = 8.0;
+    double hbmBackgroundWatts = 4.0;
+    /** Idle off-chip memory still present in the HBM system. */
+    double idleDdr4WattsPerChannel = 0.6;
+
+    // RIME DIMMs.
+    double rimeBackgroundWattsPerChannel = 0.3;
+};
+
+/** Joules by component. */
+struct EnergyBreakdown
+{
+    double cpuJoules = 0.0;
+    double memoryJoules = 0.0;
+    double rimeJoules = 0.0;
+
+    double
+    total() const
+    {
+        return cpuJoules + memoryJoules + rimeJoules;
+    }
+};
+
+/** The Figure-19 energy model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const EnergyParams &params)
+        : params_(params)
+    {}
+
+    EnergyModel() = default;
+
+    /**
+     * Energy of a baseline execution.
+     *
+     * @param system       memory system (DDR4 or HBM)
+     * @param seconds      execution time
+     * @param instructions dynamic instructions executed
+     * @param mem_accesses below-cache 64B bursts
+     * @param cores        active cores
+     */
+    EnergyBreakdown
+    baseline(SystemKind system, double seconds, double instructions,
+             double mem_accesses, unsigned cores) const
+    {
+        EnergyBreakdown e;
+        e.cpuJoules = cpuEnergy(seconds, instructions, cores);
+        switch (system) {
+          case SystemKind::OffChipDdr4:
+          case SystemKind::Unlimited:
+            e.memoryJoules =
+                params_.ddr4BackgroundWattsPerChannel *
+                params_.ddr4Channels * seconds +
+                mem_accesses * params_.ddr4AccessNJ * 1e-9;
+            break;
+          case SystemKind::InPackageHbm:
+            e.memoryJoules =
+                params_.hbmBackgroundWatts * seconds +
+                params_.idleDdr4WattsPerChannel *
+                params_.ddr4Channels * seconds +
+                mem_accesses * params_.hbmAccessNJ * 1e-9;
+            break;
+        }
+        return e;
+    }
+
+    /**
+     * Energy of a RIME execution.
+     *
+     * @param seconds            execution time
+     * @param host_instructions  host-side dynamic instructions
+     * @param rime_device_pj     device energy from the simulator
+     * @param cores              active host cores
+     * @param rime_channels      populated RIME channels
+     */
+    EnergyBreakdown
+    rimeSystem(double seconds, double host_instructions,
+               PicoJoules rime_device_pj, unsigned cores,
+               unsigned rime_channels = 1) const
+    {
+        EnergyBreakdown e;
+        e.cpuJoules = cpuEnergy(seconds, host_instructions, cores);
+        e.rimeJoules = rime_device_pj * 1e-12 +
+            params_.rimeBackgroundWattsPerChannel * rime_channels *
+            seconds;
+        return e;
+    }
+
+    const EnergyParams &params() const { return params_; }
+
+  private:
+    double
+    cpuEnergy(double seconds, double instructions,
+              unsigned cores) const
+    {
+        return (params_.coreStaticWatts * cores +
+                params_.uncoreStaticWatts) * seconds +
+            instructions * params_.energyPerInstructionNJ * 1e-9;
+    }
+
+    EnergyParams params_{};
+};
+
+} // namespace rime::energy
+
+#endif // RIME_ENERGY_ENERGY_MODEL_HH

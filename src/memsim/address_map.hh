@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Physical-address to DRAM-coordinate mapping.
+ *
+ * Two interleavings are provided:
+ *  - RoRaBaCoCh: row:rank:bank:column:channel (block-granularity
+ *    channel interleave), the conventional high-parallelism mapping
+ *    used for the baselines;
+ *  - ChRoRaBaCo: channel:row:rank:bank:column (channel-contiguous), the
+ *    mapping RIME DIMMs require (paper section V) because the tree-based
+ *    index reduction needs large contiguous regions per channel.
+ */
+
+#ifndef RIME_MEMSIM_ADDRESS_MAP_HH
+#define RIME_MEMSIM_ADDRESS_MAP_HH
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "memsim/dram_params.hh"
+
+namespace rime::memsim
+{
+
+/** Decoded DRAM coordinates of a physical address. */
+struct DramCoord
+{
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint64_t row = 0;
+    std::uint64_t column = 0;
+
+    bool
+    operator==(const DramCoord &other) const
+    {
+        return channel == other.channel && rank == other.rank &&
+            bank == other.bank && row == other.row &&
+            column == other.column;
+    }
+};
+
+/** Interleaving scheme (listed high bits to low bits). */
+enum class Interleave : std::uint8_t
+{
+    RoRaBaCoCh, ///< block-granularity channel interleave (baselines)
+    ChRoRaBaCo, ///< channel-contiguous (RIME DIMMs)
+};
+
+/** Maps byte addresses to DRAM coordinates for a given geometry. */
+class AddressMap
+{
+  public:
+    AddressMap(const DramParams &params, Interleave scheme)
+        : params_(params), scheme_(scheme)
+    {
+        if (!isPowerOf2(params.burstBytes) ||
+            !isPowerOf2(params.channels) ||
+            !isPowerOf2(params.ranksPerChannel) ||
+            !isPowerOf2(params.banksPerRank) ||
+            !isPowerOf2(params.columnsPerRow())) {
+            fatal("address map requires power-of-two geometry");
+        }
+        burstBits_ = floorLog2(params.burstBytes);
+        chBits_ = floorLog2(params.channels);
+        raBits_ = floorLog2(params.ranksPerChannel);
+        baBits_ = floorLog2(params.banksPerRank);
+        coBits_ = floorLog2(params.columnsPerRow());
+        roBits_ = floorLog2(params.rowsPerBank());
+    }
+
+    /** Decode a byte address. */
+    DramCoord
+    decode(Addr addr) const
+    {
+        DramCoord c;
+        std::uint64_t a = addr >> burstBits_;
+        auto take = [&a](unsigned nbits) {
+            const std::uint64_t v = nbits ? bits(a, nbits - 1, 0) : 0;
+            a >>= nbits;
+            return v;
+        };
+        switch (scheme_) {
+          case Interleave::RoRaBaCoCh:
+            c.channel = static_cast<unsigned>(take(chBits_));
+            c.column = take(coBits_);
+            c.bank = static_cast<unsigned>(take(baBits_));
+            c.rank = static_cast<unsigned>(take(raBits_));
+            c.row = a;
+            break;
+          case Interleave::ChRoRaBaCo:
+            c.column = take(coBits_);
+            c.bank = static_cast<unsigned>(take(baBits_));
+            c.rank = static_cast<unsigned>(take(raBits_));
+            c.row = take(roBits_);
+            c.channel = static_cast<unsigned>(a);
+            break;
+        }
+        c.channel &= params_.channels - 1;
+        return c;
+    }
+
+    Interleave scheme() const { return scheme_; }
+    const DramParams &params() const { return params_; }
+
+  private:
+    DramParams params_;
+    Interleave scheme_;
+    unsigned burstBits_ = 0;
+    unsigned chBits_ = 0;
+    unsigned raBits_ = 0;
+    unsigned baBits_ = 0;
+    unsigned coBits_ = 0;
+    unsigned roBits_ = 0;
+};
+
+} // namespace rime::memsim
+
+#endif // RIME_MEMSIM_ADDRESS_MAP_HH

@@ -1,0 +1,102 @@
+#include "bandwidth_probe.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace rime::memsim
+{
+
+namespace
+{
+
+/** Build the address of request i under the requested pattern. */
+Addr
+patternAddr(AccessPattern pattern, std::uint64_t i, unsigned streams,
+            const DramParams &p, Rng &rng)
+{
+    const std::uint64_t block = p.burstBytes;
+    const std::uint64_t blocks = p.capacityBytes / block;
+    switch (pattern) {
+      case AccessPattern::Sequential: {
+        // `streams` interleaved unit-stride streams, round-robin one
+        // block each.  Streams are skewed by whole rows so concurrent
+        // streams occupy distinct banks, as an OS page allocator (and
+        // any sane address hash) effectively does.
+        const std::uint64_t stream = i % streams;
+        const std::uint64_t pos = i / streams;
+        const std::uint64_t base = (blocks / streams) * stream +
+            stream * (p.rowBufferBytes / block) * p.channels;
+        return ((base + pos) % blocks) * block;
+      }
+      case AccessPattern::Random:
+        return rng.below(blocks) * block;
+      case AccessPattern::StridedConflict: {
+        // Jump a full row buffer x channels x banks x ranks each time so
+        // consecutive requests hit the same bank with different rows.
+        const std::uint64_t stride = p.rowBufferBytes * p.channels *
+            p.banksPerRank * p.ranksPerChannel;
+        return (i * stride) % p.capacityBytes;
+      }
+    }
+    return 0;
+}
+
+} // namespace
+
+ProbeResult
+probeBandwidth(DramSystem &system, AccessPattern pattern,
+               std::uint64_t requests, double read_fraction,
+               unsigned streams, std::uint64_t seed)
+{
+    system.resetStats();
+    Rng rng(seed);
+    const DramParams &p = system.params();
+
+    double latency_sum = 0.0;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        MemRequest req;
+        req.addr = patternAddr(pattern, i, streams, p, rng);
+        req.type = rng.uniform() < read_fraction ? AccessType::Read
+                                                 : AccessType::Write;
+        const Tick done = system.access(req, 0);
+        latency_sum += ticksToNs(done);
+    }
+
+    ProbeResult result;
+    const Tick elapsed = system.lastCompletion();
+    const double bytes =
+        static_cast<double>(requests) * static_cast<double>(p.burstBytes);
+    if (elapsed > 0)
+        result.sustainedGBps = bytes / ticksToSeconds(elapsed) / 1e9;
+    const double hits = system.stats().get("rowHits");
+    const double total = hits + system.stats().get("rowMisses") +
+        system.stats().get("rowConflicts");
+    result.rowHitRate = total > 0 ? hits / total : 0.0;
+    result.avgLatencyNs =
+        requests > 0 ? latency_sum / static_cast<double>(requests) : 0.0;
+    return result;
+}
+
+double
+probeIdleLatencyNs(DramSystem &system, std::uint64_t requests,
+                   std::uint64_t seed)
+{
+    system.resetStats();
+    Rng rng(seed);
+    const DramParams &p = system.params();
+    const std::uint64_t blocks = p.capacityBytes / p.burstBytes;
+
+    Tick now = 0;
+    for (std::uint64_t i = 0; i < requests; ++i) {
+        MemRequest req;
+        req.addr = rng.below(blocks) * p.burstBytes;
+        req.type = AccessType::Read;
+        now = system.access(req, now); // dependent chain
+    }
+    return requests > 0
+        ? ticksToNs(now) / static_cast<double>(requests) : 0.0;
+}
+
+} // namespace rime::memsim

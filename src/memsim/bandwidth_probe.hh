@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Measures the sustained bandwidth and loaded latency of a memory
+ * system for canonical access patterns.  The perfmodel layer feeds the
+ * measured numbers (not the peak pin bandwidth) into its throughput
+ * calculations, mirroring how the paper measures "sustained memory
+ * bandwidth" (Figure 1c).
+ */
+
+#ifndef RIME_MEMSIM_BANDWIDTH_PROBE_HH
+#define RIME_MEMSIM_BANDWIDTH_PROBE_HH
+
+#include <cstdint>
+
+#include "memsim/dram_system.hh"
+
+namespace rime::memsim
+{
+
+/** Canonical request patterns. */
+enum class AccessPattern : std::uint8_t
+{
+    Sequential,      ///< unit-stride streaming (mergesort-like)
+    Random,          ///< uniform random blocks (radix scatter-like)
+    StridedConflict, ///< same-bank row-conflict stride (worst case)
+};
+
+/** Result of one probe run. */
+struct ProbeResult
+{
+    double sustainedGBps = 0.0;
+    double rowHitRate = 0.0;
+    double avgLatencyNs = 0.0;
+};
+
+/**
+ * Issue a closed-loop stream of block requests and measure throughput.
+ *
+ * @param system        the memory system under test
+ * @param pattern       the address pattern
+ * @param requests      number of block requests to issue
+ * @param read_fraction fraction of requests that are reads
+ * @param streams       number of independent sequential streams (for
+ *                      Sequential; models concurrent cores)
+ */
+ProbeResult probeBandwidth(DramSystem &system, AccessPattern pattern,
+                           std::uint64_t requests,
+                           double read_fraction = 1.0,
+                           unsigned streams = 4,
+                           std::uint64_t seed = 1);
+
+/**
+ * Measure the unloaded (dependent-chain) read latency in nanoseconds.
+ */
+double probeIdleLatencyNs(DramSystem &system, std::uint64_t requests,
+                          std::uint64_t seed = 2);
+
+} // namespace rime::memsim
+
+#endif // RIME_MEMSIM_BANDWIDTH_PROBE_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-bank DRAM state machine enforcing the JEDEC-style timing windows
+ * of Table I (tRCD, tRP, tRAS, tRC, tCAS, tWR, tRTP, ...).
+ */
+
+#ifndef RIME_MEMSIM_BANK_HH
+#define RIME_MEMSIM_BANK_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "memsim/dram_params.hh"
+
+namespace rime::memsim
+{
+
+/** Outcome classification of one column access. */
+enum class RowBufferOutcome : std::uint8_t
+{
+    Hit,      ///< open row matched
+    Miss,     ///< bank was idle; activate needed
+    Conflict, ///< different row open; precharge + activate needed
+};
+
+/**
+ * State of a single DRAM bank.
+ *
+ * The model is command-accurate at the bank level: every access computes
+ * the earliest legal issue times of the implied PRE/ACT/CAS commands
+ * given the previously recorded command history, then advances the bank
+ * state.  Cross-bank constraints (tRRD, tFAW, bus busy) are enforced by
+ * the owning Channel.
+ */
+class Bank
+{
+  public:
+    static constexpr std::int64_t noRow = -1;
+
+    /** Row currently latched in the row buffer, or noRow. */
+    std::int64_t openRow = noRow;
+
+    /** Earliest tick the next ACT to this bank may issue. */
+    Tick actReady = 0;
+    /** Earliest tick the next PRE to this bank may issue. */
+    Tick preReady = 0;
+    /** Earliest tick the next column read may issue. */
+    Tick readReady = 0;
+    /** Earliest tick the next column write may issue. */
+    Tick writeReady = 0;
+    /** Tick of the most recent ACT (for tRAS/tRC accounting). */
+    Tick lastAct = 0;
+
+    /** Classify an access to the given row. */
+    RowBufferOutcome
+    classify(std::int64_t row) const
+    {
+        if (openRow == row)
+            return RowBufferOutcome::Hit;
+        return openRow == noRow ? RowBufferOutcome::Miss
+                                : RowBufferOutcome::Conflict;
+    }
+
+    /** Record a precharge issued at tick t. */
+    void
+    precharge(const DramParams &p, Tick t)
+    {
+        openRow = noRow;
+        actReady = std::max(actReady, t + p.tRP);
+    }
+
+    /** Record an activate of row issued at tick t. */
+    void
+    activate(const DramParams &p, std::int64_t row, Tick t)
+    {
+        openRow = row;
+        lastAct = t;
+        readReady = std::max(readReady, t + p.tRCD);
+        writeReady = std::max(writeReady, t + p.tRCD);
+        preReady = std::max(preReady, t + p.tRAS);
+        actReady = std::max(actReady, t + p.tRC);
+    }
+
+    /** Record a column read issued at tick t. */
+    void
+    columnRead(const DramParams &p, Tick t)
+    {
+        readReady = std::max(readReady, t + p.tCCD);
+        writeReady = std::max(writeReady, t + p.tCCD);
+        preReady = std::max(preReady, t + p.tRTP);
+    }
+
+    /** Record a column write issued at tick t. */
+    void
+    columnWrite(const DramParams &p, Tick t)
+    {
+        readReady = std::max(readReady, t + p.tCWD + p.tBL + p.tWTR);
+        writeReady = std::max(writeReady, t + p.tCCD);
+        preReady = std::max(preReady, t + p.tCWD + p.tBL + p.tWR);
+    }
+};
+
+} // namespace rime::memsim
+
+#endif // RIME_MEMSIM_BANK_HH

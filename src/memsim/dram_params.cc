@@ -1,0 +1,41 @@
+#include "dram_params.hh"
+
+namespace rime::memsim
+{
+
+DramParams
+DramParams::offChipDdr4()
+{
+    DramParams p;
+    p.name = "ddr4-offchip";
+    p.channels = 4;
+    p.ranksPerChannel = 8;
+    p.banksPerRank = 8;
+    p.rowBufferBytes = 2048;
+    p.capacityBytes = 2ULL << 30;
+    p.busBytesPerBeat = 8;
+    p.dataRateMTps = 2000;
+    p.tBL = cpuCycles(4);
+    return p;
+}
+
+DramParams
+DramParams::inPackageHbm()
+{
+    DramParams p;
+    p.name = "hbm-inpackage";
+    // Eight vaults, each a 128-bit channel of DDR4-1600-compatible 8 Gb
+    // chips with an 8 KB row buffer (Table I lists the chip parameters;
+    // the text specifies the eight-vault organisation).
+    p.channels = 8;
+    p.ranksPerChannel = 2;
+    p.banksPerRank = 16;
+    p.rowBufferBytes = 8192;
+    p.capacityBytes = 8ULL << 30;
+    p.busBytesPerBeat = 16;
+    p.dataRateMTps = 1600;
+    p.tBL = cpuCycles(10);
+    return p;
+}
+
+} // namespace rime::memsim

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * DRAM device geometry and timing parameters.
+ *
+ * The default configurations reproduce Table I of the paper: an off-chip
+ * DDR4-2000 main memory (2 KB row buffer, 4 channels x 8 ranks x 8 banks)
+ * and an in-package eight-vault HBM (8 KB row buffer, 8 Gb DDR4-1600
+ * compatible chips).  Table I expresses timings in CPU cycles at 2 GHz;
+ * we store them in picosecond ticks.
+ */
+
+#ifndef RIME_MEMSIM_DRAM_PARAMS_HH
+#define RIME_MEMSIM_DRAM_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace rime::memsim
+{
+
+/** Convert a Table-I CPU-cycle count (2 GHz core clock) to ticks. */
+constexpr Tick
+cpuCycles(std::uint64_t cycles)
+{
+    return cycles * 500; // 500 ps per 2 GHz cycle
+}
+
+/** Full description of one DRAM-like memory system. */
+struct DramParams
+{
+    std::string name;
+
+    // Geometry.
+    unsigned channels = 4;
+    unsigned ranksPerChannel = 8;
+    unsigned banksPerRank = 8;
+    std::uint64_t rowBufferBytes = 2048;
+    std::uint64_t capacityBytes = 2ULL << 30;
+    /** Bytes transferred per burst (one column access). */
+    std::uint64_t burstBytes = 64;
+    /** Data-bus bytes moved per bus clock edge, per channel. */
+    unsigned busBytesPerBeat = 8;
+    /** Data rate in mega-transfers per second. */
+    unsigned dataRateMTps = 2000;
+
+    // Timing windows (ticks).
+    Tick tRCD = cpuCycles(44);
+    Tick tCAS = cpuCycles(44);
+    Tick tCCD = cpuCycles(16);
+    Tick tWTR = cpuCycles(31);
+    Tick tWR = cpuCycles(4);
+    Tick tRTP = cpuCycles(46);
+    Tick tBL = cpuCycles(4);
+    Tick tCWD = cpuCycles(61);
+    Tick tRP = cpuCycles(44);
+    Tick tRRD = cpuCycles(16);
+    Tick tRAS = cpuCycles(112);
+    Tick tRC = cpuCycles(271);
+    Tick tFAW = cpuCycles(181);
+
+    /** Ticks the channel data bus is busy per burst. */
+    Tick
+    burstTime() const
+    {
+        // burstBytes moved at busBytesPerBeat per beat,
+        // each beat taking 1e6/dataRateMTps picoseconds.
+        const double beats =
+            static_cast<double>(burstBytes) / busBytesPerBeat;
+        const double ps_per_beat = 1e6 / dataRateMTps;
+        return static_cast<Tick>(beats * ps_per_beat + 0.5);
+    }
+
+    /** Peak (pin) bandwidth of the whole memory system in GB/s. */
+    double
+    peakBandwidthGBps() const
+    {
+        return static_cast<double>(channels) * busBytesPerBeat *
+            dataRateMTps / 1000.0;
+    }
+
+    unsigned totalBanks() const { return channels * ranksPerChannel *
+        banksPerRank; }
+
+    std::uint64_t
+    columnsPerRow() const
+    {
+        return rowBufferBytes / burstBytes;
+    }
+
+    std::uint64_t
+    rowsPerBank() const
+    {
+        const std::uint64_t bank_bytes =
+            capacityBytes / totalBanks();
+        return bank_bytes / rowBufferBytes;
+    }
+
+    /** Table I off-chip main memory: 2 GB DDR4-2000. */
+    static DramParams offChipDdr4();
+
+    /** Table I in-package memory: eight-vault HBM. */
+    static DramParams inPackageHbm();
+};
+
+} // namespace rime::memsim
+
+#endif // RIME_MEMSIM_DRAM_PARAMS_HH

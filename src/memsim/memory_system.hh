@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Abstract interface for the memory systems below the cache hierarchy:
+ * off-chip DDR4, in-package HBM, and the idealized unlimited-bandwidth
+ * memory used by the paper's Figure 1/2 characterization.
+ */
+
+#ifndef RIME_MEMSIM_MEMORY_SYSTEM_HH
+#define RIME_MEMSIM_MEMORY_SYSTEM_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace rime::memsim
+{
+
+/** A memory system that serves block-granularity requests. */
+class MemorySystem
+{
+  public:
+    virtual ~MemorySystem() = default;
+
+    /**
+     * Serve one request.
+     *
+     * @param req      the block request
+     * @param earliest the earliest tick the request may start (arrival)
+     * @return the tick at which the data transfer completes
+     */
+    virtual Tick access(const MemRequest &req, Tick earliest) = 0;
+
+    /** Peak pin bandwidth in GB/s (infinity for ideal memory). */
+    virtual double peakBandwidthGBps() const = 0;
+
+    /** Short identifying name ("ddr4-offchip", ...). */
+    virtual std::string name() const = 0;
+
+    /** Accumulated statistics. */
+    virtual const StatGroup &stats() const = 0;
+    virtual void resetStats() = 0;
+};
+
+} // namespace rime::memsim
+
+#endif // RIME_MEMSIM_MEMORY_SYSTEM_HH

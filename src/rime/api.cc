@@ -1,0 +1,161 @@
+#include "api.hh"
+
+#include "common/logging.hh"
+
+namespace rime
+{
+
+RimeLibrary::RimeLibrary(const LibraryConfig &config)
+    : deviceConfig_(config.device), device_(config.device),
+      driver_(device_.capacityBytes(), config.driver)
+{
+    wordBytes_ = device_.wordBits() / 8;
+}
+
+std::uint64_t
+RimeLibrary::toIndex(Addr addr) const
+{
+    if (addr % wordBytes_ != 0)
+        fatal("address %llu not aligned to the %u-byte word size",
+              static_cast<unsigned long long>(addr), wordBytes_);
+    return addr / wordBytes_;
+}
+
+std::optional<Addr>
+RimeLibrary::rimeMalloc(std::uint64_t bytes)
+{
+    return driver_.allocate(bytes);
+}
+
+void
+RimeLibrary::rimeFree(Addr start)
+{
+    const std::uint64_t size = driver_.allocationSize(start);
+    if (size > 0) {
+        // Freed memory retires any operation state on the range.
+        dropOverlappingOps(start / wordBytes_,
+                           (start + size) / wordBytes_);
+    }
+    driver_.release(start);
+}
+
+void
+RimeLibrary::dropOverlappingOps(std::uint64_t begin, std::uint64_t end)
+{
+    for (auto it = ops_.begin(); it != ops_.end();) {
+        const std::uint64_t ob = std::get<0>(it->first);
+        const std::uint64_t oe = std::get<1>(it->first);
+        const bool overlaps = ob < end && begin < oe;
+        it = overlaps ? ops_.erase(it) : std::next(it);
+    }
+}
+
+void
+RimeLibrary::rimeInit(Addr start, Addr end, KeyMode mode,
+                      unsigned word_bits)
+{
+    if (word_bits % 8 != 0 || word_bits == 0 || word_bits > 64)
+        fatal("unsupported word width %u", word_bits);
+    if (device_.wordBits() != word_bits || device_.mode() != mode) {
+        // Reconfiguration applies to the whole device: concurrent
+        // operations must share the word width and type mode.
+        ops_.clear();
+        device_.configure(word_bits, mode);
+        wordBytes_ = word_bits / 8;
+    }
+    const std::uint64_t begin = toIndex(start);
+    const std::uint64_t endIdx = toIndex(end);
+    // Discarding buffered values of any prior operation on the range
+    // (paper: "extra buffered values are discarded when a new
+    // rime_init() is called for the same address range").
+    dropOverlappingOps(begin, endIdx);
+    now_ += device_.initRange(begin, endIdx, now_);
+}
+
+RimeOperation &
+RimeLibrary::operation(Addr start, Addr end, bool find_max)
+{
+    const std::uint64_t begin = toIndex(start);
+    const std::uint64_t endIdx = toIndex(end);
+    const OpKey key{begin, endIdx, find_max};
+    auto it = ops_.find(key);
+    if (it == ops_.end()) {
+        it = ops_.emplace(key, std::make_unique<RimeOperation>(
+            device_, begin, endIdx, find_max, now_)).first;
+    }
+    return *it->second;
+}
+
+std::optional<RankedItem>
+RimeLibrary::rimeMin(Addr start, Addr end)
+{
+    auto item = operation(start, end, false).next(now_);
+    if (item)
+        item->index *= wordBytes_; // report a byte address
+    return item;
+}
+
+std::optional<RankedItem>
+RimeLibrary::rimeMax(Addr start, Addr end)
+{
+    auto item = operation(start, end, true).next(now_);
+    if (item)
+        item->index *= wordBytes_;
+    return item;
+}
+
+std::uint64_t
+RimeLibrary::rimeRemaining(Addr start, Addr end)
+{
+    // Prefer an existing operation's count (either direction).
+    const std::uint64_t begin = toIndex(start);
+    const std::uint64_t endIdx = toIndex(end);
+    for (const bool dir : {false, true}) {
+        auto it = ops_.find(OpKey{begin, endIdx, dir});
+        if (it != ops_.end())
+            return it->second->remaining();
+    }
+    return endIdx - begin;
+}
+
+void
+RimeLibrary::store(Addr addr, std::uint64_t raw)
+{
+    const std::uint64_t index = toIndex(addr);
+    device_.writeValue(index, raw);
+    // Stores are posted: the host pays only the command/bus cost.
+    // The RRAM row write proceeds in the target bank without
+    // stalling scans in flight elsewhere on the chip (the DIMM
+    // controller's insert-buffer comparators keep buffered
+    // candidates coherent with the write, see RimeOperation).
+    now_ += nsToTicks(device_.config().resultBurstNs);
+    // Buffered candidates covering the stored row may be stale.
+    for (auto &kv : ops_) {
+        if (std::get<0>(kv.first) <= index &&
+            index < std::get<1>(kv.first)) {
+            kv.second->onStore(index, raw);
+        }
+    }
+}
+
+std::uint64_t
+RimeLibrary::load(Addr addr)
+{
+    now_ += device_.config().timing.tRead;
+    return device_.readValue(toIndex(addr));
+}
+
+void
+RimeLibrary::storeArray(Addr start, std::span<const std::uint64_t> raws)
+{
+    const std::uint64_t begin = toIndex(start);
+    now_ += device_.loadValues(begin, raws);
+    for (auto &kv : ops_) {
+        if (std::get<0>(kv.first) < begin + raws.size() &&
+            begin < std::get<1>(kv.first)) {
+            kv.second->onBulkStore();
+        }
+    }
+}
+
+} // namespace rime

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The RIME userspace API library (paper section V and Figure 12).
+ *
+ * The API mirrors the paper's C interface --
+ *
+ *   rime_malloc(start, end)      -> rimeMalloc(bytes)
+ *   rime_free(start, end)        -> rimeFree(start)
+ *   rime_init(start, end, type)  -> rimeInit(start, end, mode, k)
+ *   rime_min(start, end, i, out) -> rimeMin(start, end)
+ *   rime_max(start, end, i, out) -> rimeMax(start, end)
+ *
+ * -- on top of the simulated device: rimeMalloc allocates contiguous
+ * physical space through the driver model, rimeInit configures the
+ * chips and the data/index trees for a range, and every rimeMin /
+ * rimeMax performs the buffered multi-chip merge of Figure 14 while
+ * advancing the library's simulated clock.
+ *
+ * Ordinary loads and stores into allocated regions work at any time
+ * (the DIMMs remain byte-addressable memory).
+ */
+
+#ifndef RIME_RIME_API_HH
+#define RIME_RIME_API_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <tuple>
+
+#include "rime/device.hh"
+#include "rime/driver.hh"
+#include "rime/operation.hh"
+
+namespace rime
+{
+
+/** Top-level configuration of the RIME software stack. */
+struct LibraryConfig
+{
+    DeviceConfig device{};
+    DriverParams driver{};
+};
+
+/** The RIME API library. */
+class RimeLibrary
+{
+  public:
+    explicit RimeLibrary(const LibraryConfig &config = LibraryConfig{});
+
+    // ------------------------------------------------------------------
+    // Paper API (byte addresses within the RIME region).
+    // ------------------------------------------------------------------
+
+    /**
+     * Allocate `bytes` of physically contiguous RIME memory.
+     * @return the start address, or nullopt (NULL in the paper's C
+     *         API) when fragmentation prevents a contiguous fit
+     */
+    std::optional<Addr> rimeMalloc(std::uint64_t bytes);
+
+    /** Release an allocation made by rimeMalloc. */
+    void rimeFree(Addr start);
+
+    /**
+     * Initialize [start, end) for a new sort/rank/merge operation:
+     * sets the data-type mode and word width, configures the chip
+     * controllers and data/index trees, and clears exclusion flags.
+     * The range may be a sub-region of an allocation.
+     */
+    void rimeInit(Addr start, Addr end, KeyMode mode,
+                  unsigned word_bits = 32);
+
+    /** Next minimum of the initialized range (and its address). */
+    std::optional<RankedItem> rimeMin(Addr start, Addr end);
+
+    /** Next maximum of the initialized range. */
+    std::optional<RankedItem> rimeMax(Addr start, Addr end);
+
+    /** Values of [start, end) not yet extracted. */
+    std::uint64_t rimeRemaining(Addr start, Addr end);
+
+    // ------------------------------------------------------------------
+    // Ordinary memory accesses (normal storage mode of the region).
+    // ------------------------------------------------------------------
+
+    /** Store one word at a byte address. */
+    void store(Addr addr, std::uint64_t raw);
+
+    /** Load one word from a byte address. */
+    std::uint64_t load(Addr addr);
+
+    /** Bulk-store an array of words starting at `start`. */
+    void storeArray(Addr start, std::span<const std::uint64_t> raws);
+
+    // ------------------------------------------------------------------
+    // Simulation accounting.
+    // ------------------------------------------------------------------
+
+    Tick now() const { return now_; }
+    double nowSeconds() const { return ticksToSeconds(now_); }
+    PicoJoules energyPJ() const { return device_.totalEnergyPJ(); }
+
+    RimeDevice &device() { return device_; }
+    const RimeDevice &device() const { return device_; }
+    RimeDriver &driver() { return driver_; }
+
+    unsigned wordBytes() const { return wordBytes_; }
+
+  private:
+    std::uint64_t toIndex(Addr addr) const;
+    using OpKey = std::tuple<std::uint64_t, std::uint64_t, bool>;
+    RimeOperation &operation(Addr start, Addr end, bool find_max);
+    void dropOverlappingOps(std::uint64_t begin, std::uint64_t end);
+
+    DeviceConfig deviceConfig_;
+    RimeDevice device_;
+    RimeDriver driver_;
+    Tick now_ = 0;
+    unsigned wordBytes_ = 4;
+    std::map<OpKey, std::unique_ptr<RimeOperation>> ops_;
+};
+
+} // namespace rime
+
+#endif // RIME_RIME_API_HH

@@ -1,0 +1,130 @@
+#include "driver.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rime
+{
+
+RimeDriver::RimeDriver(std::uint64_t region_bytes,
+                       const DriverParams &params)
+    : regionBytes_(region_bytes), params_(params)
+{
+    if (!isPowerOf2(params.pageBytes))
+        fatal("driver page size must be a power of two");
+    const std::uint64_t startup = std::min(
+        regionBytes_, params_.startupPages * params_.pageBytes);
+    if (startup > 0) {
+        reservedBytes_ = startup;
+        freeList_[0] = startup;
+    }
+}
+
+void
+RimeDriver::grow(std::uint64_t min_bytes)
+{
+    while (reservedBytes_ < regionBytes_) {
+        const std::uint64_t grow_bytes = std::min(
+            std::max(params_.growthPages * params_.pageBytes,
+                     min_bytes),
+            regionBytes_ - reservedBytes_);
+        const Addr start = reservedBytes_;
+        reservedBytes_ += grow_bytes;
+        insertFree(start, grow_bytes);
+        // The freshly reserved space extends the trailing free extent;
+        // stop once a single extent is big enough.
+        if (largestFreeExtent() >= min_bytes)
+            return;
+    }
+}
+
+void
+RimeDriver::insertFree(Addr addr, std::uint64_t bytes)
+{
+    // Coalesce with the predecessor / successor extents.
+    auto next = freeList_.lower_bound(addr);
+    if (next != freeList_.begin()) {
+        auto prev = std::prev(next);
+        if (prev->first + prev->second == addr) {
+            addr = prev->first;
+            bytes += prev->second;
+            freeList_.erase(prev);
+        }
+    }
+    if (next != freeList_.end() && addr + bytes == next->first) {
+        bytes += next->second;
+        freeList_.erase(next);
+    }
+    freeList_[addr] = bytes;
+}
+
+std::optional<Addr>
+RimeDriver::allocate(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return std::nullopt;
+    const std::uint64_t size = roundUp(bytes, params_.pageBytes);
+
+    auto find_fit = [this, size]() {
+        for (auto it = freeList_.begin(); it != freeList_.end(); ++it)
+            if (it->second >= size)
+                return it;
+        return freeList_.end();
+    };
+
+    auto it = find_fit();
+    if (it == freeList_.end()) {
+        grow(size);
+        it = find_fit();
+        if (it == freeList_.end())
+            return std::nullopt; // fragmentation: API returns NULL
+    }
+
+    const Addr addr = it->first;
+    const std::uint64_t extent = it->second;
+    freeList_.erase(it);
+    if (extent > size)
+        freeList_[addr + size] = extent - size;
+    allocations_[addr] = size;
+    allocatedBytes_ += size;
+    return addr;
+}
+
+void
+RimeDriver::release(Addr addr)
+{
+    auto it = allocations_.find(addr);
+    if (it == allocations_.end())
+        fatal("rime_free of unknown address %llu",
+              static_cast<unsigned long long>(addr));
+    allocatedBytes_ -= it->second;
+    insertFree(it->first, it->second);
+    allocations_.erase(it);
+}
+
+std::uint64_t
+RimeDriver::largestFreeExtent() const
+{
+    std::uint64_t best = 0;
+    for (const auto &kv : freeList_)
+        best = std::max(best, kv.second);
+    // Unreserved tail space is contiguous with a trailing free extent.
+    std::uint64_t tail = regionBytes_ - reservedBytes_;
+    if (!freeList_.empty()) {
+        const auto &last = *freeList_.rbegin();
+        if (last.first + last.second == reservedBytes_)
+            tail += last.second;
+    }
+    return std::max(best, tail);
+}
+
+std::uint64_t
+RimeDriver::allocationSize(Addr addr) const
+{
+    auto it = allocations_.find(addr);
+    return it == allocations_.end() ? 0 : it->second;
+}
+
+} // namespace rime

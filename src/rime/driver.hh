@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Model of the RIME kernel driver's physical-memory management
+ * (paper section V, "Memory Allocation for RIME").
+ *
+ * The tree-based index reduction requires every rime_malloc to occupy
+ * physically *contiguous* pages.  The driver reserves a configurable
+ * number of pages at startup, grows the reservation by a configurable
+ * increment when exhausted, allocates first-fit within the reserved
+ * region, and returns failure (a null pointer at the API level) when
+ * fragmentation leaves no contiguous extent large enough.
+ */
+
+#ifndef RIME_RIME_DRIVER_HH
+#define RIME_RIME_DRIVER_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/types.hh"
+
+namespace rime
+{
+
+/** Tunable driver parameters (section V). */
+struct DriverParams
+{
+    /** Bytes of one physical page. */
+    std::uint64_t pageBytes = 4096;
+    /** Pages reserved when the region is mmap'ed. */
+    std::uint64_t startupPages = 1024;
+    /** Additional pages reserved when the current reservation fills. */
+    std::uint64_t growthPages = 1024;
+};
+
+/** Contiguous-physical-page allocator for one RIME region. */
+class RimeDriver
+{
+  public:
+    /**
+     * @param region_bytes capacity of the RIME address region
+     * @param params       reservation policy
+     */
+    RimeDriver(std::uint64_t region_bytes,
+               const DriverParams &params = DriverParams{});
+
+    /**
+     * Allocate a physically contiguous extent of at least `bytes`
+     * bytes (rounded up to pages).  Grows the reservation when needed.
+     *
+     * @return the byte offset of the extent, or nullopt when no
+     *         contiguous space exists (the API returns NULL)
+     */
+    std::optional<Addr> allocate(std::uint64_t bytes);
+
+    /** Free a previously allocated extent (coalesces neighbours). */
+    void release(Addr addr);
+
+    /** Bytes currently reserved from the region. */
+    std::uint64_t reservedBytes() const { return reservedBytes_; }
+    /** Bytes currently handed out to allocations. */
+    std::uint64_t allocatedBytes() const { return allocatedBytes_; }
+    /** Size of the largest free contiguous extent (reservable space
+     *  included). */
+    std::uint64_t largestFreeExtent() const;
+    /** Number of live allocations. */
+    std::size_t liveAllocations() const { return allocations_.size(); }
+    std::uint64_t regionBytes() const { return regionBytes_; }
+
+    /** Size in bytes of the allocation at addr (0 if unknown). */
+    std::uint64_t allocationSize(Addr addr) const;
+
+  private:
+    void grow(std::uint64_t min_bytes);
+    void insertFree(Addr addr, std::uint64_t bytes);
+
+    std::uint64_t regionBytes_;
+    DriverParams params_;
+    std::uint64_t reservedBytes_ = 0;
+    std::uint64_t allocatedBytes_ = 0;
+    /** Free extents within the reservation: offset -> size. */
+    std::map<Addr, std::uint64_t> freeList_;
+    /** Live allocations: offset -> size. */
+    std::map<Addr, std::uint64_t> allocations_;
+};
+
+} // namespace rime
+
+#endif // RIME_RIME_DRIVER_HH

@@ -1,0 +1,240 @@
+#include "operation.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace rime
+{
+
+RimeOperation::RimeOperation(RimeDevice &device, std::uint64_t begin,
+                             std::uint64_t end, bool find_max,
+                             Tick now)
+    : device_(device), begin_(begin), end_(end), findMax_(find_max),
+      creation_(now), remaining_(end > begin ? end - begin : 0)
+{
+    for (unsigned c = 0; c < device.totalChips(); ++c) {
+        const LocalRange lr = device.localRange(c, begin, end);
+        if (lr.lo >= lr.hi)
+            continue;
+        Stream stream;
+        stream.chip = c;
+        stream.lo = lr.lo;
+        stream.hi = lr.hi;
+        streams_.push_back(std::move(stream));
+        // The chip starts computing when the operation starts.
+        device_.setChipBusyUntil(c,
+            std::max(device_.chipBusyUntil(c), now));
+    }
+}
+
+void
+RimeOperation::peek(Stream &stream, Tick now)
+{
+    // Another operation sharing the range's exclusion latches (e.g.
+    // a max stream draining the same region) may have consumed a
+    // buffered candidate's row; the DIMM controller revalidates
+    // buffered entries against the latches.
+    auto &chip = device_.chip(stream.chip);
+    if (stream.head &&
+        chip.isExcluded(stream.lo, stream.hi,
+                        stream.head->localIndex)) {
+        stream.head.reset();
+        stream.inserts.clear();
+    }
+    std::erase_if(stream.inserts, [&](const Candidate &c) {
+        return chip.isExcluded(stream.lo, stream.hi, c.localIndex);
+    });
+    if (stream.head || stream.exhausted)
+        return;
+    const auto r = device_.chip(stream.chip)
+        .scan(stream.lo, stream.hi, findMax_);
+    // A fresh scan observes current memory: the insert buffer is
+    // subsumed and cleared.
+    stream.inserts.clear();
+    if (!r.found) {
+        stream.exhausted = true;
+        return;
+    }
+    // The chip computed this candidate as early as its pipeline
+    // allowed: after its previous scan, and no more than bufferDepth
+    // candidates ahead of host consumption.
+    const unsigned depth = std::max(1u, device_.config().bufferDepth);
+    Tick floor = creation_;
+    if (stream.recentConsumes.size() >= depth)
+        floor = stream.recentConsumes.front();
+    const Tick start = std::max({device_.chipBusyUntil(stream.chip),
+                                 floor});
+    const Tick done = start + r.time;
+    device_.setChipBusyUntil(stream.chip, done);
+
+    Candidate cand;
+    cand.raw = r.raw;
+    cand.encoded = encodeKey(r.raw, device_.wordBits(),
+                             device_.mode());
+    cand.localIndex = r.index;
+    cand.globalIndex = device_.globalIndex(stream.chip, r.index);
+    cand.readyAt = done + nsToTicks(device_.config().resultBurstNs);
+    // A candidate cannot be consumed before it was requested.
+    cand.readyAt = std::max(cand.readyAt, now);
+    stream.head = cand;
+}
+
+const RimeOperation::Candidate *
+RimeOperation::best(const Stream &stream) const
+{
+    // The insert buffer is only a sound source while a scan head
+    // bounds the rest of the chip's range: any remaining value
+    // better than the head must have arrived after the scan and is
+    // therefore in the buffer.  Without a head the next scan covers
+    // everything (and clears the buffer).
+    if (!stream.head)
+        return nullptr;
+    const Candidate *best_cand = &*stream.head;
+    for (const Candidate &ins : stream.inserts) {
+        if (!best_cand) {
+            best_cand = &ins;
+            continue;
+        }
+        const bool better = findMax_
+            ? (ins.encoded > best_cand->encoded ||
+               (ins.encoded == best_cand->encoded &&
+                ins.globalIndex < best_cand->globalIndex))
+            : (ins.encoded < best_cand->encoded ||
+               (ins.encoded == best_cand->encoded &&
+                ins.globalIndex < best_cand->globalIndex));
+        if (better)
+            best_cand = &ins;
+    }
+    return best_cand;
+}
+
+std::optional<RankedItem>
+RimeOperation::next(Tick &now)
+{
+    Tick ready = now;
+    Stream *winner_stream = nullptr;
+    const Candidate *winner = nullptr;
+    for (auto &stream : streams_) {
+        peek(stream, now);
+        const Candidate *cand = best(stream);
+        if (!cand)
+            continue;
+        ready = std::max(ready, cand->readyAt);
+        if (!winner) {
+            winner = cand;
+            winner_stream = &stream;
+            continue;
+        }
+        const bool better = findMax_
+            ? (cand->encoded > winner->encoded ||
+               (cand->encoded == winner->encoded &&
+                cand->globalIndex < winner->globalIndex))
+            : (cand->encoded < winner->encoded ||
+               (cand->encoded == winner->encoded &&
+                cand->globalIndex < winner->globalIndex));
+        if (better) {
+            winner = cand;
+            winner_stream = &stream;
+        }
+    }
+    if (!winner)
+        return std::nullopt;
+
+    device_.stats().inc("popWaitTicks",
+                        static_cast<double>(ready - now));
+    now = ready + nsToTicks(device_.config().hostMergeNs);
+    RankedItem item;
+    item.raw = winner->raw;
+    item.index = winner->globalIndex;
+
+    // Commit the winner's exclusion latch.
+    device_.chip(winner_stream->chip)
+        .exclude(winner_stream->lo, winner_stream->hi,
+                 winner->localIndex);
+    const unsigned depth = std::max(1u, device_.config().bufferDepth);
+    if (winner_stream->head &&
+        winner == &*winner_stream->head) {
+        // Consumed the scan candidate: the chip computes the next
+        // one (pipelined up to bufferDepth ahead).
+        winner_stream->head.reset();
+        winner_stream->recentConsumes.push_back(now);
+        while (winner_stream->recentConsumes.size() > depth)
+            winner_stream->recentConsumes.pop_front();
+    } else {
+        // Consumed from the insert buffer: a controller-local
+        // compare, no chip scan involved.
+        auto &ins = winner_stream->inserts;
+        for (auto it = ins.begin(); it != ins.end(); ++it) {
+            if (it->globalIndex == item.index) {
+                ins.erase(it);
+                break;
+            }
+        }
+    }
+    --remaining_;
+    device_.stats().inc("merges");
+    return item;
+}
+
+void
+RimeOperation::onStore(std::uint64_t index, std::uint64_t raw)
+{
+    if (index < begin_ || index >= end_)
+        return;
+    const ChipLoc loc = device_.locate(index);
+    for (auto &stream : streams_) {
+        if (stream.chip != loc.chip)
+            continue;
+        // A store to a row whose exclusion latch is set stays
+        // invisible until the next rime_init.
+        if (device_.chip(stream.chip)
+                .isExcluded(stream.lo, stream.hi, loc.local)) {
+            return;
+        }
+        // (An exhausted stream has every row excluded, so the
+        // isExcluded check above already returned.)
+        if (stream.head && stream.head->globalIndex == index) {
+            // The buffered candidate's own row was overwritten: the
+            // candidate is stale; rescan on the next peek.
+            stream.head.reset();
+            stream.inserts.clear();
+            return;
+        }
+        // Track (or replace) the insert-buffer entry for this row.
+        Candidate cand;
+        cand.raw = raw;
+        cand.encoded = encodeKey(raw, device_.wordBits(),
+                                 device_.mode());
+        cand.localIndex = loc.local;
+        cand.globalIndex = index;
+        cand.readyAt = 0; // already resident in the DIMM buffer
+        for (auto &existing : stream.inserts) {
+            if (existing.globalIndex == index) {
+                existing = cand;
+                return;
+            }
+        }
+        stream.inserts.push_back(cand);
+        // The insert buffer is small hardware; overflow falls back
+        // to invalidating the scan candidate (forcing a rescan).
+        constexpr std::size_t insertBufferEntries = 16;
+        if (stream.inserts.size() > insertBufferEntries) {
+            stream.head.reset();
+            stream.inserts.clear();
+        }
+        return;
+    }
+}
+
+void
+RimeOperation::onBulkStore()
+{
+    for (auto &stream : streams_) {
+        stream.head.reset();
+        stream.inserts.clear();
+        stream.exhausted = false;
+    }
+}
+
+} // namespace rime

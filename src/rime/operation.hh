@@ -1,0 +1,131 @@
+/**
+ * @file
+ * One active rank/sort/merge operation: the host-library side of the
+ * paper's Figure 14.
+ *
+ * After rime_init, every chip that holds part of the range computes
+ * candidate minima ahead of the host into the DIMM data buffers
+ * (section V), up to `bufferDepth` ahead of consumption.  The library
+ * keeps the head candidate of every chip, compares them on the CPU,
+ * emits the global winner, commits the winner's exclusion latch, and
+ * only then does the producing chip compute a replacement -- which
+ * overlaps with the host consuming the other chips' buffered
+ * candidates.  This is the mechanism behind RIME's flat,
+ * size-insensitive sort throughput.
+ *
+ * Scans are pure (exclusion is committed at consumption), so an
+ * ordinary store into the live range (e.g. a priority-queue insert)
+ * simply discards the affected chip's buffered candidate without
+ * losing any value.
+ */
+
+#ifndef RIME_RIME_OPERATION_HH
+#define RIME_RIME_OPERATION_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "rime/device.hh"
+
+namespace rime
+{
+
+/** One extracted value. */
+struct RankedItem
+{
+    std::uint64_t raw = 0;
+    /** Global value index (the item's address / rank origin). */
+    std::uint64_t index = 0;
+};
+
+/** Host-side state of one in-flight ranking operation. */
+class RimeOperation
+{
+  public:
+    /**
+     * @param device   the RIME device
+     * @param begin    first global value index of the range
+     * @param end      one past the last index
+     * @param find_max direction of the operation's extractions
+     * @param now      creation time (chips start computing here)
+     */
+    RimeOperation(RimeDevice &device, std::uint64_t begin,
+                  std::uint64_t end, bool find_max, Tick now);
+
+    /**
+     * Produce the next ranked value.
+     *
+     * @param now in/out simulation clock; advanced to the tick at
+     *            which the value is available to the application
+     */
+    std::optional<RankedItem> next(Tick &now);
+
+    /** Values of the range not yet produced. */
+    std::uint64_t remaining() const { return remaining_; }
+
+    /**
+     * A store landed at the given global index.  The DIMM controller
+     * observes write values on their way to the chips and compares
+     * them against its buffered scan candidates (a handful of
+     * comparators at the data buffers of section V), so an insert
+     * does not force a rescan: it is kept in a small per-chip insert
+     * buffer and merged with the scan results at the next rime_min.
+     * Only a store that overwrites the buffered candidate's own row
+     * invalidates the candidate.
+     */
+    void onStore(std::uint64_t index, std::uint64_t raw);
+
+    /** Invalidate all buffered candidates (bulk store). */
+    void onBulkStore();
+
+    std::uint64_t begin() const { return begin_; }
+    std::uint64_t end() const { return end_; }
+    bool findMax() const { return findMax_; }
+
+  private:
+    /** One chip's buffered head candidate. */
+    struct Candidate
+    {
+        std::uint64_t raw = 0;
+        std::uint64_t encoded = 0;
+        std::uint64_t localIndex = 0;
+        std::uint64_t globalIndex = 0;
+        Tick readyAt = 0;
+    };
+
+    /** Per-chip extraction stream. */
+    struct Stream
+    {
+        unsigned chip = 0;
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        std::optional<Candidate> head;
+        /**
+         * Values stored since the head was scanned, keyed by global
+         * index (the DIMM controller's insert buffer).  Cleared on
+         * every rescan, which observes current memory anyway.
+         */
+        std::vector<Candidate> inserts;
+        /** Recent consumption ticks (buffer-depth pipeline cap). */
+        std::deque<Tick> recentConsumes;
+        bool exhausted = false;
+    };
+
+    void peek(Stream &stream, Tick now);
+    /** Best candidate of a stream (head vs. insert buffer). */
+    const Candidate *best(const Stream &stream) const;
+
+    RimeDevice &device_;
+    std::uint64_t begin_;
+    std::uint64_t end_;
+    bool findMax_;
+    Tick creation_;
+    std::uint64_t remaining_;
+    std::vector<Stream> streams_;
+};
+
+} // namespace rime
+
+#endif // RIME_RIME_OPERATION_HH

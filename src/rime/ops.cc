@@ -1,0 +1,268 @@
+#include "ops.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace rime
+{
+
+namespace
+{
+
+/** RAII region: rime_malloc on entry, rime_free on exit. */
+class Region
+{
+  public:
+    Region(RimeLibrary &lib, std::uint64_t bytes)
+        : lib_(lib)
+    {
+        auto addr = lib.rimeMalloc(bytes);
+        if (!addr)
+            fatal("rime_malloc of %llu bytes failed (fragmentation)",
+                  static_cast<unsigned long long>(bytes));
+        start_ = *addr;
+        bytes_ = bytes;
+    }
+
+    ~Region() { lib_.rimeFree(start_); }
+
+    Region(const Region &) = delete;
+    Region &operator=(const Region &) = delete;
+
+    Addr start() const { return start_; }
+    Addr end() const { return start_ + bytes_; }
+
+  private:
+    RimeLibrary &lib_;
+    Addr start_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+/** Cost snapshot for computing per-kernel deltas. */
+struct CostMark
+{
+    Tick startTick;
+    PicoJoules startEnergy;
+
+    explicit CostMark(const RimeLibrary &lib)
+        : startTick(lib.now()), startEnergy(lib.energyPJ())
+    {}
+
+    void
+    settle(const RimeLibrary &lib, KernelResult &result) const
+    {
+        result.seconds = ticksToSeconds(lib.now() - startTick);
+        result.energyPJ = lib.energyPJ() - startEnergy;
+    }
+};
+
+} // namespace
+
+KernelResult
+rimeSort(RimeLibrary &lib, std::span<const std::uint64_t> raws,
+         KeyMode mode, unsigned word_bits, bool include_load)
+{
+    return rimeTopK(lib, raws, raws.size(), false, mode, word_bits,
+                    include_load);
+}
+
+KernelResult
+rimeTopK(RimeLibrary &lib, std::span<const std::uint64_t> raws,
+         std::uint64_t count, bool largest, KeyMode mode,
+         unsigned word_bits, bool include_load)
+{
+    KernelResult result;
+    const std::uint64_t bytes = raws.size() * (word_bits / 8);
+    if (bytes == 0)
+        return result;
+    Region region(lib, bytes);
+
+    // Configure the device mode first so the bulk store uses the
+    // operation's word width.
+    lib.rimeInit(region.start(), region.start(), mode, word_bits);
+    CostMark load_mark(lib);
+    lib.storeArray(region.start(), raws);
+    CostMark compute_mark(lib);
+
+    lib.rimeInit(region.start(), region.end(), mode, word_bits);
+    result.values.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        auto item = largest ? lib.rimeMax(region.start(), region.end())
+                            : lib.rimeMin(region.start(), region.end());
+        if (!item)
+            break;
+        result.values.push_back(item->raw);
+    }
+    (include_load ? load_mark : compute_mark).settle(lib, result);
+    return result;
+}
+
+std::optional<std::uint64_t>
+rimeKthSmallest(RimeLibrary &lib, std::span<const std::uint64_t> raws,
+                std::uint64_t k, KeyMode mode, unsigned word_bits)
+{
+    if (k == 0 || k > raws.size())
+        return std::nullopt;
+    auto result = rimeTopK(lib, raws, k, false, mode, word_bits);
+    if (result.values.size() < k)
+        return std::nullopt;
+    return result.values.back();
+}
+
+namespace
+{
+
+/** Shared scaffolding of merge and merge-join. */
+template <typename Emit>
+KernelResult
+mergeStreams(RimeLibrary &lib, std::span<const std::uint64_t> set_a,
+             std::span<const std::uint64_t> set_b, KeyMode mode,
+             unsigned word_bits, bool include_load, Emit &&emit)
+{
+    KernelResult result;
+    const unsigned wb = word_bits / 8;
+    if (set_a.empty() && set_b.empty())
+        return result;
+    Region ra(lib, std::max<std::uint64_t>(set_a.size(), 1) * wb);
+    Region rb(lib, std::max<std::uint64_t>(set_b.size(), 1) * wb);
+
+    lib.rimeInit(ra.start(), ra.start(), mode, word_bits);
+    CostMark load_mark(lib);
+    lib.storeArray(ra.start(), set_a);
+    lib.storeArray(rb.start(), set_b);
+    CostMark compute_mark(lib);
+
+    lib.rimeInit(ra.start(), ra.start() + set_a.size() * wb, mode,
+                 word_bits);
+    lib.rimeInit(rb.start(), rb.start() + set_b.size() * wb, mode,
+                 word_bits);
+
+    const Addr ea = ra.start() + set_a.size() * wb;
+    const Addr eb = rb.start() + set_b.size() * wb;
+    auto head_a = set_a.empty() ? std::nullopt
+                                : lib.rimeMin(ra.start(), ea);
+    auto head_b = set_b.empty() ? std::nullopt
+                                : lib.rimeMin(rb.start(), eb);
+    const unsigned k = word_bits;
+    auto enc = [k, mode](std::uint64_t raw) {
+        return encodeKey(raw, k, mode);
+    };
+    while (head_a || head_b) {
+        const bool take_a = head_a &&
+            (!head_b || enc(head_a->raw) <= enc(head_b->raw));
+        if (take_a) {
+            emit(result, head_a->raw, /*from_a=*/true,
+                 head_b ? std::optional<std::uint64_t>(head_b->raw)
+                        : std::nullopt);
+            head_a = lib.rimeMin(ra.start(), ea);
+        } else {
+            emit(result, head_b->raw, /*from_a=*/false,
+                 head_a ? std::optional<std::uint64_t>(head_a->raw)
+                        : std::nullopt);
+            head_b = lib.rimeMin(rb.start(), eb);
+        }
+    }
+    (include_load ? load_mark : compute_mark).settle(lib, result);
+    return result;
+}
+
+} // namespace
+
+KernelResult
+rimeMerge(RimeLibrary &lib, std::span<const std::uint64_t> set_a,
+          std::span<const std::uint64_t> set_b, KeyMode mode,
+          unsigned word_bits, bool include_load)
+{
+    return mergeStreams(
+        lib, set_a, set_b, mode, word_bits, include_load,
+        [](KernelResult &out, std::uint64_t raw, bool,
+           std::optional<std::uint64_t>) {
+            out.values.push_back(raw);
+        });
+}
+
+KernelResult
+rimeMergeK(RimeLibrary &lib,
+           std::span<const std::vector<std::uint64_t>> sets,
+           KeyMode mode, unsigned word_bits, bool include_load)
+{
+    KernelResult result;
+    const unsigned wb = word_bits / 8;
+    std::uint64_t total = 0;
+    for (const auto &set : sets)
+        total += set.size();
+    if (total == 0)
+        return result;
+
+    // One region per input set.
+    std::vector<std::unique_ptr<Region>> regions;
+    std::vector<std::pair<Addr, Addr>> ranges;
+    regions.reserve(sets.size());
+    for (const auto &set : sets) {
+        regions.push_back(std::make_unique<Region>(
+            lib, std::max<std::uint64_t>(set.size(), 1) * wb));
+        ranges.emplace_back(regions.back()->start(),
+                            regions.back()->start() +
+                                set.size() * wb);
+    }
+
+    lib.rimeInit(ranges.front().first, ranges.front().first, mode,
+                 word_bits);
+    CostMark load_mark(lib);
+    for (std::size_t i = 0; i < sets.size(); ++i)
+        lib.storeArray(ranges[i].first, sets[i]);
+    CostMark compute_mark(lib);
+    for (const auto &[begin, end] : ranges)
+        lib.rimeInit(begin, end, mode, word_bits);
+
+    // K-way merge over the concurrent min streams.
+    const unsigned k = word_bits;
+    std::vector<std::optional<RankedItem>> heads(sets.size());
+    for (std::size_t i = 0; i < sets.size(); ++i) {
+        if (!sets[i].empty())
+            heads[i] = lib.rimeMin(ranges[i].first, ranges[i].second);
+    }
+    result.values.reserve(total);
+    while (true) {
+        std::size_t best = sets.size();
+        std::uint64_t best_enc = 0;
+        for (std::size_t i = 0; i < sets.size(); ++i) {
+            if (!heads[i])
+                continue;
+            const std::uint64_t enc = encodeKey(heads[i]->raw, k,
+                                                mode);
+            if (best == sets.size() || enc < best_enc) {
+                best = i;
+                best_enc = enc;
+            }
+        }
+        if (best == sets.size())
+            break;
+        result.values.push_back(heads[best]->raw);
+        heads[best] = lib.rimeMin(ranges[best].first,
+                                  ranges[best].second);
+    }
+    (include_load ? load_mark : compute_mark).settle(lib, result);
+    return result;
+}
+
+KernelResult
+rimeMergeJoin(RimeLibrary &lib, std::span<const std::uint64_t> set_a,
+              std::span<const std::uint64_t> set_b, KeyMode mode,
+              unsigned word_bits, bool include_load)
+{
+    return mergeStreams(
+        lib, set_a, set_b, mode, word_bits, include_load,
+        [](KernelResult &out, std::uint64_t raw, bool,
+           std::optional<std::uint64_t> other_head) {
+            // Emit when the value exists in both streams: the taken
+            // head equals the other stream's current head.
+            if (other_head && raw == *other_head &&
+                (out.values.empty() || out.values.back() != raw)) {
+                out.values.push_back(raw);
+            }
+        });
+}
+
+} // namespace rime

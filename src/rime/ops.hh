@@ -1,0 +1,96 @@
+/**
+ * @file
+ * High-level ranking kernels built on the RIME API: full sort, top-k
+ * ranking, k-th order statistic, two-way merge, and merge-join
+ * (paper section III-B).  Each kernel reports the simulated elapsed
+ * time and device energy it consumed.
+ */
+
+#ifndef RIME_RIME_OPS_HH
+#define RIME_RIME_OPS_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "rime/api.hh"
+
+namespace rime
+{
+
+/** Output and cost of one kernel invocation. */
+struct KernelResult
+{
+    /** Raw output values in production order. */
+    std::vector<std::uint64_t> values;
+    /** Simulated elapsed seconds (excluding data generation). */
+    double seconds = 0.0;
+    /** Device energy consumed, picojoules. */
+    PicoJoules energyPJ = 0.0;
+    /** Values produced per second of simulated time. */
+    double
+    throughputKeysPerSec() const
+    {
+        return seconds > 0.0
+            ? static_cast<double>(values.size()) / seconds : 0.0;
+    }
+};
+
+/**
+ * Sort `raws` ascending (by the given mode's ordering) entirely
+ * in-situ: load, init, and stream N minima.
+ *
+ * @param include_load charge the bulk load into the elapsed time
+ */
+KernelResult rimeSort(RimeLibrary &lib,
+                      std::span<const std::uint64_t> raws,
+                      KeyMode mode, unsigned word_bits = 32,
+                      bool include_load = false);
+
+/** The `count` smallest (or largest) values, in order. */
+KernelResult rimeTopK(RimeLibrary &lib,
+                      std::span<const std::uint64_t> raws,
+                      std::uint64_t count, bool largest,
+                      KeyMode mode, unsigned word_bits = 32,
+                      bool include_load = false);
+
+/** The k-th smallest value (k = 1 is the minimum). */
+std::optional<std::uint64_t> rimeKthSmallest(
+    RimeLibrary &lib, std::span<const std::uint64_t> raws,
+    std::uint64_t k, KeyMode mode, unsigned word_bits = 32);
+
+/**
+ * Merge two value sets into one ordered stream (Figure 6): both sets
+ * are initialized as independent ranges and the library alternates
+ * min extractions, emitting the smaller head.
+ */
+KernelResult rimeMerge(RimeLibrary &lib,
+                       std::span<const std::uint64_t> set_a,
+                       std::span<const std::uint64_t> set_b,
+                       KeyMode mode, unsigned word_bits = 32,
+                       bool include_load = false);
+
+/**
+ * Merge-join (Figure 6's "join" output): the ordered stream of values
+ * that appear in both sets (each matching value emitted once).
+ */
+KernelResult rimeMergeJoin(RimeLibrary &lib,
+                           std::span<const std::uint64_t> set_a,
+                           std::span<const std::uint64_t> set_b,
+                           KeyMode mode, unsigned word_bits = 32,
+                           bool include_load = false);
+
+/**
+ * K-way merge (section III-B-3 allows "two (or more) data sets"):
+ * every set becomes an independent range and the library repeatedly
+ * takes the smallest head among the concurrent min streams.
+ */
+KernelResult rimeMergeK(
+    RimeLibrary &lib,
+    std::span<const std::vector<std::uint64_t>> sets, KeyMode mode,
+    unsigned word_bits = 32, bool include_load = false);
+
+} // namespace rime
+
+#endif // RIME_RIME_OPS_HH

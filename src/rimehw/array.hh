@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Bit-level model of a single 512x512 1T1R memristive subarray with the
+ * RIME periphery of Figure 7: a per-row select vector, bitwise column
+ * search producing a match vector (sensed bit XNOR the reference search
+ * bit), and the "all 0 or 1" load logic for selective row exclusion.
+ *
+ * Storage is column-major so a column search is a handful of word-wide
+ * AND operations against the select vector -- exactly the data-parallel
+ * structure of the physical selectline sensing.
+ */
+
+#ifndef RIME_RIMEHW_ARRAY_HH
+#define RIME_RIMEHW_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "rimehw/bitvector.hh"
+
+namespace rime::rimehw
+{
+
+/** Result of a bitwise column search over the selected rows. */
+struct ColumnSearchResult
+{
+    /** Selected rows whose cell matches the search bit. */
+    BitVector match{0};
+    /** At least one selected row matched. */
+    bool anyMatch = false;
+    /** At least one selected row did not match. */
+    bool anyMismatch = false;
+};
+
+/** One memristive subarray. */
+class RramArray
+{
+  public:
+    RramArray(unsigned rows, unsigned cols)
+        : rows_(rows), cols_(cols),
+          wordsPerCol_((rows + 63) / 64),
+          columns_(std::size_t(cols) * wordsPerCol_, 0)
+    {}
+
+    unsigned rows() const { return rows_; }
+    unsigned cols() const { return cols_; }
+
+    /** Read the stored bit of one cell. */
+    bool
+    cell(unsigned row, unsigned col) const
+    {
+        return (columns_[colBase(col) + (row >> 6)] >> (row & 63)) & 1;
+    }
+
+    /**
+     * Write a k-bit value into one row with the MSB at column
+     * `col_begin` (a row write in Figure 8c).
+     */
+    void
+    writeRowBits(unsigned row, unsigned col_begin, unsigned k,
+                 std::uint64_t value)
+    {
+        if (col_begin + k > cols_ || row >= rows_)
+            fatal("row write out of array bounds");
+        for (unsigned i = 0; i < k; ++i) {
+            const bool bit = (value >> (k - 1 - i)) & 1ULL;
+            setCell(row, col_begin + i, bit);
+        }
+    }
+
+    /** Read back a k-bit value written by writeRowBits. */
+    std::uint64_t
+    readRowBits(unsigned row, unsigned col_begin, unsigned k) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < k; ++i)
+            value = (value << 1) | (cell(row, col_begin + i) ? 1 : 0);
+        return value;
+    }
+
+    /**
+     * Bitwise column search (Figure 7): sense the selected cells of one
+     * column and XNOR against the reference search bit.
+     *
+     * @param col        physical column index
+     * @param search_bit the 1-bit search key
+     * @param select     current select vector (one bit per row)
+     */
+    ColumnSearchResult
+    columnSearch(unsigned col, bool search_bit,
+                 const BitVector &select) const
+    {
+        ColumnSearchResult result;
+        result.match = BitVector(rows_);
+        const std::uint64_t *col_words = &columns_[colBase(col)];
+        for (unsigned w = 0; w < wordsPerCol_; ++w) {
+            const std::uint64_t sel = select.word(w);
+            const std::uint64_t bits = col_words[w];
+            const std::uint64_t match =
+                sel & (search_bit ? bits : ~bits);
+            result.match.setWord(w, match);
+            if (match)
+                result.anyMatch = true;
+            if (sel & ~match)
+                result.anyMismatch = true;
+        }
+        return result;
+    }
+
+  private:
+    std::size_t
+    colBase(unsigned col) const
+    {
+        return std::size_t(col) * wordsPerCol_;
+    }
+
+    void
+    setCell(unsigned row, unsigned col, bool bit)
+    {
+        std::uint64_t &word = columns_[colBase(col) + (row >> 6)];
+        if (bit)
+            word |= 1ULL << (row & 63);
+        else
+            word &= ~(1ULL << (row & 63));
+    }
+
+    unsigned rows_;
+    unsigned cols_;
+    unsigned wordsPerCol_;
+    std::vector<std::uint64_t> columns_;
+};
+
+} // namespace rime::rimehw
+
+#endif // RIME_RIMEHW_ARRAY_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Abstract chip-level ranking backend.
+ *
+ * Two implementations exist with identical observable behaviour (the
+ * property tests enforce this): RimeChip, the bit-level array model,
+ * and FastRime, the O(N log N) model used for paper-scale sweeps.  The
+ * software stack (src/rime) is written against this interface.
+ */
+
+#ifndef RIME_RIMEHW_BACKEND_HH
+#define RIME_RIMEHW_BACKEND_HH
+
+#include <cstdint>
+
+#include "common/key_codec.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "rimehw/endurance.hh"
+#include "rimehw/params.hh"
+
+namespace rime::rimehw
+{
+
+/** Result of one in-situ min/max extraction. */
+struct ExtractResult
+{
+    bool found = false;
+    /** Raw stored bit pattern of the extracted value. */
+    std::uint64_t raw = 0;
+    /** Value index within the chip (the H-tree output address). */
+    std::uint64_t index = 0;
+    /** Column-search steps the scan consumed. */
+    unsigned steps = 0;
+    /** Latency of the extraction (scan + winner row read). */
+    Tick time = 0;
+};
+
+/** Chip-level in-situ ranking interface. */
+class RankBackend
+{
+  public:
+    virtual ~RankBackend() = default;
+
+    /** Set word width and data-type mode; clears any active range. */
+    virtual void configure(unsigned k, KeyMode mode) = 0;
+    virtual unsigned wordBits() const = 0;
+    virtual KeyMode mode() const = 0;
+
+    /** Number of k-bit values the chip can store. */
+    virtual std::uint64_t valueCapacity() const = 0;
+
+    /** Store a raw value; returns the write latency. */
+    virtual Tick writeValue(std::uint64_t index, std::uint64_t raw) = 0;
+
+    /** Read a stored value. */
+    virtual std::uint64_t readValue(std::uint64_t index) = 0;
+
+    /**
+     * Initialize indices [begin, end) for a new rank/sort/merge
+     * operation: clears the exclusion flags of the range (Figure 11's
+     * select-vector initialization).  Ranges of concurrently active
+     * operations must not overlap.
+     */
+    virtual Tick initRange(std::uint64_t begin, std::uint64_t end) = 0;
+
+    /**
+     * Scan [begin, end) for its current min (or max), skipping rows
+     * whose exclusion latch is set.  Pure: the winner is *not*
+     * excluded, so a scan result held in a DIMM buffer can be
+     * discarded (e.g. when a store lands in the range) without losing
+     * the value.  The begin/end addresses accompany every command (as
+     * in the rime_min API), so several disjoint ranges can progress
+     * concurrently.
+     */
+    virtual ExtractResult scan(std::uint64_t begin, std::uint64_t end,
+                               bool find_max = false) = 0;
+
+    /**
+     * Set the exclusion latch of one value index (the commit the
+     * library issues when it consumes a scanned candidate).
+     */
+    virtual void exclude(std::uint64_t begin, std::uint64_t end,
+                         std::uint64_t index) = 0;
+
+    /** Convenience: scan and immediately exclude the winner. */
+    ExtractResult
+    extract(std::uint64_t begin, std::uint64_t end,
+            bool find_max = false)
+    {
+        ExtractResult r = scan(begin, end, find_max);
+        if (r.found)
+            exclude(begin, end, r.index);
+        return r;
+    }
+
+    /** True when the index's exclusion latch is set. */
+    virtual bool isExcluded(std::uint64_t begin, std::uint64_t end,
+                            std::uint64_t index) = 0;
+
+    /** Values in [begin, end) not yet extracted. */
+    virtual std::uint64_t remainingInRange(std::uint64_t begin,
+                                           std::uint64_t end) = 0;
+
+    virtual const StatGroup &stats() const = 0;
+    virtual StatGroup &stats() = 0;
+    virtual const EnduranceTracker &endurance() const = 0;
+    virtual const RimeGeometry &geometry() const = 0;
+    virtual const RimeTimingParams &timing() const = 0;
+};
+
+} // namespace rime::rimehw
+
+#endif // RIME_RIMEHW_BACKEND_HH

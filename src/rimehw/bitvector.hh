@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A fixed-width packed bit vector used for select vectors, match
+ * vectors, and exclusion flags in the bit-level RIME array model.
+ */
+
+#ifndef RIME_RIMEHW_BITVECTOR_HH
+#define RIME_RIMEHW_BITVECTOR_HH
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace rime::rimehw
+{
+
+/** Packed vector of bits with word-parallel operations. */
+class BitVector
+{
+  public:
+    explicit BitVector(unsigned nbits = 0)
+        : nbits_(nbits), words_((nbits + 63) / 64, 0)
+    {}
+
+    unsigned size() const { return nbits_; }
+    unsigned numWords() const
+    { return static_cast<unsigned>(words_.size()); }
+
+    bool
+    test(unsigned pos) const
+    {
+        return (words_[pos >> 6] >> (pos & 63)) & 1ULL;
+    }
+
+    void
+    set(unsigned pos, bool value = true)
+    {
+        if (value)
+            words_[pos >> 6] |= 1ULL << (pos & 63);
+        else
+            words_[pos >> 6] &= ~(1ULL << (pos & 63));
+    }
+
+    /** Set bits [begin, end) to one. */
+    void
+    setRange(unsigned begin, unsigned end)
+    {
+        for (unsigned i = begin; i < end; ++i)
+            set(i, true);
+    }
+
+    void
+    clearAll()
+    {
+        for (auto &w : words_)
+            w = 0;
+    }
+
+    void
+    setAll()
+    {
+        for (auto &w : words_)
+            w = ~0ULL;
+        trim();
+    }
+
+    /** Number of set bits. */
+    unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (auto w : words_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : words_)
+            if (w)
+                return true;
+        return false;
+    }
+
+    /** Index of the lowest set bit, or size() when empty. */
+    unsigned
+    firstSet() const
+    {
+        for (unsigned wi = 0; wi < words_.size(); ++wi) {
+            if (words_[wi]) {
+                return wi * 64 + static_cast<unsigned>(
+                    std::countr_zero(words_[wi]));
+            }
+        }
+        return nbits_;
+    }
+
+    std::uint64_t word(unsigned i) const { return words_[i]; }
+    void setWord(unsigned i, std::uint64_t w) { words_[i] = w; }
+
+    BitVector &
+    operator&=(const BitVector &other)
+    {
+        for (unsigned i = 0; i < words_.size(); ++i)
+            words_[i] &= other.words_[i];
+        return *this;
+    }
+
+    BitVector &
+    operator|=(const BitVector &other)
+    {
+        for (unsigned i = 0; i < words_.size(); ++i)
+            words_[i] |= other.words_[i];
+        return *this;
+    }
+
+    /** this &= ~other (remove the bits set in other). */
+    BitVector &
+    andNot(const BitVector &other)
+    {
+        for (unsigned i = 0; i < words_.size(); ++i)
+            words_[i] &= ~other.words_[i];
+        return *this;
+    }
+
+    bool
+    operator==(const BitVector &other) const
+    {
+        return nbits_ == other.nbits_ && words_ == other.words_;
+    }
+
+  private:
+    /** Zero any bits beyond nbits_ in the last word. */
+    void
+    trim()
+    {
+        const unsigned rem = nbits_ & 63;
+        if (rem && !words_.empty())
+            words_.back() &= (1ULL << rem) - 1;
+    }
+
+    unsigned nbits_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace rime::rimehw
+
+#endif // RIME_RIMEHW_BITVECTOR_HH

@@ -1,0 +1,257 @@
+#include "chip.hh"
+
+#include "common/logging.hh"
+
+namespace rime::rimehw
+{
+
+RimeChip::RimeChip(const RimeGeometry &geometry,
+                   const RimeTimingParams &timing)
+    : geometry_(geometry), timing_(timing), stats_("rimechip"),
+      endurance_(512)
+{
+    arrays_.resize(std::size_t(geometry_.banksPerChip) *
+                   geometry_.subbanksPerBank);
+    configure(32, KeyMode::UnsignedFixed);
+}
+
+void
+RimeChip::configure(unsigned k, KeyMode mode)
+{
+    if (k == 0 || k > 64 || geometry_.arrayCols % k != 0)
+        fatal("unsupported word width %u for %u-column arrays",
+              k, geometry_.arrayCols);
+    k_ = k;
+    mode_ = mode;
+    unitsTotal_ = std::uint64_t(arrays_.size()) *
+        geometry_.slotsPerRow(k);
+    units_.clear();
+    units_.resize(unitsTotal_);
+    activeUnits_.clear();
+    rangeBegin_ = rangeEnd_ = 0;
+}
+
+std::uint64_t
+RimeChip::valueCapacity() const
+{
+    return unitsTotal_ * geometry_.arrayRows;
+}
+
+ArrayUnit &
+RimeChip::unit(std::uint64_t unit_id)
+{
+    if (unit_id >= unitsTotal_)
+        panic("unit id out of range");
+    if (!units_[unit_id]) {
+        const unsigned slots = geometry_.slotsPerRow(k_);
+        const std::uint64_t array_id = unit_id / slots;
+        const unsigned slot = static_cast<unsigned>(unit_id % slots);
+        if (!arrays_[array_id]) {
+            arrays_[array_id] = std::make_unique<RramArray>(
+                geometry_.arrayRows, geometry_.arrayCols);
+        }
+        units_[unit_id] = std::make_unique<ArrayUnit>(
+            arrays_[array_id].get(), slot, k_);
+    }
+    return *units_[unit_id];
+}
+
+Tick
+RimeChip::writeValue(std::uint64_t index, std::uint64_t raw)
+{
+    if (index >= valueCapacity())
+        fatal("value index %llu beyond chip capacity",
+              static_cast<unsigned long long>(index));
+    const std::uint64_t unit_id = index / geometry_.arrayRows;
+    const unsigned row =
+        static_cast<unsigned>(index % geometry_.arrayRows);
+    unit(unit_id).writeValue(row, raw);
+    stats_.inc("rowWrites");
+    stats_.inc("energyPJ", timing_.writeEnergy);
+    endurance_.recordWrite(index * ((k_ + 7) / 8), (k_ + 7) / 8);
+    return timing_.tWrite;
+}
+
+std::uint64_t
+RimeChip::readValue(std::uint64_t index)
+{
+    const std::uint64_t unit_id = index / geometry_.arrayRows;
+    const unsigned row =
+        static_cast<unsigned>(index % geometry_.arrayRows);
+    stats_.inc("rowReads");
+    stats_.inc("energyPJ", timing_.readEnergy);
+    return unit(unit_id).readValue(row);
+}
+
+Tick
+RimeChip::initRange(std::uint64_t begin, std::uint64_t end)
+{
+    if (end > valueCapacity() || begin > end)
+        fatal("bad range [%llu, %llu)",
+              static_cast<unsigned long long>(begin),
+              static_cast<unsigned long long>(end));
+    // Reset the exclusion latches of every row in the range.
+    selectRange(begin, end);
+    for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
+        const std::uint64_t rows = geometry_.arrayRows;
+        const std::uint64_t unit_base = (activeFirstUnit_ + i) * rows;
+        const unsigned begin_row = begin > unit_base
+            ? static_cast<unsigned>(begin - unit_base) : 0;
+        const unsigned end_row = end < unit_base + rows
+            ? static_cast<unsigned>(end - unit_base)
+            : static_cast<unsigned>(rows);
+        activeUnits_[i]->clearExclusions(begin_row, end_row);
+    }
+    stats_.inc("rangeInits");
+    // Select-vector initialization propagates begin/end down the
+    // H-tree and latches the per-row select bits: one tree traversal.
+    stats_.inc("energyPJ", timing_.stepEnergy() * 0.1);
+    return timing_.stepTime();
+}
+
+void
+RimeChip::selectRange(std::uint64_t begin, std::uint64_t end)
+{
+    if (begin == rangeBegin_ && end == rangeEnd_ &&
+        !activeUnits_.empty())
+        return;
+    rangeBegin_ = begin;
+    rangeEnd_ = end;
+    activeUnits_.clear();
+    if (begin >= end)
+        return;
+    const std::uint64_t rows = geometry_.arrayRows;
+    const std::uint64_t first_unit = begin / rows;
+    const std::uint64_t last_unit = (end - 1) / rows;
+    activeFirstUnit_ = first_unit;
+    for (std::uint64_t u = first_unit; u <= last_unit; ++u) {
+        ArrayUnit &au = unit(u);
+        const std::uint64_t unit_base = u * rows;
+        const unsigned begin_row = begin > unit_base
+            ? static_cast<unsigned>(begin - unit_base) : 0;
+        const unsigned end_row = end < unit_base + rows
+            ? static_cast<unsigned>(end - unit_base)
+            : static_cast<unsigned>(rows);
+        au.setRange(begin_row, end_row);
+        activeUnits_.push_back(&au);
+    }
+}
+
+std::uint64_t
+RimeChip::remainingInRange(std::uint64_t begin, std::uint64_t end)
+{
+    selectRange(begin, end);
+    std::uint64_t count = 0;
+    for (ArrayUnit *au : activeUnits_) {
+        au->beginExtraction();
+        count += au->survivorCount();
+    }
+    return count;
+}
+
+void
+RimeChip::exclude(std::uint64_t begin, std::uint64_t end,
+                  std::uint64_t index)
+{
+    if (index < begin || index >= end)
+        fatal("exclude index outside the range");
+    const std::uint64_t unit_id = index / geometry_.arrayRows;
+    const unsigned row =
+        static_cast<unsigned>(index % geometry_.arrayRows);
+    unit(unit_id).exclude(row);
+    stats_.inc("exclusions");
+}
+
+bool
+RimeChip::isExcluded(std::uint64_t begin, std::uint64_t end,
+                     std::uint64_t index)
+{
+    if (index < begin || index >= end)
+        fatal("index outside the range");
+    const std::uint64_t unit_id = index / geometry_.arrayRows;
+    const unsigned row =
+        static_cast<unsigned>(index % geometry_.arrayRows);
+    return unit(unit_id).isExcluded(row);
+}
+
+ExtractResult
+RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
+{
+    selectRange(begin, end);
+    ExtractResult result;
+    if (activeUnits_.empty())
+        return result;
+
+    // Load select latches: range minus previously extracted rows, and
+    // obtain the initial survivor count from the index tree.
+    std::uint64_t survivors = 0;
+    for (ArrayUnit *au : activeUnits_) {
+        au->beginExtraction();
+        survivors += au->survivorCount();
+    }
+    if (survivors == 0)
+        return result;
+
+    // Bit-serial scan, MSB first.  Each step performs a column search
+    // in every active unit; the controller combines the per-mat
+    // (anyMatch, anyMismatch) signals through the OR-reducing
+    // data/index tree and broadcasts the global exclusion decision.
+    bool negatives_present = false;
+    unsigned steps = 0;
+    if (survivors > 1 || !timing_.earlyTermination) {
+        for (unsigned s = 0; s < k_; ++s) {
+            const unsigned pos = k_ - 1 - s;
+            const bool search_bit = searchPolarity(
+                pos, k_, mode_, negatives_present, find_max);
+            bool any_match = false;
+            bool any_mismatch = false;
+            for (ArrayUnit *au : activeUnits_) {
+                const auto probe = au->probe(s, search_bit);
+                any_match = any_match || probe.anyMatch;
+                any_mismatch = any_mismatch || probe.anyMismatch;
+            }
+            const bool exclude = any_match && any_mismatch;
+            survivors = 0;
+            for (ArrayUnit *au : activeUnits_) {
+                au->commit(exclude);
+                survivors += au->survivorCount();
+            }
+            ++steps;
+            stats_.inc("columnSearches",
+                       static_cast<double>(activeUnits_.size()));
+            if (pos == k_ - 1) {
+                // Sign-step outcome tells the controller whether the
+                // survivors are negative (drives later polarity).
+                negatives_present =
+                    find_max ? !any_mismatch : any_mismatch;
+            }
+            if (survivors <= 1 && timing_.earlyTermination)
+                break;
+        }
+    }
+
+    // Priority-encode the winner: lowest unit, then lowest row.
+    for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
+        ArrayUnit *au = activeUnits_[i];
+        const unsigned row = au->firstSurvivor();
+        if (row >= au->rows())
+            continue;
+        const std::uint64_t index =
+            (activeFirstUnit_ + i) * geometry_.arrayRows + row;
+        result.found = true;
+        result.raw = au->readValue(row);
+        result.index = index;
+        result.steps = steps;
+        result.time = steps * timing_.stepTime() + timing_.tRead;
+        stats_.inc("extractions");
+        stats_.inc("scanSteps", steps);
+        stats_.inc("rowReads");
+        stats_.inc("energyPJ", steps * timing_.stepEnergy() +
+                   timing_.readEnergy);
+        stats_.inc("busyTicks", static_cast<double>(result.time));
+        return result;
+    }
+    panic("survivor count positive but no survivor found");
+}
+
+} // namespace rime::rimehw

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bit-level model of one RIME chip: 64 banks x 64 subbanks of 512x512
+ * subarrays organised into mats, a chip controller implementing the
+ * multi-mat exclusion protocol of section IV-B2, and the data/index
+ * H-tree acting as priority encoder and select-vector initializer.
+ *
+ * Value addressing: values of width k are laid out one per row within a
+ * slot group; value index -> (unit, row) with unit = index / rows and
+ * row = index % rows.  Units are ordered (bank, mat, array, slot), so
+ * priority encoding over (unit, row) equals address order -- the
+ * property the paper uses to guarantee stable sorting.
+ */
+
+#ifndef RIME_RIMEHW_CHIP_HH
+#define RIME_RIMEHW_CHIP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/key_codec.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "rimehw/array.hh"
+#include "rimehw/backend.hh"
+#include "rimehw/endurance.hh"
+#include "rimehw/params.hh"
+#include "rimehw/unit.hh"
+
+namespace rime::rimehw
+{
+
+/** One RIME chip (bit-level model). */
+class RimeChip : public RankBackend
+{
+  public:
+    RimeChip(const RimeGeometry &geometry = RimeGeometry{},
+             const RimeTimingParams &timing = RimeTimingParams{});
+
+    /**
+     * Set the word width and data-type mode for subsequent operations
+     * (performed by rime_init through the chip controller).  Resets any
+     * active range.
+     */
+    void configure(unsigned k, KeyMode mode) override;
+
+    unsigned wordBits() const override { return k_; }
+    KeyMode mode() const override { return mode_; }
+
+    /** Number of k-bit values the chip can store. */
+    std::uint64_t valueCapacity() const override;
+
+    /** Store a raw k-bit value (a row write; wears the cells). */
+    Tick writeValue(std::uint64_t index, std::uint64_t raw) override;
+
+    /** Read a stored value (a row read; no wear). */
+    std::uint64_t readValue(std::uint64_t index) override;
+
+    /**
+     * Start a new operation on value indices [begin, end): clears the
+     * range's exclusion flags (paper Figure 11).
+     */
+    Tick initRange(std::uint64_t begin, std::uint64_t end) override;
+
+    /**
+     * In-situ min (or max) over [begin, end), skipping rows with set
+     * exclusion latches.  Pure: does not exclude the winner.
+     */
+    ExtractResult scan(std::uint64_t begin, std::uint64_t end,
+                       bool find_max = false) override;
+
+    /** Set the exclusion latch of one value index. */
+    void exclude(std::uint64_t begin, std::uint64_t end,
+                 std::uint64_t index) override;
+
+    /** State of an index's exclusion latch. */
+    bool isExcluded(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t index) override;
+
+    /** Values in [begin, end) and not yet excluded. */
+    std::uint64_t remainingInRange(std::uint64_t begin,
+                                   std::uint64_t end) override;
+
+    const StatGroup &stats() const override { return stats_; }
+    StatGroup &stats() override { return stats_; }
+    const EnduranceTracker &endurance() const override
+    { return endurance_; }
+    const RimeGeometry &geometry() const override { return geometry_; }
+    const RimeTimingParams &timing() const override { return timing_; }
+
+    /** Total energy charged so far, picojoules. */
+    PicoJoules energyPJ() const { return stats_.get("energyPJ"); }
+
+  private:
+    ArrayUnit &unit(std::uint64_t unit_id);
+    /** Point the cached active-unit list at [begin, end). */
+    void selectRange(std::uint64_t begin, std::uint64_t end);
+
+    RimeGeometry geometry_;
+    RimeTimingParams timing_;
+    unsigned k_ = 32;
+    KeyMode mode_ = KeyMode::UnsignedFixed;
+    std::uint64_t unitsTotal_ = 0;
+    std::uint64_t rangeBegin_ = 0;
+    std::uint64_t rangeEnd_ = 0;
+
+    /** Lazily allocated subarrays (bank*subbanks + subbank). */
+    std::vector<std::unique_ptr<RramArray>> arrays_;
+    /** Lazily created scan units, indexed by unit id. */
+    std::vector<std::unique_ptr<ArrayUnit>> units_;
+    /** Units overlapping the active range, in address order. */
+    std::vector<ArrayUnit *> activeUnits_;
+    std::uint64_t activeFirstUnit_ = 0;
+
+    StatGroup stats_;
+    EnduranceTracker endurance_;
+};
+
+} // namespace rime::rimehw
+
+#endif // RIME_RIMEHW_CHIP_HH

@@ -1,0 +1,381 @@
+#include "fast_model.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace rime::rimehw
+{
+
+FastRime::FastRime(const RimeGeometry &geometry,
+                   const RimeTimingParams &timing)
+    : geometry_(geometry), timing_(timing), stats_("rimechip"),
+      endurance_(512)
+{
+    configure(32, KeyMode::UnsignedFixed);
+}
+
+void
+FastRime::configure(unsigned k, KeyMode mode)
+{
+    if (k == 0 || k > 64 || geometry_.arrayCols % k != 0)
+        fatal("unsupported word width %u for %u-column arrays",
+              k, geometry_.arrayCols);
+    k_ = k;
+    mode_ = mode;
+    ops_.clear();
+}
+
+std::uint64_t
+FastRime::valueCapacity() const
+{
+    return std::uint64_t(geometry_.banksPerChip) *
+        geometry_.subbanksPerBank * geometry_.slotsPerRow(k_) *
+        geometry_.arrayRows;
+}
+
+std::uint64_t
+FastRime::encoded(std::uint64_t index) const
+{
+    const std::uint64_t raw =
+        index < values_.size() ? values_[index] : 0;
+    return encodeKey(raw, k_, mode_);
+}
+
+Tick
+FastRime::writeValue(std::uint64_t index, std::uint64_t raw)
+{
+    if (index >= valueCapacity())
+        fatal("value index %llu beyond chip capacity",
+              static_cast<unsigned long long>(index));
+    const std::uint64_t old_encoded = encoded(index);
+    if (index >= values_.size())
+        values_.resize(index + 1, 0);
+    const std::uint64_t mask =
+        k_ >= 64 ? ~0ULL : ((1ULL << k_) - 1);
+    values_[index] = raw & mask;
+    stats_.inc("rowWrites");
+    stats_.inc("energyPJ", timing_.writeEnergy);
+    endurance_.recordWrite(index * ((k_ + 7) / 8), (k_ + 7) / 8);
+    applyLiveWrite(index, old_encoded, encoded(index));
+    return timing_.tWrite;
+}
+
+std::uint64_t
+FastRime::readValue(std::uint64_t index)
+{
+    stats_.inc("rowReads");
+    stats_.inc("energyPJ", timing_.readEnergy);
+    return index < values_.size() ? values_[index] : 0;
+}
+
+void
+FastRime::applyLiveWrite(std::uint64_t index,
+                         std::uint64_t old_encoded,
+                         std::uint64_t new_encoded)
+{
+    for (auto &kv : ops_) {
+        const std::uint64_t begin = kv.first.first;
+        const std::uint64_t end = kv.first.second;
+        OpState &state = kv.second;
+        if (index < begin || index >= end || !state.built)
+            continue;
+        if (state.excluded[index - begin]) {
+            // The row's exclusion latch is set: the new value stays
+            // invisible to this operation until the next rime_init.
+            continue;
+        }
+        // Retire the value the operation knew at this row.
+        const Entry old_entry{old_encoded, index};
+        if (auto it = state.overlay.find(old_entry);
+            it != state.overlay.end()) {
+            state.overlay.erase(it);
+        } else {
+            const auto pos = std::lower_bound(state.order.begin(),
+                                              state.order.end(),
+                                              old_entry);
+            if (pos == state.order.end() || *pos != old_entry)
+                panic("live write: stale entry not found");
+            state.taken[static_cast<std::size_t>(
+                pos - state.order.begin())] = 1;
+        }
+        state.overlay.insert(Entry{new_encoded, index});
+    }
+}
+
+void
+FastRime::invalidateOverlapping(std::uint64_t begin, std::uint64_t end)
+{
+    for (auto it = ops_.begin(); it != ops_.end();) {
+        const bool overlaps =
+            it->first.first < end && begin < it->first.second;
+        it = overlaps ? ops_.erase(it) : std::next(it);
+    }
+}
+
+Tick
+FastRime::initRange(std::uint64_t begin, std::uint64_t end)
+{
+    if (end > valueCapacity() || begin > end)
+        fatal("bad range [%llu, %llu)",
+              static_cast<unsigned long long>(begin),
+              static_cast<unsigned long long>(end));
+    invalidateOverlapping(begin, end);
+    ops_.emplace(RangeKey{begin, end}, OpState{});
+    stats_.inc("rangeInits");
+    stats_.inc("energyPJ", timing_.stepEnergy() * 0.1);
+    return timing_.stepTime();
+}
+
+FastRime::OpState &
+FastRime::op(std::uint64_t begin, std::uint64_t end)
+{
+    const RangeKey key{begin, end};
+    auto it = ops_.find(key);
+    if (it == ops_.end())
+        it = ops_.emplace(key, OpState{}).first;
+    if (!it->second.built)
+        buildOrder(key, it->second);
+    return it->second;
+}
+
+void
+FastRime::buildOrder(const RangeKey &key, OpState &state)
+{
+    const std::uint64_t n = key.second - key.first;
+    state.order.clear();
+    state.order.reserve(n);
+    for (std::uint64_t i = key.first; i < key.second; ++i)
+        state.order.emplace_back(encoded(i), i);
+    std::sort(state.order.begin(), state.order.end());
+    state.taken.assign(state.order.size(), 0);
+    state.excluded.assign(n, 0);
+    state.overlay.clear();
+    state.lo = 0;
+    state.hi = state.order.size();
+    state.remaining = n;
+    state.activeUnits = 0;
+    if (n > 0) {
+        const std::uint64_t rows = geometry_.arrayRows;
+        state.activeUnits =
+            (key.second - 1) / rows - key.first / rows + 1;
+    }
+    state.built = true;
+}
+
+std::uint64_t
+FastRime::remainingInRange(std::uint64_t begin, std::uint64_t end)
+{
+    if (begin >= end)
+        return 0;
+    return op(begin, end).remaining;
+}
+
+void
+FastRime::exclude(std::uint64_t begin, std::uint64_t end,
+                  std::uint64_t index)
+{
+    if (index < begin || index >= end)
+        fatal("exclude index outside the range");
+    OpState &state = op(begin, end);
+    if (state.excluded[index - begin])
+        return;
+    const Entry entry{encoded(index), index};
+    if (auto it = state.overlay.find(entry);
+        it != state.overlay.end()) {
+        state.overlay.erase(it);
+    } else {
+        const auto pos = std::lower_bound(state.order.begin(),
+                                          state.order.end(), entry);
+        if (pos == state.order.end() || *pos != entry)
+            panic("exclude: entry not found");
+        state.taken[static_cast<std::size_t>(
+            pos - state.order.begin())] = 1;
+    }
+    state.excluded[index - begin] = 1;
+    --state.remaining;
+    stats_.inc("exclusions");
+}
+
+bool
+FastRime::isExcluded(std::uint64_t begin, std::uint64_t end,
+                     std::uint64_t index)
+{
+    if (index < begin || index >= end)
+        fatal("index outside the range");
+    return op(begin, end).excluded[index - begin] != 0;
+}
+
+ExtractResult
+FastRime::scanResult(OpState &state, const Entry &winner,
+                     unsigned steps)
+{
+    if (!timing_.earlyTermination)
+        steps = k_; // ablation: no survivor-count tree
+    ExtractResult result;
+    result.found = true;
+    result.index = winner.second;
+    result.raw = result.index < values_.size()
+        ? values_[result.index] : 0;
+    result.steps = steps;
+    result.time = steps * timing_.stepTime() + timing_.tRead;
+    stats_.inc("extractions");
+    stats_.inc("scanSteps", steps);
+    stats_.inc("rowReads");
+    stats_.inc("columnSearches",
+               static_cast<double>(steps) *
+               static_cast<double>(state.activeUnits));
+    stats_.inc("energyPJ", steps * timing_.stepEnergy() +
+               timing_.readEnergy);
+    stats_.inc("busyTicks", static_cast<double>(result.time));
+    return result;
+}
+
+ExtractResult
+FastRime::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
+{
+    if (begin >= end)
+        return {};
+    OpState &state = op(begin, end);
+    if (state.remaining == 0)
+        return {};
+
+    if (!find_max) {
+        while (state.lo < state.hi && state.taken[state.lo])
+            ++state.lo;
+        const bool have_vec = state.lo < state.hi;
+        const bool have_ovl = !state.overlay.empty();
+        const Entry vec_head = have_vec ? state.order[state.lo]
+                                        : Entry{~0ULL, ~0ULL};
+        const Entry ovl_head = have_ovl ? *state.overlay.begin()
+                                        : Entry{~0ULL, ~0ULL};
+        const bool from_vec = have_vec &&
+            (!have_ovl || vec_head < ovl_head);
+        const Entry winner = from_vec ? vec_head : ovl_head;
+
+        unsigned steps = 0;
+        if (state.remaining > 1) {
+            // Runner-up: the other structure's head, or the winning
+            // structure's second entry, whichever is smaller.
+            Entry runner{~0ULL, ~0ULL};
+            if (from_vec) {
+                std::size_t second = state.lo + 1;
+                while (second < state.hi && state.taken[second])
+                    ++second;
+                if (second < state.hi)
+                    runner = state.order[second];
+                if (have_ovl && ovl_head < runner)
+                    runner = ovl_head;
+            } else {
+                auto it = std::next(state.overlay.begin());
+                if (it != state.overlay.end())
+                    runner = *it;
+                if (have_vec && vec_head < runner)
+                    runner = vec_head;
+            }
+            const unsigned lcp =
+                commonPrefixLength(winner.first, runner.first, k_);
+            steps = std::min(k_, lcp + 1);
+        }
+        return scanResult(state, winner, steps);
+    }
+
+    // ---- Max extraction.  Survivors of a full scan are all values
+    // equal to the maximum; the priority encoder picks the lowest
+    // address: the first untaken member of the top tie run across
+    // both structures.
+    while (state.hi > state.lo && state.taken[state.hi - 1])
+        --state.hi;
+    const bool have_vec = state.hi > state.lo;
+    const bool have_ovl = !state.overlay.empty();
+    const std::uint64_t vec_max =
+        have_vec ? state.order[state.hi - 1].first : 0;
+    const std::uint64_t ovl_max =
+        have_ovl ? state.overlay.rbegin()->first : 0;
+    const std::uint64_t emax = std::max(have_vec ? vec_max : 0,
+                                        have_ovl ? ovl_max : 0);
+
+    // Lowest-index tie member and tie count in the vector.
+    bool vec_winner_valid = false;
+    std::size_t vec_winner_pos = 0;
+    std::size_t tie_count = 0;
+    if (have_vec && vec_max == emax) {
+        std::size_t run_begin = state.hi - 1;
+        while (run_begin > state.lo &&
+               state.order[run_begin - 1].first == emax) {
+            --run_begin;
+        }
+        for (std::size_t p = run_begin; p < state.hi; ++p) {
+            if (!state.taken[p]) {
+                if (!vec_winner_valid) {
+                    vec_winner_valid = true;
+                    vec_winner_pos = p;
+                }
+                ++tie_count;
+            }
+        }
+    }
+    // Lowest-index tie member in the overlay.
+    auto ovl_it = state.overlay.end();
+    if (have_ovl && ovl_max == emax) {
+        ovl_it = state.overlay.lower_bound(Entry{emax, 0});
+        tie_count += static_cast<std::size_t>(
+            std::distance(ovl_it, state.overlay.end()));
+    }
+
+    const bool from_vec = vec_winner_valid &&
+        (ovl_it == state.overlay.end() ||
+         state.order[vec_winner_pos].second < ovl_it->second);
+    const Entry winner = from_vec ? state.order[vec_winner_pos]
+                                  : *ovl_it;
+
+    unsigned steps = 0;
+    if (state.remaining > 1)
+        steps = tie_count > 1 ? k_ : k_; // provisional; refined below
+    if (state.remaining > 1 && tie_count <= 1) {
+        // Unique maximum: the runner-up is the largest remaining
+        // value below emax in either structure.
+        std::uint64_t runner_enc = 0;
+        bool found_runner = false;
+        if (have_vec) {
+            // Last untaken vector entry with key < emax.
+            auto pos = std::lower_bound(
+                state.order.begin() + state.lo,
+                state.order.begin() + state.hi, Entry{emax, 0});
+            while (pos != state.order.begin() + state.lo) {
+                --pos;
+                const std::size_t p = static_cast<std::size_t>(
+                    pos - state.order.begin());
+                if (!state.taken[p]) {
+                    runner_enc = pos->first;
+                    found_runner = true;
+                    break;
+                }
+            }
+        }
+        if (have_ovl) {
+            auto below = state.overlay.lower_bound(Entry{emax, 0});
+            if (below != state.overlay.begin()) {
+                const std::uint64_t cand = std::prev(below)->first;
+                if (!found_runner || cand > runner_enc) {
+                    runner_enc = cand;
+                    found_runner = true;
+                }
+            }
+        }
+        if (found_runner) {
+            const unsigned lcp =
+                commonPrefixLength(emax, runner_enc, k_);
+            steps = std::min(k_, lcp + 1);
+        } else {
+            panic("max extraction: remaining > 1 but no runner-up");
+        }
+    }
+    if (state.remaining == 1)
+        steps = 0;
+
+    return scanResult(state, winner, steps);
+}
+
+} // namespace rime::rimehw

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * RIME device geometry, timing, energy, and area parameters from
+ * Table I and section VI-B of the paper.
+ *
+ * Geometry: 1 channel x 8 chips x 64 banks x 64 subbanks per chip,
+ * 512x512 SLC subarrays (1 Gb per chip), DDR4-1600-compatible
+ * interface, 20.54 mm^2 die.  Four subarrays share sense/drive
+ * circuitry and form a *mat* (section IV-B1).
+ *
+ * Timing: tRead 4.3 ns, tWrite 54.2 ns, tCompute 282.5 ns (one full
+ * k-step min/max computation localized to a chip), compute energy
+ * 51.3 nJ per chip.
+ */
+
+#ifndef RIME_RIMEHW_PARAMS_HH
+#define RIME_RIMEHW_PARAMS_HH
+
+#include <cstdint>
+
+#include "common/bitops.hh"
+#include "common/types.hh"
+
+namespace rime::rimehw
+{
+
+/** Geometry of one RIME channel. */
+struct RimeGeometry
+{
+    unsigned chipsPerChannel = 8;
+    unsigned banksPerChip = 64;
+    unsigned subbanksPerBank = 64; ///< one 512x512 subarray each
+    unsigned arraysPerMat = 4;
+    unsigned arrayRows = 512;
+    unsigned arrayCols = 512;
+
+    unsigned
+    matsPerBank() const
+    {
+        return subbanksPerBank / arraysPerMat;
+    }
+
+    /** Bits stored per subarray. */
+    std::uint64_t
+    bitsPerArray() const
+    {
+        return std::uint64_t(arrayRows) * arrayCols;
+    }
+
+    /** Bytes stored per chip (full density). */
+    std::uint64_t
+    bytesPerChip() const
+    {
+        return std::uint64_t(banksPerChip) * subbanksPerBank *
+            bitsPerArray() / 8;
+    }
+
+    /** Bytes per channel (all chips). */
+    std::uint64_t
+    bytesPerChannel() const
+    {
+        return bytesPerChip() * chipsPerChannel;
+    }
+
+    /**
+     * Values of width k bits stored per array row: the row's 512 cells
+     * host cols/k independent value slots (see DESIGN.md, "slot
+     * groups"; each slot participates in the reduction tree as its own
+     * leaf).
+     */
+    unsigned
+    slotsPerRow(unsigned k) const
+    {
+        return arrayCols / k;
+    }
+
+    /** Values of width k per subarray. */
+    std::uint64_t
+    valuesPerArray(unsigned k) const
+    {
+        return std::uint64_t(arrayRows) * slotsPerRow(k);
+    }
+};
+
+/** Timing and energy constants (Table I). */
+struct RimeTimingParams
+{
+    Tick tRead = nsToTicks(4.3);
+    Tick tWrite = nsToTicks(54.2);
+    /** One complete k-step min/max computation within a chip. */
+    Tick tCompute = nsToTicks(282.5);
+    /** Energy of one complete compute, per active chip (51.3 nJ). */
+    PicoJoules computeEnergyPerChip = 51300.0;
+    /** Energy of one row read / write per array. */
+    PicoJoules readEnergy = 210.0;
+    PicoJoules writeEnergy = 2600.0;
+    /** Reference word width used to derive per-step time/energy. */
+    unsigned referenceWordBits = 32;
+    /** DDR4-1600 interface burst parameters for result transfer. */
+    Tick busBurstTime = nsToTicks(5.0);
+    /**
+     * Stop a scan as soon as the survivor count reaches one (the
+     * tree-based count of section IV-B2).  Disabled only by the
+     * ablation study; a scan then always runs all k steps.
+     */
+    bool earlyTermination = true;
+
+    /** Duration of a single column-search step for k-bit words. */
+    Tick
+    stepTime() const
+    {
+        return tCompute / referenceWordBits;
+    }
+
+    /** Energy of a single column-search step per active chip. */
+    PicoJoules
+    stepEnergy() const
+    {
+        return computeEnergyPerChip / referenceWordBits;
+    }
+};
+
+/** Area model (section VI-B). */
+struct RimeAreaModel
+{
+    double dieAreaMm2 = 20.54;
+    /** Match-vector sensing overhead per mat. */
+    double matchVectorOverhead = 0.03;
+    /** Total per-mat overhead (latches, control, tree, muxes). */
+    double matOverhead = 0.08;
+    /** Total die overhead. */
+    double dieOverhead = 0.05;
+
+    double
+    overheadAreaMm2() const
+    {
+        return dieAreaMm2 * dieOverhead;
+    }
+};
+
+} // namespace rime::rimehw
+
+#endif // RIME_RIMEHW_PARAMS_HH

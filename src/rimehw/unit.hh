@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A logical scan unit: one slot group of one subarray, together with
+ * its select-vector latches, range mask, and exclusion flags.
+ *
+ * A k-bit word occupies k adjacent columns of the 512-wide subarray, so
+ * each subarray hosts cols/k independent slot groups.  Each slot group
+ * is a leaf of the data/index reduction tree (see DESIGN.md); the
+ * per-row select and exclusion latches of the paper's Figure 7 are
+ * modelled per slot group.
+ */
+
+#ifndef RIME_RIMEHW_UNIT_HH
+#define RIME_RIMEHW_UNIT_HH
+
+#include <cstdint>
+
+#include "rimehw/array.hh"
+#include "rimehw/bitvector.hh"
+
+namespace rime::rimehw
+{
+
+/** One slot group of one subarray participating in a scan. */
+class ArrayUnit
+{
+  public:
+    /**
+     * @param array the backing subarray
+     * @param slot  which slot group (column offset slot*k)
+     * @param k     word width in bits
+     */
+    ArrayUnit(RramArray *array, unsigned slot, unsigned k)
+        : array_(array), slot_(slot), k_(k),
+          range_(array->rows()), excluded_(array->rows()),
+          select_(array->rows()), lastMatch_(array->rows())
+    {}
+
+    unsigned rows() const { return array_->rows(); }
+    unsigned slot() const { return slot_; }
+
+    /** Store a raw k-bit word at the given row of this slot group. */
+    void
+    writeValue(unsigned row, std::uint64_t raw)
+    {
+        array_->writeRowBits(row, slot_ * k_, k_, raw);
+    }
+
+    /** Read back the raw word at the given row. */
+    std::uint64_t
+    readValue(unsigned row) const
+    {
+        return array_->readRowBits(row, slot_ * k_, k_);
+    }
+
+    /**
+     * Route the operation's address range to this unit (Figure 11):
+     * rows [begin, end) participate in subsequent scans.
+     */
+    void
+    setRange(unsigned begin, unsigned end)
+    {
+        range_.clearAll();
+        range_.setRange(begin, end);
+    }
+
+    /**
+     * Reset the exclusion latches of rows [begin, end), performed by
+     * rime_init when a new operation starts on the range.
+     */
+    void
+    clearExclusions(unsigned begin, unsigned end)
+    {
+        for (unsigned r = begin; r < end; ++r)
+            excluded_.set(r, false);
+    }
+
+    /** Load select latches for a new extraction: range minus excluded. */
+    void
+    beginExtraction()
+    {
+        select_ = range_;
+        select_.andNot(excluded_);
+    }
+
+    /**
+     * One bitwise column search step.  Records the match vector for a
+     * subsequent commit() and reports the two per-mat signals the chip
+     * controller consumes (section IV-B2).
+     *
+     * @param step_from_msb 0 scans the MSB column
+     * @param search_bit    the reference bit; matching rows are the
+     *                      exclusion candidates
+     */
+    ColumnSearchResult
+    probe(unsigned step_from_msb, bool search_bit)
+    {
+        auto result = array_->columnSearch(slot_ * k_ + step_from_msb,
+                                           search_bit, select_);
+        lastMatch_ = result.match;
+        return result;
+    }
+
+    /**
+     * Apply the controller's global exclusion decision: when asserted,
+     * the match vector is loaded into the select latches (turning 1s
+     * into 0s for the matched rows).
+     */
+    void
+    commit(bool global_exclude)
+    {
+        if (global_exclude)
+            select_.andNot(lastMatch_);
+    }
+
+    /** Rows still selected. */
+    unsigned survivorCount() const { return select_.count(); }
+
+    /** Lowest selected row (priority encoding), rows() when none. */
+    unsigned firstSurvivor() const { return select_.firstSet(); }
+
+    /** Flag a row so later extractions of this operation skip it. */
+    void exclude(unsigned row) { excluded_.set(row, true); }
+
+    /** State of a row's exclusion latch. */
+    bool isExcluded(unsigned row) const { return excluded_.test(row); }
+
+    /** True if the row is inside the initialized range. */
+    bool inRange(unsigned row) const { return range_.test(row); }
+
+    const BitVector &select() const { return select_; }
+
+  private:
+    RramArray *array_;
+    unsigned slot_;
+    unsigned k_;
+    BitVector range_;
+    BitVector excluded_;
+    BitVector select_;
+    BitVector lastMatch_;
+};
+
+} // namespace rime::rimehw
+
+#endif // RIME_RIMEHW_UNIT_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Turns a (sorting algorithm, data size, core count) triple into a
+ * cpusim::WorkloadProfile by *measuring* below-cache traffic with the
+ * real cache simulator on a sampled run and scaling by per-algorithm
+ * pass counts (the scaling laws are validated against full simulation
+ * at small sizes; see tests/sort).
+ *
+ * Parallel execution follows the standard structure of the
+ * high-performance kernels the paper evaluates: a local phase (each
+ * core sorts its N/P partition against its 1/P share of the shared
+ * L2) plus a cross-core combining phase (merge rounds, partition
+ * exchange, or bucket redistribution depending on the algorithm).
+ */
+
+#ifndef RIME_SORT_PARALLEL_MODEL_HH
+#define RIME_SORT_PARALLEL_MODEL_HH
+
+#include <cstdint>
+
+#include "cachesim/cache.hh"
+#include "cpusim/multicore_model.hh"
+#include "memsim/bandwidth_probe.hh"
+#include "sort/sorters.hh"
+
+namespace rime::sort
+{
+
+/** Traffic and instruction profile of one parallel sort execution. */
+struct SortProfile
+{
+    /** Below-cache block reads / writes, whole execution. */
+    double memReads = 0;
+    double memWrites = 0;
+    double instructions = 0;
+    memsim::AccessPattern pattern = memsim::AccessPattern::Sequential;
+    double baseIpc = 2.0;
+    double mlp = 4.0;
+    /** Keys actually pushed through the cache simulator. */
+    std::uint64_t simulatedKeys = 0;
+    bool extrapolated = false;
+};
+
+/** Sampled-simulation traffic model for the baseline sorts. */
+class SortModel
+{
+  public:
+    struct Config
+    {
+        /** Largest per-core partition simulated exactly. */
+        std::uint64_t sampleCap = 4ULL << 20;
+        cachesim::CacheConfig l1 = cachesim::CacheConfig::l1d();
+        cachesim::CacheConfig l2 = cachesim::CacheConfig::l2();
+        std::uint64_t seed = 42;
+    };
+
+    SortModel() = default;
+    explicit SortModel(const Config &config)
+        : config_(config)
+    {}
+
+    /**
+     * Profile sorting `n` uniform-random 32-bit keys on `cores` cores.
+     */
+    SortProfile profile(Algorithm algo, std::uint64_t n,
+                        unsigned cores) const;
+
+    /** Convert a profile to the multicore model's input. */
+    cpusim::WorkloadProfile
+    workloadProfile(Algorithm algo, std::uint64_t n,
+                    unsigned cores) const
+    {
+        const SortProfile p = profile(algo, n, cores);
+        cpusim::WorkloadProfile w;
+        w.name = algorithmName(algo);
+        w.instructions = p.instructions;
+        w.memReads = p.memReads;
+        w.memWrites = p.memWrites;
+        w.baseIpc = p.baseIpc;
+        w.mlp = p.mlp;
+        w.parallelFraction = 0.98;
+        return w;
+    }
+
+    /** Per-algorithm DRAM-visible pass count at a working set. */
+    static double passes(Algorithm algo, std::uint64_t keys,
+                         std::uint64_t cache_bytes);
+
+    const Config &config() const { return config_; }
+
+  private:
+    Config config_{};
+};
+
+} // namespace rime::sort
+
+#endif // RIME_SORT_PARALLEL_MODEL_HH

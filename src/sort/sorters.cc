@@ -1,0 +1,280 @@
+#include "sorters.hh"
+
+#include <algorithm>
+#include <utility>
+
+namespace rime::sort
+{
+
+namespace
+{
+
+using Traced = TracedArray<std::uint32_t>;
+
+/** Bottom-up mergesort with an auxiliary buffer. */
+SortOpCounts
+mergesort(Traced &a, Traced &aux)
+{
+    SortOpCounts ops;
+    const std::size_t n = a.size();
+    if (n < 2)
+        return ops;
+
+    Traced *src = &a;
+    Traced *dst = &aux;
+    for (std::size_t width = 1; width < n; width *= 2) {
+        ++ops.passes;
+        for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+            const std::size_t mid = std::min(lo + width, n);
+            const std::size_t hi = std::min(lo + 2 * width, n);
+            std::size_t i = lo;
+            std::size_t j = mid;
+            std::size_t k = lo;
+            while (i < mid && j < hi) {
+                const std::uint32_t vi = src->get(i);
+                const std::uint32_t vj = src->get(j);
+                ++ops.comparisons;
+                if (vi <= vj) {
+                    dst->set(k++, vi);
+                    ++i;
+                } else {
+                    dst->set(k++, vj);
+                    ++j;
+                }
+                ++ops.moves;
+            }
+            while (i < mid) {
+                dst->set(k++, src->get(i++));
+                ++ops.moves;
+            }
+            while (j < hi) {
+                dst->set(k++, src->get(j++));
+                ++ops.moves;
+            }
+        }
+        std::swap(src, dst);
+    }
+    if (src != &a) {
+        // Final copy back into the input array.
+        for (std::size_t i = 0; i < n; ++i) {
+            a.set(i, src->get(i));
+            ++ops.moves;
+        }
+    }
+    return ops;
+}
+
+constexpr std::size_t quicksortCutoff = 16;
+
+/** Insertion sort for small quicksort partitions. */
+void
+insertionSort(Traced &a, std::size_t lo, std::size_t hi,
+              SortOpCounts &ops)
+{
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+        const std::uint32_t v = a.get(i);
+        std::size_t j = i;
+        while (j > lo) {
+            const std::uint32_t u = a.get(j - 1);
+            ++ops.comparisons;
+            if (u <= v)
+                break;
+            a.set(j, u);
+            ++ops.moves;
+            --j;
+        }
+        a.set(j, v);
+        ++ops.moves;
+    }
+}
+
+/** Hoare-style quicksort with median-of-three pivots. */
+void
+quicksortRec(Traced &a, std::size_t lo, std::size_t hi,
+             SortOpCounts &ops)
+{
+    while (hi - lo > quicksortCutoff) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        std::uint32_t p0 = a.get(lo);
+        std::uint32_t p1 = a.get(mid);
+        std::uint32_t p2 = a.get(hi - 1);
+        ops.comparisons += 3;
+        // Median of three.
+        const std::uint32_t pivot =
+            std::max(std::min(p0, p1), std::min(std::max(p0, p1), p2));
+
+        std::size_t i = lo;
+        std::size_t j = hi - 1;
+        while (true) {
+            while (true) {
+                ++ops.comparisons;
+                if (a.get(i) >= pivot)
+                    break;
+                ++i;
+            }
+            while (true) {
+                ++ops.comparisons;
+                if (a.get(j) <= pivot)
+                    break;
+                --j;
+            }
+            if (i >= j)
+                break;
+            const std::uint32_t vi = a.get(i);
+            const std::uint32_t vj = a.get(j);
+            a.set(i, vj);
+            a.set(j, vi);
+            ops.moves += 2;
+            ++i;
+            if (j > 0)
+                --j;
+        }
+        // Guard against an empty right side (pivot is a unique max
+        // sitting at hi-1): shrink so both sides make progress.
+        if (j == hi - 1)
+            --j;
+        const std::size_t split = j + 1;
+        // Recurse on the smaller side, iterate on the larger.
+        if (split - lo < hi - split) {
+            quicksortRec(a, lo, split, ops);
+            lo = split;
+        } else {
+            quicksortRec(a, split, hi, ops);
+            hi = split;
+        }
+    }
+    insertionSort(a, lo, hi, ops);
+}
+
+SortOpCounts
+quicksort(Traced &a)
+{
+    SortOpCounts ops;
+    if (a.size() > 1)
+        quicksortRec(a, 0, a.size(), ops);
+    ops.passes = 1;
+    return ops;
+}
+
+/** LSD radixsort with 8-bit digits and a scratch buffer. */
+SortOpCounts
+radixsort(Traced &a, Traced &aux)
+{
+    SortOpCounts ops;
+    const std::size_t n = a.size();
+    if (n < 2)
+        return ops;
+
+    Traced *src = &a;
+    Traced *dst = &aux;
+    for (unsigned pass = 0; pass < 4; ++pass) {
+        ++ops.passes;
+        const unsigned shift = pass * 8;
+        std::size_t count[257] = {};
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t v = src->get(i);
+            ++count[((v >> shift) & 0xFF) + 1];
+        }
+        for (unsigned d = 0; d < 256; ++d)
+            count[d + 1] += count[d];
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t v = src->get(i);
+            dst->set(count[(v >> shift) & 0xFF]++, v);
+            ops.moves += 1;
+        }
+        std::swap(src, dst);
+    }
+    // Four passes: the data is back in `a`.
+    ops.comparisons = 0;
+    return ops;
+}
+
+/** Classic in-place heapsort. */
+SortOpCounts
+heapsort(Traced &a)
+{
+    SortOpCounts ops;
+    const std::size_t n = a.size();
+    if (n < 2)
+        return ops;
+
+    auto sift_down = [&](std::size_t start, std::size_t end) {
+        std::size_t root = start;
+        const std::uint32_t value = a.get(root);
+        while (2 * root + 1 < end) {
+            std::size_t child = 2 * root + 1;
+            std::uint32_t cv = a.get(child);
+            if (child + 1 < end) {
+                const std::uint32_t rv = a.get(child + 1);
+                ++ops.comparisons;
+                if (rv > cv) {
+                    ++child;
+                    cv = rv;
+                }
+            }
+            ++ops.comparisons;
+            if (value >= cv)
+                break;
+            a.set(root, cv);
+            ++ops.moves;
+            root = child;
+        }
+        a.set(root, value);
+        ++ops.moves;
+    };
+
+    for (std::size_t start = n / 2; start-- > 0;)
+        sift_down(start, n);
+    for (std::size_t end = n; end-- > 1;) {
+        const std::uint32_t top = a.get(0);
+        const std::uint32_t last = a.get(end);
+        a.set(end, top);
+        a.set(0, last);
+        ops.moves += 2;
+        sift_down(0, end);
+    }
+    ops.passes = 1;
+    return ops;
+}
+
+} // namespace
+
+const char *
+algorithmName(Algorithm algo)
+{
+    switch (algo) {
+      case Algorithm::Mergesort: return "M/S";
+      case Algorithm::Quicksort: return "Q/S";
+      case Algorithm::Radixsort: return "R/S";
+      case Algorithm::Heapsort:  return "H/S";
+    }
+    return "?";
+}
+
+SortOpCounts
+runSort(Algorithm algo, Keys &keys, Addr base, AccessSink &sink,
+        unsigned core, Addr scratch_base)
+{
+    Traced a(std::span<std::uint32_t>(keys), base, &sink, core);
+    switch (algo) {
+      case Algorithm::Mergesort: {
+        Keys scratch(keys.size());
+        Traced aux(std::span<std::uint32_t>(scratch), scratch_base,
+                   &sink, core);
+        return mergesort(a, aux);
+      }
+      case Algorithm::Quicksort:
+        return quicksort(a);
+      case Algorithm::Radixsort: {
+        Keys scratch(keys.size());
+        Traced aux(std::span<std::uint32_t>(scratch), scratch_base,
+                   &sink, core);
+        return radixsort(a, aux);
+      }
+      case Algorithm::Heapsort:
+        return heapsort(a);
+    }
+    return {};
+}
+
+} // namespace rime::sort

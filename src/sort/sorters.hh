@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Instrumented implementations of the paper's four baseline sorting
+ * algorithms (section II-B): mergesort (M/S), quicksort (Q/S),
+ * radixsort (R/S), and heapsort (H/S).  Each sorter works on a
+ * TracedArray so the exact address stream reaches the cache model,
+ * and counts its abstract operations (comparisons, moves, digit
+ * passes) for the instruction model.
+ */
+
+#ifndef RIME_SORT_SORTERS_HH
+#define RIME_SORT_SORTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sort/traced_array.hh"
+
+namespace rime::sort
+{
+
+/** Baseline algorithm selector. */
+enum class Algorithm : std::uint8_t
+{
+    Mergesort,
+    Quicksort,
+    Radixsort,
+    Heapsort,
+};
+
+/** Short paper-style name (M/S, Q/S, R/S, H/S). */
+const char *algorithmName(Algorithm algo);
+/** All four baseline algorithms. */
+inline constexpr Algorithm allAlgorithms[] = {
+    Algorithm::Mergesort, Algorithm::Quicksort,
+    Algorithm::Radixsort, Algorithm::Heapsort,
+};
+
+/** Abstract operation counts of one sort execution. */
+struct SortOpCounts
+{
+    std::uint64_t comparisons = 0;
+    std::uint64_t moves = 0;
+    std::uint64_t passes = 0;
+
+    /**
+     * Dynamic instruction estimate: loop/index overhead folded into
+     * per-comparison and per-move factors calibrated against -O3
+     * builds of the textbook implementations.
+     */
+    double
+    instructions() const
+    {
+        return 4.0 * static_cast<double>(comparisons) +
+            3.0 * static_cast<double>(moves);
+    }
+};
+
+using Keys = std::vector<std::uint32_t>;
+
+/**
+ * Sort `keys` ascending in place using the selected algorithm,
+ * reporting accesses to `sink` as core `core`.
+ *
+ * @param scratch_base simulated address of the auxiliary buffer
+ *                     (merge/radix need one)
+ */
+SortOpCounts runSort(Algorithm algo, Keys &keys, Addr base,
+                     AccessSink &sink, unsigned core = 0,
+                     Addr scratch_base = 1ULL << 32);
+
+} // namespace rime::sort
+
+#endif // RIME_SORT_SORTERS_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * An array wrapper that reports every element access to an
+ * AccessSink, so the baseline algorithms generate real address
+ * streams for the cache/memory simulators.
+ */
+
+#ifndef RIME_SORT_TRACED_ARRAY_HH
+#define RIME_SORT_TRACED_ARRAY_HH
+
+#include <cstdint>
+#include <span>
+
+#include "sort/access_sink.hh"
+
+namespace rime::sort
+{
+
+/** Traced view over a contiguous key array. */
+template <typename T>
+class TracedArray
+{
+  public:
+    /**
+     * @param data the backing storage
+     * @param base simulated base address of element 0
+     * @param sink access receiver (never null)
+     * @param core issuing core id
+     */
+    TracedArray(std::span<T> data, Addr base, AccessSink *sink,
+                unsigned core = 0)
+        : data_(data), base_(base), sink_(sink), core_(core)
+    {}
+
+    std::size_t size() const { return data_.size(); }
+    Addr base() const { return base_; }
+    void setCore(unsigned core) { core_ = core; }
+
+    T
+    get(std::size_t i) const
+    {
+        sink_->access(core_, base_ + i * sizeof(T), AccessType::Read);
+        return data_[i];
+    }
+
+    void
+    set(std::size_t i, T value)
+    {
+        sink_->access(core_, base_ + i * sizeof(T), AccessType::Write);
+        data_[i] = value;
+    }
+
+    /** Untracked view of the raw storage (for verification only). */
+    std::span<T> raw() { return data_; }
+
+  private:
+    std::span<T> data_;
+    Addr base_;
+    AccessSink *sink_;
+    unsigned core_;
+};
+
+} // namespace rime::sort
+
+#endif // RIME_SORT_TRACED_ARRAY_HH

@@ -1,0 +1,185 @@
+#include "astar.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "common/key_codec.hh"
+#include "workloads/rime_pq.hh"
+#include "workloads/traced_heap.hh"
+
+namespace rime::workloads
+{
+
+namespace
+{
+
+constexpr float inf = std::numeric_limits<float>::infinity();
+constexpr Addr gridBase = 0x10000000;
+constexpr Addr gBase = 0x20000000;
+constexpr Addr heapBase = 0x30000000;
+
+std::uint64_t
+packKey(float f, std::uint32_t cell)
+{
+    const std::uint64_t enc = encodeKey(floatToRaw(f), 32,
+                                        KeyMode::Float);
+    return (enc << 32) | cell;
+}
+
+float
+manhattan(const GridMap &grid, std::uint32_t a, std::uint32_t b)
+{
+    const auto ax = static_cast<std::int64_t>(a % grid.width);
+    const auto ay = static_cast<std::int64_t>(a / grid.width);
+    const auto bx = static_cast<std::int64_t>(b % grid.width);
+    const auto by = static_cast<std::int64_t>(b / grid.width);
+    return static_cast<float>(std::llabs(ax - bx) +
+                              std::llabs(ay - by));
+}
+
+/** Shared A* skeleton over an abstract open list. */
+template <typename Push, typename Pop>
+AStarResult
+astarLoop(const GridMap &grid, std::uint32_t start,
+          std::uint32_t goal, PqWorkloadCounts &counts, Push &&push,
+          Pop &&pop, sort::AccessSink *sink)
+{
+    AStarResult result;
+    std::vector<float> g(grid.passable.size(), inf);
+    std::vector<std::uint8_t> closed(grid.passable.size(), 0);
+    g[start] = 0.0f;
+    push(manhattan(grid, start, goal), start);
+    ++counts.pushes;
+
+    const std::int32_t dx[] = {1, -1, 0, 0};
+    const std::int32_t dy[] = {0, 0, 1, -1};
+    while (true) {
+        const auto entry = pop();
+        if (!entry)
+            break;
+        ++counts.pops;
+        const std::uint32_t u = entry->second;
+        if (sink)
+            sink->access(0, gBase + u * 4ULL, AccessType::Read);
+        if (closed[u])
+            continue; // stale open-list entry
+        closed[u] = 1;
+        ++result.expanded;
+        if (u == goal) {
+            result.reached = true;
+            result.pathCost = g[u];
+            break;
+        }
+        const std::uint32_t ux = u % grid.width;
+        const std::uint32_t uy = u / grid.width;
+        for (int d = 0; d < 4; ++d) {
+            const std::int64_t nx = std::int64_t(ux) + dx[d];
+            const std::int64_t ny = std::int64_t(uy) + dy[d];
+            if (nx < 0 || ny < 0 ||
+                nx >= static_cast<std::int64_t>(grid.width) ||
+                ny >= static_cast<std::int64_t>(grid.height)) {
+                continue;
+            }
+            const auto v = grid.cellId(
+                static_cast<std::uint32_t>(nx),
+                static_cast<std::uint32_t>(ny));
+            if (sink)
+                sink->access(0, gridBase + v, AccessType::Read);
+            ++counts.edgeScans;
+            if (!grid.passable[v] || closed[v])
+                continue;
+            const float cand = g[u] + 1.0f;
+            if (sink)
+                sink->access(0, gBase + v * 4ULL, AccessType::Read);
+            if (cand < g[v]) {
+                g[v] = cand;
+                if (sink)
+                    sink->access(0, gBase + v * 4ULL,
+                                 AccessType::Write);
+                push(cand + manhattan(grid, v, goal), v);
+                ++counts.pushes;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+GridMap
+randomGrid(std::uint32_t width, std::uint32_t height,
+           double obstacle_fraction, std::uint64_t seed)
+{
+    GridMap grid;
+    grid.width = width;
+    grid.height = height;
+    grid.passable.assign(std::size_t(width) * height, 1);
+    Rng rng(seed);
+    for (auto &cell : grid.passable)
+        cell = rng.uniform() < obstacle_fraction ? 0 : 1;
+    if (width > 0 && height > 0) {
+        grid.passable[grid.cellId(0, 0)] = 1;
+        grid.passable[grid.cellId(width - 1, 0)] = 1;
+        grid.passable[grid.cellId(0, height - 1)] = 1;
+        grid.passable[grid.cellId(width - 1, height - 1)] = 1;
+    }
+    return grid;
+}
+
+AStarResult
+astarCpu(const GridMap &grid, std::uint32_t start, std::uint32_t goal,
+         sort::AccessSink &sink)
+{
+    PqWorkloadCounts counts;
+    TracedHeap heap(sink, heapBase);
+    auto result = astarLoop(
+        grid, start, goal, counts,
+        [&](float f, std::uint32_t cell) {
+            heap.push(packKey(f, cell));
+        },
+        [&]() -> std::optional<std::pair<float, std::uint32_t>> {
+            const auto packed = heap.pop();
+            if (!packed)
+                return std::nullopt;
+            return std::make_pair(0.0f, static_cast<std::uint32_t>(
+                *packed & 0xFFFFFFFFULL));
+        },
+        &sink);
+    counts.heapComparisons = heap.comparisons();
+    counts.heapMoves = heap.moves();
+    result.counts = counts;
+    return result;
+}
+
+AStarResult
+astarRime(RimeLibrary &lib, const GridMap &grid, std::uint32_t start,
+          std::uint32_t goal)
+{
+    PqWorkloadCounts counts;
+    // Decrease-key in place: one slot per cell suffices.
+    constexpr std::uint64_t noSlot = ~0ULL;
+    std::vector<std::uint64_t> slot(grid.passable.size(), noSlot);
+    RimePriorityQueue pq(lib, grid.passable.size() + 8,
+                         KeyMode::Float);
+    auto result = astarLoop(
+        grid, start, goal, counts,
+        [&](float f, std::uint32_t cell) {
+            if (slot[cell] == noSlot)
+                slot[cell] = pq.push(floatToRaw(f), cell);
+            else
+                pq.update(slot[cell], floatToRaw(f));
+        },
+        [&]() -> std::optional<std::pair<float, std::uint32_t>> {
+            const auto entry = pq.pop();
+            if (!entry)
+                return std::nullopt;
+            return std::make_pair(
+                rawToFloat(static_cast<std::uint32_t>(entry->first)),
+                static_cast<std::uint32_t>(entry->second));
+        },
+        nullptr);
+    result.counts = counts;
+    return result;
+}
+
+} // namespace rime::workloads

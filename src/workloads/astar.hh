@@ -1,0 +1,71 @@
+/**
+ * @file
+ * A*-search on a 2D binary obstacle grid (paper section VI-C): the
+ * open list is a binary heap in the baseline and a RIME priority
+ * queue in the RIME variant.  Obstacles are 0 cells; the path may
+ * only cross 1 cells (4-neighbour moves, unit cost, Manhattan
+ * heuristic -- admissible and consistent, so both variants find the
+ * same optimal cost).
+ */
+
+#ifndef RIME_WORKLOADS_ASTAR_HH
+#define RIME_WORKLOADS_ASTAR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rime/api.hh"
+#include "sort/access_sink.hh"
+#include "workloads/shortest_path.hh" // PqWorkloadCounts
+
+namespace rime::workloads
+{
+
+/** A binary obstacle grid (1 = passable). */
+struct GridMap
+{
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::vector<std::uint8_t> passable;
+
+    bool
+    at(std::uint32_t x, std::uint32_t y) const
+    {
+        return passable[std::size_t(y) * width + x] != 0;
+    }
+
+    std::uint32_t
+    cellId(std::uint32_t x, std::uint32_t y) const
+    {
+        return y * width + x;
+    }
+};
+
+/**
+ * Random grid with the given obstacle fraction.  The four corners
+ * are kept open so canonical start/goal pairs exist.
+ */
+GridMap randomGrid(std::uint32_t width, std::uint32_t height,
+                   double obstacle_fraction, std::uint64_t seed);
+
+/** Result of one A* run. */
+struct AStarResult
+{
+    bool reached = false;
+    float pathCost = 0.0f;
+    std::uint64_t expanded = 0;
+    PqWorkloadCounts counts;
+};
+
+/** Baseline A* with a traced binary heap. */
+AStarResult astarCpu(const GridMap &grid, std::uint32_t start,
+                     std::uint32_t goal, sort::AccessSink &sink);
+
+/** RIME A*. */
+AStarResult astarRime(RimeLibrary &lib, const GridMap &grid,
+                      std::uint32_t start, std::uint32_t goal);
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_ASTAR_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Random weighted graph generation (CSR) for the graph-analytics
+ * workloads of section VI-C: Kruskal, Prim, Dijkstra.  Weights are
+ * IEEE-754 floats, as the paper specifies for these workloads.
+ */
+
+#ifndef RIME_WORKLOADS_GRAPH_HH
+#define RIME_WORKLOADS_GRAPH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace rime::workloads
+{
+
+/** One undirected edge with a float weight. */
+struct Edge
+{
+    std::uint32_t u = 0;
+    std::uint32_t v = 0;
+    float weight = 0.0f;
+};
+
+/** Compressed sparse row adjacency. */
+struct Graph
+{
+    std::uint32_t vertices = 0;
+    std::vector<Edge> edges;            ///< undirected edge list
+    std::vector<std::uint32_t> rowPtr;  ///< CSR offsets (directed x2)
+    std::vector<std::uint32_t> adjVertex;
+    std::vector<float> adjWeight;
+
+    std::uint32_t
+    degree(std::uint32_t v) const
+    {
+        return rowPtr[v + 1] - rowPtr[v];
+    }
+};
+
+/**
+ * Generate a connected random graph: a random spanning tree plus
+ * `extra_per_vertex` random extra edges per vertex, uniform weights
+ * in (0, 1).
+ */
+inline Graph
+randomConnectedGraph(std::uint32_t vertices, double extra_per_vertex,
+                     std::uint64_t seed)
+{
+    Graph g;
+    g.vertices = vertices;
+    Rng rng(seed);
+    if (vertices == 0)
+        return g;
+
+    // Spanning tree: attach each vertex to a random earlier one.
+    for (std::uint32_t v = 1; v < vertices; ++v) {
+        Edge e;
+        e.u = static_cast<std::uint32_t>(rng.below(v));
+        e.v = v;
+        e.weight = static_cast<float>(rng.uniform() * 0.999 + 0.001);
+        g.edges.push_back(e);
+    }
+    const auto extra = static_cast<std::uint64_t>(
+        extra_per_vertex * vertices);
+    for (std::uint64_t i = 0; i < extra; ++i) {
+        Edge e;
+        e.u = static_cast<std::uint32_t>(rng.below(vertices));
+        e.v = static_cast<std::uint32_t>(rng.below(vertices));
+        if (e.u == e.v)
+            continue;
+        e.weight = static_cast<float>(rng.uniform() * 0.999 + 0.001);
+        g.edges.push_back(e);
+    }
+
+    // Build CSR (both directions).
+    g.rowPtr.assign(vertices + 1, 0);
+    for (const Edge &e : g.edges) {
+        ++g.rowPtr[e.u + 1];
+        ++g.rowPtr[e.v + 1];
+    }
+    for (std::uint32_t v = 0; v < vertices; ++v)
+        g.rowPtr[v + 1] += g.rowPtr[v];
+    g.adjVertex.resize(g.rowPtr.back());
+    g.adjWeight.resize(g.rowPtr.back());
+    std::vector<std::uint32_t> cursor(g.rowPtr.begin(),
+                                      g.rowPtr.end() - 1);
+    for (const Edge &e : g.edges) {
+        g.adjVertex[cursor[e.u]] = e.v;
+        g.adjWeight[cursor[e.u]++] = e.weight;
+        g.adjVertex[cursor[e.v]] = e.u;
+        g.adjWeight[cursor[e.v]++] = e.weight;
+    }
+    return g;
+}
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_GRAPH_HH

@@ -1,0 +1,156 @@
+#include "kruskal.hh"
+
+#include <numeric>
+
+#include "common/key_codec.hh"
+#include "workloads/sort64.hh"
+
+namespace rime::workloads
+{
+
+namespace
+{
+
+constexpr Addr edgeSortBase = 0x60000000;
+constexpr Addr ufBase = 0x70000000;
+
+/** Union-find with path halving; parent accesses optionally traced. */
+class UnionFind
+{
+  public:
+    UnionFind(std::uint32_t n, sort::AccessSink *sink)
+        : parent_(n), sink_(sink)
+    {
+        std::iota(parent_.begin(), parent_.end(), 0);
+    }
+
+    std::uint32_t
+    find(std::uint32_t x)
+    {
+        while (true) {
+            touch(x, AccessType::Read);
+            const std::uint32_t p = parent_[x];
+            if (p == x)
+                return x;
+            touch(p, AccessType::Read);
+            const std::uint32_t gp = parent_[p];
+            parent_[x] = gp; // path halving
+            touch(x, AccessType::Write);
+            x = gp;
+        }
+    }
+
+    /** Merge the sets of a and b; false when already joined. */
+    bool
+    unite(std::uint32_t a, std::uint32_t b)
+    {
+        const std::uint32_t ra = find(a);
+        const std::uint32_t rb = find(b);
+        if (ra == rb)
+            return false;
+        parent_[ra] = rb;
+        touch(ra, AccessType::Write);
+        return true;
+    }
+
+  private:
+    void
+    touch(std::uint32_t idx, AccessType type)
+    {
+        if (sink_)
+            sink_->access(0, ufBase + idx * 4ULL, type);
+    }
+
+    std::vector<std::uint32_t> parent_;
+    sort::AccessSink *sink_;
+};
+
+/** Consume edges in weight order and build the MST. */
+template <typename NextEdge>
+MstResult
+kruskalLoop(const Graph &graph, sort::AccessSink *sink,
+            NextEdge &&next_edge)
+{
+    MstResult result;
+    UnionFind uf(graph.vertices, sink);
+    const std::uint32_t target =
+        graph.vertices > 0 ? graph.vertices - 1 : 0;
+    while (result.edgesUsed < target) {
+        const auto id = next_edge();
+        if (!id)
+            break;
+        const Edge &e = graph.edges[*id];
+        ++result.counts.edgeScans;
+        if (uf.unite(e.u, e.v)) {
+            result.totalWeight += e.weight;
+            ++result.edgesUsed;
+        }
+    }
+    return result;
+}
+
+} // namespace
+
+MstResult
+kruskalCpu(const Graph &graph, sort::AccessSink &sink)
+{
+    // Pack (encoded weight, edge id) and sort.
+    std::vector<std::uint64_t> packed(graph.edges.size());
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+        const std::uint64_t enc = encodeKey(
+            floatToRaw(graph.edges[i].weight), 32, KeyMode::Float);
+        packed[i] = (enc << 32) | i;
+        sink.access(0, edgeSortBase + i * 8, AccessType::Write);
+    }
+    const auto ops = tracedQuicksort64(packed, edgeSortBase, sink);
+
+    std::size_t cursor = 0;
+    auto result = kruskalLoop(graph, &sink, [&]() {
+        if (cursor >= packed.size())
+            return std::optional<std::uint64_t>{};
+        sink.access(0, edgeSortBase + cursor * 8, AccessType::Read);
+        return std::optional<std::uint64_t>{
+            packed[cursor++] & 0xFFFFFFFFULL};
+    });
+    result.counts.heapComparisons = ops.comparisons;
+    result.counts.heapMoves = ops.moves;
+    result.counts.pops = cursor;
+    result.counts.pushes = packed.size();
+    return result;
+}
+
+MstResult
+kruskalRime(RimeLibrary &lib, const Graph &graph)
+{
+    const std::uint64_t n = graph.edges.size();
+    MstResult empty;
+    if (n == 0)
+        return empty;
+
+    const auto start = lib.rimeMalloc(n * 4);
+    if (!start)
+        fatal("kruskalRime: allocation failed");
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::Float, 32);
+    std::vector<std::uint64_t> raws(n);
+    for (std::size_t i = 0; i < n; ++i)
+        raws[i] = floatToRaw(graph.edges[i].weight);
+    lib.storeArray(*start, raws);
+    lib.rimeInit(*start, end, KeyMode::Float, 32);
+
+    std::uint64_t pops = 0;
+    auto result = kruskalLoop(graph, nullptr, [&]() {
+        const auto item = lib.rimeMin(*start, end);
+        if (!item)
+            return std::optional<std::uint64_t>{};
+        ++pops;
+        return std::optional<std::uint64_t>{
+            (item->index - *start) / 4};
+    });
+    result.counts.pops = pops;
+    result.counts.pushes = n;
+    lib.rimeFree(*start);
+    return result;
+}
+
+} // namespace rime::workloads

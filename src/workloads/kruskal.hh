@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Kruskal's minimum spanning tree (paper section VI-C): the baseline
+ * sorts the edge list by weight with an instrumented quicksort; the
+ * RIME variant stores the float weights in a RIME region and streams
+ * them with rime_min, using the returned addresses as edge ids.
+ * Union-find is shared host-side work in both variants.
+ */
+
+#ifndef RIME_WORKLOADS_KRUSKAL_HH
+#define RIME_WORKLOADS_KRUSKAL_HH
+
+#include <cstdint>
+
+#include "rime/api.hh"
+#include "sort/access_sink.hh"
+#include "workloads/graph.hh"
+#include "workloads/shortest_path.hh" // MstResult
+
+namespace rime::workloads
+{
+
+/** Baseline Kruskal (instrumented sort + union-find). */
+MstResult kruskalCpu(const Graph &graph, sort::AccessSink &sink);
+
+/** RIME Kruskal (in-situ weight ranking + union-find). */
+MstResult kruskalRime(RimeLibrary &lib, const Graph &graph);
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_KRUSKAL_HH

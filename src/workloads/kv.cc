@@ -1,0 +1,156 @@
+#include "kv.hh"
+
+#include <algorithm>
+
+#include "rime/ops.hh"
+#include "workloads/sort64.hh"
+
+namespace rime::workloads
+{
+
+namespace
+{
+
+constexpr Addr tableBase = 0x10000000;
+constexpr Addr joinABase = 0x20000000;
+constexpr Addr joinBBase = 0x30000000;
+
+std::uint64_t
+packRecord(const Record &r)
+{
+    return (std::uint64_t(r.key) << 32) | r.value;
+}
+
+/** Aggregate a (key-major) sorted packed stream into groups. */
+class GroupAggregator
+{
+  public:
+    void
+    feed(std::uint64_t packed, std::vector<Group> &out)
+    {
+        const auto key = static_cast<std::uint32_t>(packed >> 32);
+        const auto value =
+            static_cast<std::uint32_t>(packed & 0xFFFFFFFFULL);
+        if (out.empty() || out.back().key != key) {
+            out.push_back(Group{key, 0, 0});
+        }
+        ++out.back().count;
+        out.back().sum += value;
+    }
+};
+
+} // namespace
+
+std::vector<Record>
+randomTable(std::uint64_t rows, std::uint32_t distinct_keys,
+            std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<Record> table(rows);
+    for (auto &r : table) {
+        r.key = static_cast<std::uint32_t>(
+            rng.below(std::max<std::uint32_t>(distinct_keys, 1)));
+        r.value = static_cast<std::uint32_t>(rng() & 0xFFFF);
+    }
+    return table;
+}
+
+GroupByResult
+groupByCpu(const std::vector<Record> &table, sort::AccessSink &sink)
+{
+    GroupByResult result;
+    std::vector<std::uint64_t> packed(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i) {
+        sink.access(0, tableBase + i * 8, AccessType::Read);
+        packed[i] = packRecord(table[i]);
+        sink.access(0, tableBase + i * 8, AccessType::Write);
+    }
+    const auto ops = tracedQuicksort64(packed, tableBase, sink);
+    GroupAggregator agg;
+    for (std::size_t i = 0; i < packed.size(); ++i) {
+        sink.access(0, tableBase + i * 8, AccessType::Read);
+        agg.feed(packed[i], result.groups);
+    }
+    result.counts.heapComparisons = ops.comparisons;
+    result.counts.heapMoves = ops.moves;
+    result.counts.pops = packed.size();
+    result.counts.pushes = packed.size();
+    return result;
+}
+
+GroupByResult
+groupByRime(RimeLibrary &lib, const std::vector<Record> &table)
+{
+    GroupByResult result;
+    if (table.empty())
+        return result;
+    std::vector<std::uint64_t> packed(table.size());
+    for (std::size_t i = 0; i < table.size(); ++i)
+        packed[i] = packRecord(table[i]);
+    // Rank the packed 64-bit words in memory; the stream arrives
+    // key-major and is aggregated on the fly.
+    const auto sorted = rimeSort(lib, packed,
+                                 KeyMode::UnsignedFixed, 64);
+    GroupAggregator agg;
+    for (const std::uint64_t word : sorted.values)
+        agg.feed(word, result.groups);
+    result.counts.pops = table.size();
+    result.counts.pushes = table.size();
+    return result;
+}
+
+MergeJoinResult
+mergeJoinCpu(const std::vector<std::uint32_t> &a,
+             const std::vector<std::uint32_t> &b,
+             sort::AccessSink &sink)
+{
+    MergeJoinResult result;
+    std::vector<std::uint64_t> sa(a.begin(), a.end());
+    std::vector<std::uint64_t> sb(b.begin(), b.end());
+    const auto ops_a = tracedQuicksort64(sa, joinABase, sink);
+    const auto ops_b = tracedQuicksort64(sb, joinBBase, sink);
+
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < sa.size() && j < sb.size()) {
+        sink.access(0, joinABase + i * 8, AccessType::Read);
+        sink.access(0, joinBBase + j * 8, AccessType::Read);
+        ++result.counts.edgeScans;
+        if (sa[i] < sb[j]) {
+            ++i;
+        } else if (sb[j] < sa[i]) {
+            ++j;
+        } else {
+            const auto key = static_cast<std::uint32_t>(sa[i]);
+            if (result.keys.empty() || result.keys.back() != key)
+                result.keys.push_back(key);
+            ++i;
+            ++j;
+        }
+    }
+    result.counts.heapComparisons = ops_a.comparisons +
+        ops_b.comparisons;
+    result.counts.heapMoves = ops_a.moves + ops_b.moves;
+    result.counts.pops = a.size() + b.size();
+    result.counts.pushes = a.size() + b.size();
+    return result;
+}
+
+MergeJoinResult
+mergeJoinRime(RimeLibrary &lib, const std::vector<std::uint32_t> &a,
+              const std::vector<std::uint32_t> &b)
+{
+    MergeJoinResult result;
+    std::vector<std::uint64_t> sa(a.begin(), a.end());
+    std::vector<std::uint64_t> sb(b.begin(), b.end());
+    const auto joined = rimeMergeJoin(lib, sa, sb,
+                                      KeyMode::UnsignedFixed, 32);
+    result.keys.reserve(joined.values.size());
+    for (const std::uint64_t key : joined.values)
+        result.keys.push_back(static_cast<std::uint32_t>(key));
+    result.counts.pops = a.size() + b.size();
+    result.counts.pushes = a.size() + b.size();
+    return result;
+}
+
+} // namespace rime::workloads

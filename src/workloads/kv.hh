@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Key-value database operators (paper section VI-C): GroupBy and
+ * MergeJoin, in CPU-baseline (instrumented sort) and RIME (in-situ
+ * ranking) variants producing identical outputs.
+ */
+
+#ifndef RIME_WORKLOADS_KV_HH
+#define RIME_WORKLOADS_KV_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rime/api.hh"
+#include "sort/access_sink.hh"
+#include "workloads/shortest_path.hh" // PqWorkloadCounts
+
+namespace rime::workloads
+{
+
+/** One table record. */
+struct Record
+{
+    std::uint32_t key = 0;
+    std::uint32_t value = 0;
+};
+
+/** Random table with keys drawn from [0, distinct_keys). */
+std::vector<Record> randomTable(std::uint64_t rows,
+                                std::uint32_t distinct_keys,
+                                std::uint64_t seed);
+
+/** One GroupBy output group. */
+struct Group
+{
+    std::uint32_t key = 0;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+
+    bool
+    operator==(const Group &other) const
+    {
+        return key == other.key && count == other.count &&
+            sum == other.sum;
+    }
+};
+
+/** GroupBy result plus baseline instrumentation counts. */
+struct GroupByResult
+{
+    std::vector<Group> groups;
+    PqWorkloadCounts counts;
+};
+
+/** Baseline sort-based GroupBy (instrumented quicksort). */
+GroupByResult groupByCpu(const std::vector<Record> &table,
+                         sort::AccessSink &sink);
+
+/** RIME GroupBy: packed (key, value) words ranked in memory. */
+GroupByResult groupByRime(RimeLibrary &lib,
+                          const std::vector<Record> &table);
+
+/** MergeJoin result: the ordered set of keys present in both. */
+struct MergeJoinResult
+{
+    std::vector<std::uint32_t> keys;
+    PqWorkloadCounts counts;
+};
+
+/** Baseline sort-merge join over two key columns. */
+MergeJoinResult mergeJoinCpu(const std::vector<std::uint32_t> &a,
+                             const std::vector<std::uint32_t> &b,
+                             sort::AccessSink &sink);
+
+/** RIME merge-join. */
+MergeJoinResult mergeJoinRime(RimeLibrary &lib,
+                              const std::vector<std::uint32_t> &a,
+                              const std::vector<std::uint32_t> &b);
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_KV_HH

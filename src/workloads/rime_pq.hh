@@ -1,0 +1,147 @@
+/**
+ * @file
+ * A strict priority queue backed by RIME in-situ ranking.
+ *
+ * Inserts are ordinary memory writes into fresh slots of a region
+ * pre-filled with sentinel (maximum) keys; removals are rime_min
+ * accesses (paper section VII-A, "Strict Priority Queuing").  A
+ * removed slot's exclusion latch retires it until the next
+ * rime_init, so the region must be sized for the total number of
+ * inserts of the run.
+ */
+
+#ifndef RIME_WORKLOADS_RIME_PQ_HH
+#define RIME_WORKLOADS_RIME_PQ_HH
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "rime/api.hh"
+
+namespace rime::workloads
+{
+
+/** Min-priority queue on a RIME region. */
+class RimePriorityQueue
+{
+  public:
+    /**
+     * @param lib       the RIME library
+     * @param capacity  total inserts the queue must accept
+     * @param mode      key interpretation (unsigned or float)
+     * @param word_bits key width (32 typical)
+     */
+    RimePriorityQueue(RimeLibrary &lib, std::uint64_t capacity,
+                      KeyMode mode, unsigned word_bits = 32)
+        : lib_(lib), mode_(mode), wordBits_(word_bits),
+          capacity_(capacity)
+    {
+        const unsigned wb = word_bits / 8;
+        auto start = lib.rimeMalloc(capacity * wb);
+        if (!start)
+            fatal("RIME priority queue: allocation failed");
+        start_ = *start;
+        end_ = start_ + capacity * wb;
+        payloads_.resize(capacity);
+        // Pre-fill with sentinel keys so unused slots never win a
+        // min scan, then arm the range.
+        lib.rimeInit(start_, start_, mode, word_bits);
+        const std::vector<std::uint64_t> sentinels(
+            capacity, sentinelRaw());
+        lib.storeArray(start_, sentinels);
+        lib.rimeInit(start_, end_, mode, word_bits);
+    }
+
+    ~RimePriorityQueue() { lib_.rimeFree(start_); }
+
+    RimePriorityQueue(const RimePriorityQueue &) = delete;
+    RimePriorityQueue &operator=(const RimePriorityQueue &) = delete;
+
+    /** The sentinel raw pattern (greater than any real key). */
+    std::uint64_t
+    sentinelRaw() const
+    {
+        switch (mode_) {
+          case KeyMode::UnsignedFixed:
+            return wordBits_ >= 64 ? ~0ULL : (1ULL << wordBits_) - 1;
+          case KeyMode::Float:
+            return wordBits_ == 32
+                ? 0x7F800000ULL                 // +inf
+                : 0x7FF0000000000000ULL;        // +inf (double)
+          case KeyMode::SignedFixed:
+            return (1ULL << (wordBits_ - 1)) - 1; // INT_MAX pattern
+        }
+        return ~0ULL;
+    }
+
+    /**
+     * Insert a key (an ordinary memory write).
+     * @return the slot id, usable with update()
+     */
+    std::uint64_t
+    push(std::uint64_t raw_key, std::uint64_t payload = 0)
+    {
+        if (nextSlot_ >= capacity_)
+            fatal("RIME priority queue capacity exhausted");
+        if (raw_key == sentinelRaw())
+            fatal("key collides with the sentinel pattern");
+        lib_.store(start_ + nextSlot_ * (wordBits_ / 8), raw_key);
+        payloads_[nextSlot_] = payload;
+        ++live_;
+        return nextSlot_++;
+    }
+
+    /**
+     * Decrease-key: overwrite a live slot's key in place (another
+     * ordinary memory write; the slot keeps its payload).
+     */
+    void
+    update(std::uint64_t slot, std::uint64_t raw_key)
+    {
+        if (slot >= nextSlot_)
+            fatal("update of an unused slot");
+        if (raw_key == sentinelRaw())
+            fatal("key collides with the sentinel pattern");
+        lib_.store(start_ + slot * (wordBits_ / 8), raw_key);
+    }
+
+    /** Remove and return the minimum (key, payload). */
+    std::optional<std::pair<std::uint64_t, std::uint64_t>>
+    pop()
+    {
+        if (live_ == 0)
+            return std::nullopt;
+        const auto item = lib_.rimeMin(start_, end_);
+        if (!item || item->raw == sentinelRaw()) {
+            // Sentinel surfaced: queue logically empty.
+            live_ = 0;
+            return std::nullopt;
+        }
+        --live_;
+        const std::uint64_t slot =
+            (item->index - start_) / (wordBits_ / 8);
+        return std::make_pair(item->raw, payloads_[slot]);
+    }
+
+    std::uint64_t size() const { return live_; }
+    bool empty() const { return live_ == 0; }
+    std::uint64_t slotsUsed() const { return nextSlot_; }
+
+  private:
+    RimeLibrary &lib_;
+    KeyMode mode_;
+    unsigned wordBits_;
+    std::uint64_t capacity_;
+    Addr start_ = 0;
+    Addr end_ = 0;
+    std::uint64_t nextSlot_ = 0;
+    std::uint64_t live_ = 0;
+    std::vector<std::uint64_t> payloads_;
+};
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_RIME_PQ_HH

@@ -1,0 +1,265 @@
+#include "shortest_path.hh"
+
+#include <limits>
+
+#include "common/key_codec.hh"
+#include "workloads/rime_pq.hh"
+#include "workloads/traced_heap.hh"
+
+namespace rime::workloads
+{
+
+namespace
+{
+
+constexpr float inf = std::numeric_limits<float>::infinity();
+
+/** Simulated base addresses of the workload's data structures. */
+constexpr Addr distBase = 0x10000000;
+constexpr Addr heapBase = 0x20000000;
+constexpr Addr rowBase = 0x30000000;
+constexpr Addr adjBase = 0x40000000;
+constexpr Addr weightBase = 0x50000000;
+
+/** Pack (float key, node) so unsigned order equals (key, node). */
+std::uint64_t
+packKey(float key, std::uint32_t node)
+{
+    const std::uint64_t enc = encodeKey(floatToRaw(key), 32,
+                                        KeyMode::Float);
+    return (enc << 32) | node;
+}
+
+std::uint32_t
+packedNode(std::uint64_t packed)
+{
+    return static_cast<std::uint32_t>(packed & 0xFFFFFFFFULL);
+}
+
+float
+packedKey(std::uint64_t packed)
+{
+    return rawToFloat(static_cast<std::uint32_t>(
+        decodeKey(packed >> 32, 32, KeyMode::Float)));
+}
+
+/** Traced read of one CSR adjacency entry. */
+void
+touchEdge(sort::AccessSink &sink, std::uint32_t edge_slot)
+{
+    sink.access(0, adjBase + edge_slot * 4ULL, AccessType::Read);
+    sink.access(0, weightBase + edge_slot * 4ULL, AccessType::Read);
+}
+
+} // namespace
+
+SsspResult
+dijkstraCpu(const Graph &graph, std::uint32_t source,
+            sort::AccessSink &sink)
+{
+    SsspResult result;
+    result.dist.assign(graph.vertices, inf);
+    if (graph.vertices == 0)
+        return result;
+
+    TracedHeap heap(sink, heapBase);
+    result.dist[source] = 0.0f;
+    sink.access(0, distBase + source * 4ULL, AccessType::Write);
+    heap.push(packKey(0.0f, source));
+    ++result.counts.pushes;
+
+    while (!heap.empty()) {
+        const auto packed = heap.pop();
+        ++result.counts.pops;
+        const std::uint32_t u = packedNode(*packed);
+        const float du = packedKey(*packed);
+        sink.access(0, distBase + u * 4ULL, AccessType::Read);
+        if (du > result.dist[u])
+            continue; // stale (lazy deletion)
+        sink.access(0, rowBase + u * 4ULL, AccessType::Read);
+        for (std::uint32_t e = graph.rowPtr[u];
+             e < graph.rowPtr[u + 1]; ++e) {
+            touchEdge(sink, e);
+            ++result.counts.edgeScans;
+            const std::uint32_t v = graph.adjVertex[e];
+            const float cand = du + graph.adjWeight[e];
+            sink.access(0, distBase + v * 4ULL, AccessType::Read);
+            if (cand < result.dist[v]) {
+                result.dist[v] = cand;
+                sink.access(0, distBase + v * 4ULL,
+                            AccessType::Write);
+                heap.push(packKey(cand, v));
+                ++result.counts.pushes;
+            }
+        }
+    }
+    result.counts.heapComparisons = heap.comparisons();
+    result.counts.heapMoves = heap.moves();
+    return result;
+}
+
+SsspResult
+dijkstraRime(RimeLibrary &lib, const Graph &graph,
+             std::uint32_t source)
+{
+    SsspResult result;
+    result.dist.assign(graph.vertices, inf);
+    if (graph.vertices == 0)
+        return result;
+
+    // Each vertex enters the queue once; later relaxations shrink
+    // its key in place with an ordinary store (decrease-key), so the
+    // region only needs one slot per vertex.
+    constexpr std::uint64_t noSlot = ~0ULL;
+    std::vector<std::uint64_t> slot(graph.vertices, noSlot);
+    RimePriorityQueue pq(lib, graph.vertices + 1, KeyMode::Float);
+    result.dist[source] = 0.0f;
+    slot[source] = pq.push(floatToRaw(0.0f), source);
+    ++result.counts.pushes;
+
+    while (!pq.empty()) {
+        const auto entry = pq.pop();
+        if (!entry)
+            break;
+        ++result.counts.pops;
+        const float du = rawToFloat(
+            static_cast<std::uint32_t>(entry->first));
+        const auto u = static_cast<std::uint32_t>(entry->second);
+        slot[u] = noSlot;
+        if (du > result.dist[u])
+            continue; // defensive; cannot happen with decrease-key
+        for (std::uint32_t e = graph.rowPtr[u];
+             e < graph.rowPtr[u + 1]; ++e) {
+            ++result.counts.edgeScans;
+            const std::uint32_t v = graph.adjVertex[e];
+            const float cand = du + graph.adjWeight[e];
+            if (cand < result.dist[v]) {
+                result.dist[v] = cand;
+                if (slot[v] == noSlot) {
+                    slot[v] = pq.push(floatToRaw(cand), v);
+                    ++result.counts.pushes;
+                } else {
+                    pq.update(slot[v], floatToRaw(cand));
+                    ++result.counts.pushes;
+                }
+            }
+        }
+    }
+    return result;
+}
+
+namespace
+{
+
+/** Shared Prim skeleton over an abstract PQ. */
+template <typename Push, typename Pop>
+MstResult
+primLoop(const Graph &graph, std::vector<float> &key,
+         PqWorkloadCounts &counts, Push &&push, Pop &&pop,
+         sort::AccessSink *sink)
+{
+    MstResult result;
+    if (graph.vertices == 0)
+        return result;
+    std::vector<std::uint8_t> inMst(graph.vertices, 0);
+    key.assign(graph.vertices, inf);
+    key[0] = 0.0f;
+    push(0.0f, 0);
+    ++counts.pushes;
+
+    while (true) {
+        auto entry = pop();
+        if (!entry)
+            break;
+        ++counts.pops;
+        const auto [w, u] = *entry;
+        if (sink)
+            sink->access(0, distBase + u * 4ULL, AccessType::Read);
+        if (inMst[u])
+            continue; // stale
+        inMst[u] = 1;
+        result.totalWeight += w;
+        ++result.edgesUsed;
+        if (sink)
+            sink->access(0, rowBase + u * 4ULL, AccessType::Read);
+        for (std::uint32_t e = graph.rowPtr[u];
+             e < graph.rowPtr[u + 1]; ++e) {
+            if (sink)
+                touchEdge(*sink, e);
+            ++counts.edgeScans;
+            const std::uint32_t v = graph.adjVertex[e];
+            const float wv = graph.adjWeight[e];
+            if (sink)
+                sink->access(0, distBase + v * 4ULL,
+                             AccessType::Read);
+            if (!inMst[v] && wv < key[v]) {
+                key[v] = wv;
+                if (sink)
+                    sink->access(0, distBase + v * 4ULL,
+                                 AccessType::Write);
+                push(wv, v);
+                ++counts.pushes;
+            }
+        }
+    }
+    // The root contributes zero weight; report edges, not vertices.
+    result.edgesUsed = result.edgesUsed > 0 ? result.edgesUsed - 1
+                                            : 0;
+    return result;
+}
+
+} // namespace
+
+MstResult
+primCpu(const Graph &graph, sort::AccessSink &sink)
+{
+    PqWorkloadCounts counts;
+    std::vector<float> key;
+    TracedHeap heap(sink, heapBase);
+    auto result = primLoop(
+        graph, key, counts,
+        [&](float w, std::uint32_t v) { heap.push(packKey(w, v)); },
+        [&]() -> std::optional<std::pair<float, std::uint32_t>> {
+            const auto packed = heap.pop();
+            if (!packed)
+                return std::nullopt;
+            return std::make_pair(packedKey(*packed),
+                                  packedNode(*packed));
+        },
+        &sink);
+    counts.heapComparisons = heap.comparisons();
+    counts.heapMoves = heap.moves();
+    result.counts = counts;
+    return result;
+}
+
+MstResult
+primRime(RimeLibrary &lib, const Graph &graph)
+{
+    PqWorkloadCounts counts;
+    std::vector<float> key;
+    constexpr std::uint64_t noSlot = ~0ULL;
+    std::vector<std::uint64_t> slot(graph.vertices, noSlot);
+    RimePriorityQueue pq(lib, graph.vertices + 1, KeyMode::Float);
+    auto result = primLoop(
+        graph, key, counts,
+        [&](float w, std::uint32_t v) {
+            if (slot[v] == noSlot)
+                slot[v] = pq.push(floatToRaw(w), v);
+            else
+                pq.update(slot[v], floatToRaw(w));
+        },
+        [&]() -> std::optional<std::pair<float, std::uint32_t>> {
+            const auto entry = pq.pop();
+            if (!entry)
+                return std::nullopt;
+            return std::make_pair(
+                rawToFloat(static_cast<std::uint32_t>(entry->first)),
+                static_cast<std::uint32_t>(entry->second));
+        },
+        nullptr);
+    result.counts = counts;
+    return result;
+}
+
+} // namespace rime::workloads

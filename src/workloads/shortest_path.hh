@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dijkstra's single-source shortest paths and Prim's minimum
+ * spanning tree (paper section VI-C), each in two variants:
+ *
+ *  - CPU baseline: lazy-deletion binary heap, all data-structure
+ *    accesses reported to an AccessSink for cache simulation;
+ *  - RIME: the heap replaced by a RimePriorityQueue, so every
+ *    extract-min is one rime_min access.
+ *
+ * Both variants produce bit-identical results (tested).
+ */
+
+#ifndef RIME_WORKLOADS_SHORTEST_PATH_HH
+#define RIME_WORKLOADS_SHORTEST_PATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "rime/api.hh"
+#include "sort/access_sink.hh"
+#include "workloads/graph.hh"
+
+namespace rime::workloads
+{
+
+/** Operation counts shared by the PQ-driven workloads. */
+struct PqWorkloadCounts
+{
+    std::uint64_t pops = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t edgeScans = 0;
+    std::uint64_t heapComparisons = 0;
+    std::uint64_t heapMoves = 0;
+
+    /** Dynamic instruction estimate for the baseline CPU run. */
+    double
+    instructions() const
+    {
+        return 10.0 * static_cast<double>(pops) +
+            8.0 * static_cast<double>(pushes) +
+            12.0 * static_cast<double>(edgeScans) +
+            4.0 * static_cast<double>(heapComparisons) +
+            3.0 * static_cast<double>(heapMoves);
+    }
+};
+
+/** Result of one SSSP run. */
+struct SsspResult
+{
+    std::vector<float> dist;
+    PqWorkloadCounts counts;
+};
+
+/** Result of one MST run. */
+struct MstResult
+{
+    double totalWeight = 0.0;
+    std::uint32_t edgesUsed = 0;
+    PqWorkloadCounts counts;
+};
+
+/** Baseline Dijkstra with a traced binary heap. */
+SsspResult dijkstraCpu(const Graph &graph, std::uint32_t source,
+                       sort::AccessSink &sink);
+
+/** RIME Dijkstra: extract-min served in memory. */
+SsspResult dijkstraRime(RimeLibrary &lib, const Graph &graph,
+                        std::uint32_t source);
+
+/** Baseline Prim with a traced binary heap. */
+MstResult primCpu(const Graph &graph, sort::AccessSink &sink);
+
+/** RIME Prim. */
+MstResult primRime(RimeLibrary &lib, const Graph &graph);
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_SHORTEST_PATH_HH

@@ -1,0 +1,93 @@
+#include "spq.hh"
+
+#include "common/rng.hh"
+#include "workloads/rime_pq.hh"
+#include "workloads/traced_heap.hh"
+
+namespace rime::workloads
+{
+
+namespace
+{
+
+constexpr Addr heapBase = 0x20000000;
+
+/** Deterministic packet key stream (strictly below the sentinel). */
+std::uint32_t
+nextPacketKey(Rng &rng)
+{
+    return static_cast<std::uint32_t>(rng()) & 0x7FFFFFFF;
+}
+
+/** Shared operation schedule over an abstract queue. */
+template <typename Push, typename Pop>
+SpqResult
+spqLoop(const SpqParams &params, Push &&push, Pop &&pop)
+{
+    SpqResult result;
+    Rng rng(params.seed);
+    for (std::uint64_t i = 0; i < params.initialPackets; ++i)
+        push(nextPacketKey(rng));
+    for (std::uint64_t r = 0; r < params.removes; ++r) {
+        for (unsigned a = 0; a < params.addsPerRemove; ++a)
+            push(nextPacketKey(rng));
+        const auto key = pop();
+        if (!key)
+            break;
+        ++result.removed;
+        result.checksum = result.checksum * 1099511628211ULL + *key;
+    }
+    return result;
+}
+
+} // namespace
+
+SpqResult
+spqCpu(const SpqParams &params, sort::AccessSink &sink)
+{
+    TracedHeap heap(sink, heapBase);
+    std::uint64_t pushes = 0;
+    auto result = spqLoop(
+        params,
+        [&](std::uint32_t key) {
+            heap.push(key);
+            ++pushes;
+        },
+        [&]() -> std::optional<std::uint32_t> {
+            const auto v = heap.pop();
+            if (!v)
+                return std::nullopt;
+            return static_cast<std::uint32_t>(*v);
+        });
+    result.counts.pushes = pushes;
+    result.counts.pops = result.removed;
+    result.counts.heapComparisons = heap.comparisons();
+    result.counts.heapMoves = heap.moves();
+    return result;
+}
+
+SpqResult
+spqRime(RimeLibrary &lib, const SpqParams &params)
+{
+    const std::uint64_t capacity = params.initialPackets +
+        std::uint64_t(params.addsPerRemove) * params.removes + 1;
+    RimePriorityQueue pq(lib, capacity, KeyMode::UnsignedFixed, 32);
+    std::uint64_t pushes = 0;
+    auto result = spqLoop(
+        params,
+        [&](std::uint32_t key) {
+            pq.push(key);
+            ++pushes;
+        },
+        [&]() -> std::optional<std::uint32_t> {
+            const auto entry = pq.pop();
+            if (!entry)
+                return std::nullopt;
+            return static_cast<std::uint32_t>(entry->first);
+        });
+    result.counts.pushes = pushes;
+    result.counts.pops = result.removed;
+    return result;
+}
+
+} // namespace rime::workloads

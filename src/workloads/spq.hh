@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Strict priority queuing over a packet-processing workload (paper
+ * section VII-A, Figure 18): an initial buffer of packets, then a
+ * stream of operations with R adds per remove.  Every remove takes
+ * the packet with the minimum key.  The baseline uses a binary heap
+ * (heap maintenance on both insert and remove); RIME adds packets
+ * with ordinary writes and removes them with rime_min.
+ */
+
+#ifndef RIME_WORKLOADS_SPQ_HH
+#define RIME_WORKLOADS_SPQ_HH
+
+#include <cstdint>
+
+#include "rime/api.hh"
+#include "sort/access_sink.hh"
+#include "workloads/shortest_path.hh" // PqWorkloadCounts
+
+namespace rime::workloads
+{
+
+/** Parameters of one strict-priority-queue run. */
+struct SpqParams
+{
+    /** Packets buffered before the measurement starts. */
+    std::uint64_t initialPackets = 1 << 16;
+    /** Packet adds per remove (the paper's R, 1..5). */
+    unsigned addsPerRemove = 1;
+    /** Removes performed during the measurement. */
+    std::uint64_t removes = 1 << 14;
+    std::uint64_t seed = 1;
+};
+
+/** Outcome of one run; checksum identifies the removal sequence. */
+struct SpqResult
+{
+    std::uint64_t removed = 0;
+    std::uint64_t checksum = 0;
+    PqWorkloadCounts counts;
+};
+
+/** Baseline: traced binary heap. */
+SpqResult spqCpu(const SpqParams &params, sort::AccessSink &sink);
+
+/** RIME: writes to add, rime_min to remove. */
+SpqResult spqRime(RimeLibrary &lib, const SpqParams &params);
+
+} // namespace rime::workloads
+
+#endif // RIME_WORKLOADS_SPQ_HH

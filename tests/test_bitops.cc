@@ -1,0 +1,69 @@
+/** @file Unit tests for the bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+using namespace rime;
+
+TEST(BitOps, Bits)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 7, 0), 0xEFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 15, 8), 0xBEu);
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 0), 0xDEADBEEFu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(BitOps, Bit)
+{
+    EXPECT_TRUE(bit(0b100, 2));
+    EXPECT_FALSE(bit(0b100, 1));
+    EXPECT_TRUE(bit(1ULL << 63, 63));
+}
+
+TEST(BitOps, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 7, 4, 0xF), 0xF0u);
+    EXPECT_EQ(insertBits(0xFF, 7, 4, 0x0), 0x0Fu);
+    EXPECT_EQ(insertBits(0, 63, 0, ~0ULL), ~0ULL);
+}
+
+TEST(BitOps, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(4096));
+    EXPECT_FALSE(isPowerOf2(4095));
+    EXPECT_TRUE(isPowerOf2(1ULL << 63));
+}
+
+TEST(BitOps, Log2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(1024), 10u);
+    EXPECT_EQ(ceilLog2(1025), 11u);
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(1023), 9u);
+    EXPECT_EQ(floorLog2(1024), 10u);
+}
+
+TEST(BitOps, Rounding)
+{
+    EXPECT_EQ(roundUp(0, 64), 0u);
+    EXPECT_EQ(roundUp(1, 64), 64u);
+    EXPECT_EQ(roundUp(64, 64), 64u);
+    EXPECT_EQ(roundDown(65, 64), 64u);
+    EXPECT_EQ(roundDown(63, 64), 0u);
+}
+
+TEST(BitOps, CommonPrefixLength)
+{
+    EXPECT_EQ(commonPrefixLength(0, 0, 32), 32u);
+    EXPECT_EQ(commonPrefixLength(0b1000, 0b0000, 4), 0u);
+    EXPECT_EQ(commonPrefixLength(0b1010, 0b1011, 4), 3u);
+    EXPECT_EQ(commonPrefixLength(0b1010, 0b1000, 4), 2u);
+    EXPECT_EQ(commonPrefixLength(~0ULL, ~0ULL ^ 1ULL, 64), 63u);
+    EXPECT_EQ(commonPrefixLength(1ULL << 63, 0, 64), 0u);
+}

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * End-to-end tests of the RIME device + API library: multi-chip
+ * striping, the Figure-14 buffered merge, the paper's Figure-12 usage
+ * pattern, live stores during an operation, timing monotonicity, and
+ * agreement between the fast and bit-level device configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hh"
+#include "rime/api.hh"
+
+using namespace rime;
+
+namespace
+{
+
+LibraryConfig
+smallConfig(bool bit_level = false, unsigned chips = 4)
+{
+    LibraryConfig cfg;
+    cfg.device.channels = 1;
+    cfg.device.bitLevel = bit_level;
+    cfg.device.geometry.chipsPerChannel = chips;
+    cfg.device.geometry.banksPerChip = 2;
+    cfg.device.geometry.subbanksPerBank = 4;
+    cfg.device.geometry.arrayRows = 64;
+    cfg.device.geometry.arrayCols = 64;
+    cfg.driver.startupPages = 16;
+    cfg.driver.growthPages = 16;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+randomU32(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng() & 0xFFFFFFFFULL;
+    return v;
+}
+
+} // namespace
+
+TEST(Device, StripingRoundTrips)
+{
+    RimeDevice dev(smallConfig().device);
+    dev.configure(32, KeyMode::UnsignedFixed);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        const ChipLoc loc = dev.locate(i);
+        EXPECT_EQ(dev.globalIndex(loc.chip, loc.local), i);
+        EXPECT_LT(loc.chip, dev.totalChips());
+    }
+}
+
+TEST(Device, LocalRangeCoversExactlyTheRange)
+{
+    RimeDevice dev(smallConfig().device);
+    dev.configure(32, KeyMode::UnsignedFixed);
+    const std::uint64_t begin = 13;
+    const std::uint64_t end = 77;
+    std::uint64_t total = 0;
+    for (unsigned c = 0; c < dev.totalChips(); ++c) {
+        const LocalRange lr = dev.localRange(c, begin, end);
+        total += lr.hi - lr.lo;
+        // Every local index in [lo, hi) maps back into [begin, end).
+        for (std::uint64_t l = lr.lo; l < lr.hi; ++l) {
+            const std::uint64_t g = dev.globalIndex(c, l);
+            EXPECT_GE(g, begin);
+            EXPECT_LT(g, end);
+        }
+    }
+    EXPECT_EQ(total, end - begin);
+}
+
+TEST(Api, Figure12SortedListPattern)
+{
+    // The paper's example: find the 100 smallest values of a region.
+    RimeLibrary lib(smallConfig());
+    const std::size_t n = 1000;
+    auto values = randomU32(n, 31);
+
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+
+    std::vector<std::uint64_t> sorted_list;
+    for (int i = 0; i < 100; ++i) {
+        const auto item = lib.rimeMin(*start, end);
+        ASSERT_TRUE(item);
+        sorted_list.push_back(item->raw);
+    }
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(sorted_list[i], expect[i]) << i;
+    lib.rimeFree(*start);
+}
+
+TEST(Api, MinAddressesIdentifyTheSource)
+{
+    RimeLibrary lib(smallConfig());
+    const std::size_t n = 64;
+    auto values = randomU32(n, 33);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    lib.rimeInit(*start, *start + n * 4, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, *start + n * 4, KeyMode::UnsignedFixed, 32);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto item = lib.rimeMin(*start, *start + n * 4);
+        ASSERT_TRUE(item);
+        // The reported address must hold the reported value.
+        const std::uint64_t idx = (item->index - *start) / 4;
+        EXPECT_EQ(values[idx], item->raw);
+    }
+}
+
+TEST(Api, MaxStreamsDescending)
+{
+    RimeLibrary lib(smallConfig());
+    const std::size_t n = 200;
+    auto values = randomU32(n, 35);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    std::uint64_t prev = ~0ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto item = lib.rimeMax(*start, end);
+        ASSERT_TRUE(item);
+        EXPECT_LE(item->raw, prev);
+        prev = item->raw;
+    }
+    EXPECT_FALSE(lib.rimeMax(*start, end));
+}
+
+TEST(Api, SignedAndFloatModes)
+{
+    RimeLibrary lib(smallConfig());
+    // Signed.
+    {
+        std::vector<std::uint64_t> values;
+        for (const int v : {5, -3, 0, -100, 42, -1})
+            values.push_back(signedToRaw(v, 32));
+        const auto start = lib.rimeMalloc(values.size() * 4);
+        ASSERT_TRUE(start);
+        const Addr end = *start + values.size() * 4;
+        lib.rimeInit(*start, end, KeyMode::SignedFixed, 32);
+        lib.storeArray(*start, values);
+        lib.rimeInit(*start, end, KeyMode::SignedFixed, 32);
+        const auto item = lib.rimeMin(*start, end);
+        ASSERT_TRUE(item);
+        EXPECT_EQ(rawToSigned(item->raw, 32), -100);
+        lib.rimeFree(*start);
+    }
+    // Float.
+    {
+        std::vector<std::uint64_t> values;
+        for (const float f : {1.5f, -2.25f, 0.0f, 1e10f, -1e-10f})
+            values.push_back(floatToRaw(f));
+        const auto start = lib.rimeMalloc(values.size() * 4);
+        ASSERT_TRUE(start);
+        const Addr end = *start + values.size() * 4;
+        lib.rimeInit(*start, end, KeyMode::Float, 32);
+        lib.storeArray(*start, values);
+        lib.rimeInit(*start, end, KeyMode::Float, 32);
+        const auto mn = lib.rimeMin(*start, end);
+        ASSERT_TRUE(mn);
+        EXPECT_FLOAT_EQ(
+            rawToFloat(static_cast<std::uint32_t>(mn->raw)), -2.25f);
+        const auto mx = lib.rimeMax(*start, end);
+        ASSERT_TRUE(mx);
+        EXPECT_FLOAT_EQ(
+            rawToFloat(static_cast<std::uint32_t>(mx->raw)), 1e10f);
+        lib.rimeFree(*start);
+    }
+}
+
+TEST(Api, LiveStoreSurfacesImmediately)
+{
+    // The strict-priority-queue add path.
+    RimeLibrary lib(smallConfig());
+    const std::size_t n = 16;
+    std::vector<std::uint64_t> values(n, 1000);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+
+    auto item = lib.rimeMin(*start, end);
+    ASSERT_TRUE(item);
+    EXPECT_EQ(item->raw, 1000u);
+    // Insert a smaller packet at the extracted slot's neighbour.
+    lib.store(*start + 4, 7);
+    item = lib.rimeMin(*start, end);
+    ASSERT_TRUE(item);
+    EXPECT_EQ(item->raw, 7u);
+}
+
+TEST(Api, ClockAdvancesMonotonically)
+{
+    RimeLibrary lib(smallConfig());
+    const std::size_t n = 256;
+    auto values = randomU32(n, 41);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    Tick prev = lib.now();
+    lib.storeArray(*start, values);
+    EXPECT_GT(lib.now(), prev);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    prev = lib.now();
+    for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(lib.rimeMin(*start, end));
+        EXPECT_GT(lib.now(), prev);
+        prev = lib.now();
+    }
+    EXPECT_GT(lib.energyPJ(), 0.0);
+}
+
+TEST(Api, BitLevelAndFastDevicesAgree)
+{
+    RimeLibrary fast(smallConfig(false));
+    RimeLibrary exact(smallConfig(true));
+    const std::size_t n = 128;
+    auto values = randomU32(n, 43);
+    for (RimeLibrary *lib : {&fast, &exact}) {
+        const auto start = lib->rimeMalloc(n * 4);
+        ASSERT_TRUE(start);
+        const Addr end = *start + n * 4;
+        lib->rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+        lib->storeArray(*start, values);
+        lib->rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    }
+    const Addr fs = 0, es = 0; // both allocate at offset 0
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto a = fast.rimeMin(fs, fs + n * 4);
+        const auto b = exact.rimeMin(es, es + n * 4);
+        ASSERT_TRUE(a && b);
+        EXPECT_EQ(a->raw, b->raw) << i;
+        EXPECT_EQ(a->index, b->index) << i;
+    }
+    EXPECT_EQ(fast.now(), exact.now());
+}
+
+TEST(Api, ReInitRestartsTheStream)
+{
+    RimeLibrary lib(smallConfig());
+    const std::size_t n = 32;
+    auto values = randomU32(n, 47);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    const auto first = lib.rimeMin(*start, end);
+    lib.rimeMin(*start, end);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    const auto again = lib.rimeMin(*start, end);
+    ASSERT_TRUE(first && again);
+    EXPECT_EQ(first->raw, again->raw);
+    EXPECT_EQ(first->index, again->index);
+}
+
+TEST(Api, AllocationFailureReturnsNull)
+{
+    auto cfg = smallConfig();
+    LibraryConfig tiny = cfg;
+    RimeLibrary lib(tiny);
+    // Ask for more than the device capacity.
+    const auto cap = lib.device().capacityBytes();
+    EXPECT_FALSE(lib.rimeMalloc(cap + (1 << 20)));
+}

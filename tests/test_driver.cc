@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the RIME driver model (section V): contiguous allocation,
+ * page rounding, reservation growth, fragmentation-induced failure
+ * (NULL return), coalescing on free, and recovery after frees.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "rime/driver.hh"
+
+using namespace rime;
+
+namespace
+{
+
+DriverParams
+smallPages()
+{
+    DriverParams p;
+    p.pageBytes = 4096;
+    p.startupPages = 4;
+    p.growthPages = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(Driver, AllocationsAreDisjointAndAligned)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    const auto a = driver.allocate(5000);
+    const auto b = driver.allocate(5000);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(*a % 4096, 0u);
+    EXPECT_EQ(*b % 4096, 0u);
+    // 5000 bytes rounds to two pages.
+    EXPECT_GE(*b, *a + 8192);
+    EXPECT_EQ(driver.allocatedBytes(), 2 * 8192u);
+}
+
+TEST(Driver, ReservationGrowsOnDemand)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    EXPECT_EQ(driver.reservedBytes(), 4 * 4096u);
+    // Allocate beyond the startup reservation.
+    const auto a = driver.allocate(10 * 4096);
+    ASSERT_TRUE(a);
+    EXPECT_GE(driver.reservedBytes(), 10 * 4096u);
+}
+
+TEST(Driver, ExhaustionReturnsNull)
+{
+    RimeDriver driver(16 * 4096, smallPages());
+    const auto a = driver.allocate(16 * 4096);
+    ASSERT_TRUE(a);
+    EXPECT_FALSE(driver.allocate(4096));
+}
+
+TEST(Driver, FragmentationReturnsNullThenFreeRecovers)
+{
+    // Paper: "the user can try using rime_free to free up unnecessary
+    // allocated memory within the RIME region and try again".
+    RimeDriver driver(8 * 4096, smallPages());
+    const auto a = driver.allocate(3 * 4096);
+    const auto b = driver.allocate(2 * 4096);
+    const auto c = driver.allocate(3 * 4096);
+    ASSERT_TRUE(a && b && c);
+    // Free the outer two: 6 pages free but not contiguous.
+    driver.release(*a);
+    driver.release(*c);
+    EXPECT_FALSE(driver.allocate(5 * 4096));
+    EXPECT_EQ(driver.largestFreeExtent(), 3 * 4096u);
+    // Freeing the middle merges everything.
+    driver.release(*b);
+    EXPECT_EQ(driver.largestFreeExtent(), 8 * 4096u);
+    EXPECT_TRUE(driver.allocate(8 * 4096));
+}
+
+TEST(Driver, FreeCoalescesBothNeighbours)
+{
+    RimeDriver driver(16 * 4096, smallPages());
+    const auto a = driver.allocate(4096);
+    const auto b = driver.allocate(4096);
+    const auto c = driver.allocate(4096);
+    ASSERT_TRUE(a && b && c);
+    driver.release(*a);
+    driver.release(*c);
+    driver.release(*b); // merges with both sides
+    const auto big = driver.allocate(3 * 4096);
+    ASSERT_TRUE(big);
+    EXPECT_EQ(*big, *a);
+}
+
+TEST(Driver, ReuseAfterFreeIsFirstFit)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    const auto a = driver.allocate(4096);
+    driver.allocate(4096);
+    driver.release(*a);
+    const auto c = driver.allocate(4096);
+    ASSERT_TRUE(c);
+    EXPECT_EQ(*c, *a);
+}
+
+TEST(Driver, ZeroByteAllocationFails)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    EXPECT_FALSE(driver.allocate(0));
+}
+
+TEST(Driver, UnknownFreeIsFatal)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    EXPECT_THROW(driver.release(12345), FatalError);
+}
+
+TEST(Driver, AllocationSizeLookup)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    const auto a = driver.allocate(5000);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(driver.allocationSize(*a), 8192u);
+    EXPECT_EQ(driver.allocationSize(*a + 1), 0u);
+}
+
+TEST(Driver, LiveAllocationCount)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    const auto a = driver.allocate(4096);
+    const auto b = driver.allocate(4096);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(driver.liveAllocations(), 2u);
+    driver.release(*a);
+    EXPECT_EQ(driver.liveAllocations(), 1u);
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests of the system energy model and the Figure-19 qualitative
+ * claims: RIME reduces system energy by ~90%+ when it shortens the
+ * execution; HBM's extra static power costs it when it cannot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace rime;
+using namespace rime::energy;
+
+TEST(Energy, CpuStaticDominatesLongRuns)
+{
+    EnergyModel model;
+    const auto e = model.baseline(SystemKind::OffChipDdr4,
+                                  /*seconds=*/10.0,
+                                  /*instructions=*/1e9,
+                                  /*accesses=*/1e6, 64);
+    // 64 cores x 0.3 W + 8 W uncore = 27.2 W for 10 s = 272 J.
+    EXPECT_NEAR(e.cpuJoules, 272.1, 0.5);
+    EXPECT_GT(e.cpuJoules, e.memoryJoules);
+}
+
+TEST(Energy, HbmSystemCarriesIdleDram)
+{
+    EnergyModel model;
+    // Same execution time on both systems (a workload HBM cannot
+    // accelerate): the HBM system burns strictly more energy.
+    const double secs = 5.0;
+    const auto ddr = model.baseline(SystemKind::OffChipDdr4, secs,
+                                    1e9, 1e7, 64);
+    const auto hbm = model.baseline(SystemKind::InPackageHbm, secs,
+                                    1e9, 1e7, 64);
+    EXPECT_GT(hbm.total(), ddr.total());
+}
+
+TEST(Energy, HbmWinsWhenItShortensExecution)
+{
+    EnergyModel model;
+    const auto ddr = model.baseline(SystemKind::OffChipDdr4, 10.0,
+                                    1e9, 1e8, 64);
+    const auto hbm = model.baseline(SystemKind::InPackageHbm, 5.0,
+                                    1e9, 1e8, 64);
+    EXPECT_LT(hbm.total(), ddr.total() * 0.7);
+}
+
+TEST(Energy, RimeAchievesNinetyPercentReduction)
+{
+    // The Figure-19 situation: RIME cuts a 40 s sort to ~1.5 s;
+    // system energy falls by more than 90%.
+    EnergyModel model;
+    const auto ddr = model.baseline(SystemKind::OffChipDdr4, 40.0,
+                                    2e11, 5e8, 64);
+    // RIME: short run, little host work, ~2.5 J of device energy.
+    const auto rime = model.rimeSystem(1.5, 1e9, 2.5e12, 64, 1);
+    EXPECT_LT(rime.total(), ddr.total() * 0.10);
+}
+
+TEST(Energy, RimeDevicePowerStaysNearOneWatt)
+{
+    // 65M extractions at 51.3 nJ / 32 steps-worth each over ~2.3 s
+    // is about one watt, matching the paper's 1 W envelope claim.
+    const double extraction_nj = 51.3 * (24.0 / 32.0);
+    const double total_j = 65e6 * extraction_nj * 1e-9;
+    const double seconds = 65e6 / 28e6;
+    const double watts = total_j / seconds;
+    EXPECT_GT(watts, 0.4);
+    EXPECT_LT(watts, 1.5);
+}
+
+TEST(Energy, BreakdownTotals)
+{
+    EnergyBreakdown b;
+    b.cpuJoules = 1.0;
+    b.memoryJoules = 2.0;
+    b.rimeJoules = 3.0;
+    EXPECT_DOUBLE_EQ(b.total(), 6.0);
+}

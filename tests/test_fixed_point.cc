@@ -1,0 +1,66 @@
+/** @file Unit tests for the fixed-point format helper. */
+
+#include <gtest/gtest.h>
+
+#include "common/fixed_point.hh"
+
+using namespace rime;
+
+TEST(FixedPoint, UnsignedRoundTrip)
+{
+    FixedPointFormat fmt(3, 2, false); // Figure 4's alpha=3, beta=2
+    EXPECT_EQ(fmt.width(), 5u);
+    EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.fromDouble(1.25)), 1.25);
+    EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.fromDouble(6.5)), 6.5);
+    EXPECT_DOUBLE_EQ(fmt.maxValue(), 7.75);
+    EXPECT_DOUBLE_EQ(fmt.minValue(), 0.0);
+}
+
+TEST(FixedPoint, Figure4Patterns)
+{
+    FixedPointFormat fmt(3, 2, false);
+    EXPECT_EQ(fmt.fromDouble(4.00), 0b10000u);
+    EXPECT_EQ(fmt.fromDouble(1.75), 0b00111u);
+    EXPECT_EQ(fmt.fromDouble(1.25), 0b00101u);
+    EXPECT_EQ(fmt.fromDouble(1.00), 0b00100u);
+    EXPECT_EQ(fmt.fromDouble(6.50), 0b11010u);
+}
+
+TEST(FixedPoint, SignedRoundTrip)
+{
+    FixedPointFormat fmt(4, 4, true);
+    EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.fromDouble(-3.5)), -3.5);
+    EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.fromDouble(3.9375)), 3.9375);
+    EXPECT_DOUBLE_EQ(fmt.minValue(), -8.0);
+}
+
+TEST(FixedPoint, SaturatesOutOfRange)
+{
+    FixedPointFormat fmt(3, 2, false);
+    EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.fromDouble(100.0)),
+                     fmt.maxValue());
+    EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.fromDouble(-5.0)), 0.0);
+}
+
+TEST(FixedPoint, OrderingMatchesCodec)
+{
+    FixedPointFormat fmt(8, 8, true);
+    const double values[] = {-100.0, -1.5, -0.0625, 0.0, 0.0625,
+                             1.5, 100.0};
+    for (const double a : values) {
+        for (const double b : values) {
+            const auto ea = encodeKey(fmt.fromDouble(a), fmt.width(),
+                                      fmt.mode());
+            const auto eb = encodeKey(fmt.fromDouble(b), fmt.width(),
+                                      fmt.mode());
+            EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+        }
+    }
+}
+
+TEST(FixedPoint, RejectsBadFormats)
+{
+    EXPECT_THROW(FixedPointFormat(0, 0, false), FatalError);
+    EXPECT_THROW(FixedPointFormat(60, 10, false), FatalError);
+    EXPECT_THROW(FixedPointFormat(0, 8, true), FatalError);
+}

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Property tests for the order-preserving key codecs: encoded unsigned
+ * order must equal numeric order in every data-type mode, and the
+ * per-step search polarity must drive Algorithm 1 to the numeric
+ * minimum/maximum (checked against the reference implementation in
+ * test_rimehw_chip.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/key_codec.hh"
+#include "common/rng.hh"
+
+using namespace rime;
+
+TEST(KeyCodec, UnsignedIsIdentity)
+{
+    EXPECT_EQ(encodeKey(0x1234, 16, KeyMode::UnsignedFixed), 0x1234u);
+    EXPECT_EQ(decodeKey(0x1234, 16, KeyMode::UnsignedFixed), 0x1234u);
+}
+
+TEST(KeyCodec, RoundTripAllModes)
+{
+    Rng rng(7);
+    for (const auto mode : {KeyMode::UnsignedFixed,
+                            KeyMode::SignedFixed, KeyMode::Float}) {
+        for (const unsigned k : {8u, 16u, 32u, 64u}) {
+            for (int i = 0; i < 2000; ++i) {
+                const std::uint64_t mask =
+                    k >= 64 ? ~0ULL : (1ULL << k) - 1;
+                const std::uint64_t raw = rng() & mask;
+                EXPECT_EQ(decodeKey(encodeKey(raw, k, mode), k, mode),
+                          raw);
+            }
+        }
+    }
+}
+
+TEST(KeyCodec, SignedOrderMatchesNumericOrder)
+{
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned k = 32;
+        const auto a = static_cast<std::int32_t>(rng());
+        const auto b = static_cast<std::int32_t>(rng());
+        const auto ea = encodeKey(signedToRaw(a, k), k,
+                                  KeyMode::SignedFixed);
+        const auto eb = encodeKey(signedToRaw(b, k), k,
+                                  KeyMode::SignedFixed);
+        EXPECT_EQ(a < b, ea < eb) << a << " vs " << b;
+    }
+}
+
+TEST(KeyCodec, SignedNarrowWidths)
+{
+    // Exhaustive for 8-bit signed.
+    for (int a = -128; a <= 127; ++a) {
+        for (int b = -128; b <= 127; ++b) {
+            const auto ea = encodeKey(signedToRaw(a, 8), 8,
+                                      KeyMode::SignedFixed);
+            const auto eb = encodeKey(signedToRaw(b, 8), 8,
+                                      KeyMode::SignedFixed);
+            ASSERT_EQ(a < b, ea < eb);
+        }
+    }
+}
+
+TEST(KeyCodec, FloatOrderMatchesNumericOrder)
+{
+    Rng rng(13);
+    std::vector<float> pool;
+    for (int i = 0; i < 4000; ++i) {
+        const float f = static_cast<float>(
+            rng.uniform(-1e6, 1e6));
+        pool.push_back(f);
+    }
+    // Edge values.
+    pool.push_back(0.0f);
+    pool.push_back(-0.0f);
+    pool.push_back(1e-38f);
+    pool.push_back(-1e-38f);
+    pool.push_back(3.4e38f);
+    pool.push_back(-3.4e38f);
+    pool.push_back(1.5f);
+    pool.push_back(-1.5f);
+
+    for (std::size_t i = 0; i + 1 < pool.size(); i += 2) {
+        const float a = pool[i];
+        const float b = pool[i + 1];
+        const auto ea = encodeKey(floatToRaw(a), 32, KeyMode::Float);
+        const auto eb = encodeKey(floatToRaw(b), 32, KeyMode::Float);
+        if (a < b)
+            EXPECT_LT(ea, eb) << a << " vs " << b;
+        else if (b < a)
+            EXPECT_LT(eb, ea) << a << " vs " << b;
+    }
+}
+
+TEST(KeyCodec, FloatSortViaEncoding)
+{
+    Rng rng(17);
+    std::vector<float> values;
+    for (int i = 0; i < 1000; ++i)
+        values.push_back(static_cast<float>(rng.uniform(-50, 50)));
+    std::vector<std::uint64_t> enc;
+    for (float f : values)
+        enc.push_back(encodeKey(floatToRaw(f), 32, KeyMode::Float));
+    std::sort(values.begin(), values.end());
+    std::sort(enc.begin(), enc.end());
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const float back = rawToFloat(static_cast<std::uint32_t>(
+            decodeKey(enc[i], 32, KeyMode::Float)));
+        // -0.0 and 0.0 compare equal but have distinct encodings; the
+        // encoded order places -0.0 first, which is a valid sort.
+        if (values[i] == 0.0f)
+            EXPECT_EQ(back, 0.0f);
+        else
+            EXPECT_EQ(back, values[i]);
+    }
+}
+
+TEST(KeyCodec, DoubleOrderMatchesNumericOrder)
+{
+    Rng rng(19);
+    for (int i = 0; i < 20000; ++i) {
+        const double a = rng.uniform(-1e12, 1e12);
+        const double b = rng.uniform(-1e12, 1e12);
+        const auto ea = encodeKey(doubleToRaw(a), 64, KeyMode::Float);
+        const auto eb = encodeKey(doubleToRaw(b), 64, KeyMode::Float);
+        EXPECT_EQ(a < b, ea < eb);
+    }
+}
+
+TEST(KeyCodec, SearchPolarityUnsigned)
+{
+    // Unsigned min scans always search for 1s to exclude.
+    for (unsigned pos = 0; pos < 32; ++pos) {
+        EXPECT_TRUE(searchPolarity(pos, 32, KeyMode::UnsignedFixed,
+                                   false, false));
+        EXPECT_FALSE(searchPolarity(pos, 32, KeyMode::UnsignedFixed,
+                                    false, true));
+    }
+}
+
+TEST(KeyCodec, SearchPolaritySignBit)
+{
+    // Signed / float min: the sign step searches for 0s (excluding
+    // the non-negatives), as section III-A-2 describes.
+    EXPECT_FALSE(searchPolarity(31, 32, KeyMode::SignedFixed, false,
+                                false));
+    EXPECT_FALSE(searchPolarity(31, 32, KeyMode::Float, false, false));
+    // Later signed steps search 1s regardless of sign.
+    EXPECT_TRUE(searchPolarity(30, 32, KeyMode::SignedFixed, true,
+                               false));
+    // Float with negative survivors searches 0s (the value with the
+    // maximum magnitude is the minimum), per the Figure 5 example.
+    EXPECT_FALSE(searchPolarity(30, 32, KeyMode::Float, true, false));
+    EXPECT_TRUE(searchPolarity(30, 32, KeyMode::Float, false, false));
+}
+
+TEST(KeyCodec, SignedRawRoundTrip)
+{
+    for (const int v : {-128, -1, 0, 1, 127}) {
+        EXPECT_EQ(rawToSigned(signedToRaw(v, 8), 8), v);
+    }
+    EXPECT_EQ(rawToSigned(signedToRaw(-(1LL << 31), 32), 32),
+              -(1LL << 31));
+}
+
+TEST(KeyCodec, ModeNames)
+{
+    EXPECT_STREQ(keyModeName(KeyMode::UnsignedFixed),
+                 "unsigned-fixed");
+    EXPECT_STREQ(keyModeName(KeyMode::SignedFixed), "signed-fixed");
+    EXPECT_STREQ(keyModeName(KeyMode::Float), "float");
+}

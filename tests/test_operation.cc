@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests of the Figure-14 host orchestration (RimeOperation through
+ * the library): multi-channel striping, buffered-merge timing
+ * behaviour, insert-buffer semantics under interleaved stores,
+ * direction mixing, and the ablation knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hh"
+#include "rime/ops.hh"
+
+using namespace rime;
+
+namespace
+{
+
+LibraryConfig
+config(unsigned channels, unsigned chips, unsigned depth = 4)
+{
+    LibraryConfig cfg;
+    cfg.device.channels = channels;
+    cfg.device.bufferDepth = depth;
+    cfg.device.geometry.chipsPerChannel = chips;
+    cfg.device.geometry.banksPerChip = 4;
+    cfg.device.geometry.subbanksPerBank = 8;
+    cfg.device.geometry.arrayRows = 128;
+    cfg.device.geometry.arrayCols = 64;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+randomU32(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng() & 0xFFFFFFFFULL;
+    return v;
+}
+
+double
+sortSeconds(const LibraryConfig &cfg, std::size_t n)
+{
+    RimeLibrary lib(cfg);
+    auto values = randomU32(n, 5);
+    return rimeSort(lib, values, KeyMode::UnsignedFixed).seconds;
+}
+
+} // namespace
+
+TEST(Operation, MultiChannelSortCorrect)
+{
+    // The Figure-14 example topology: two channels of eight chips.
+    RimeLibrary lib(config(2, 8));
+    auto values = randomU32(4000, 3);
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(rimeSort(lib, values, KeyMode::UnsignedFixed).values,
+              expect);
+}
+
+TEST(Operation, MoreChipsAreFaster)
+{
+    const double t1 = sortSeconds(config(1, 1), 2000);
+    const double t4 = sortSeconds(config(1, 4), 2000);
+    const double t8 = sortSeconds(config(1, 8), 2000);
+    EXPECT_GT(t1, t4 * 1.5);
+    EXPECT_GT(t4, t8 * 1.2);
+}
+
+TEST(Operation, MoreChannelsAreFaster)
+{
+    const double c1 = sortSeconds(config(1, 4), 4000);
+    const double c4 = sortSeconds(config(4, 4), 4000);
+    EXPECT_GT(c1, c4 * 1.5);
+}
+
+TEST(Operation, DeeperBuffersNoSlower)
+{
+    const double d1 = sortSeconds(config(1, 4, 1), 2000);
+    const double d8 = sortSeconds(config(1, 4, 8), 2000);
+    EXPECT_GE(d1, d8);
+}
+
+TEST(Operation, EarlyTerminationSpeedsScans)
+{
+    auto cfg = config(1, 4);
+    const double on = sortSeconds(cfg, 2000);
+    cfg.device.timing.earlyTermination = false;
+    const double off = sortSeconds(cfg, 2000);
+    EXPECT_GT(off, on);
+}
+
+TEST(Operation, InterleavedStoresKeepOrderCorrect)
+{
+    // A stream of stores interleaved with min extractions must always
+    // surface the true minimum (insert-buffer path).
+    RimeLibrary lib(config(1, 4));
+    const std::size_t n = 512;
+    auto values = randomU32(n, 9);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+
+    // Mirror with a multiset.
+    std::multiset<std::uint64_t> mirror(values.begin(), values.end());
+    Rng rng(11);
+    std::vector<std::uint8_t> taken(n, 0);
+    for (int step = 0; step < 300; ++step) {
+        if (rng.below(2) == 0) {
+            // Overwrite a random not-yet-extracted slot.
+            const std::uint64_t idx = rng.below(n);
+            if (taken[idx])
+                continue;
+            const std::uint64_t neu = rng() & 0xFFFFFFFFULL;
+            mirror.erase(mirror.find(values[idx]));
+            mirror.insert(neu);
+            values[idx] = neu;
+            lib.store(*start + idx * 4, neu);
+        } else {
+            if (mirror.empty())
+                break;
+            const auto item = lib.rimeMin(*start, end);
+            ASSERT_TRUE(item);
+            EXPECT_EQ(item->raw, *mirror.begin()) << step;
+            mirror.erase(mirror.begin());
+            taken[(item->index - *start) / 4] = 1;
+        }
+    }
+}
+
+TEST(Operation, MixedMinAndMaxDrainTheRange)
+{
+    RimeLibrary lib(config(1, 4));
+    const std::size_t n = 100;
+    auto values = randomU32(n, 13);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+    std::size_t lo = 0;
+    std::size_t hi = n;
+    // Alternate min and max; together they drain the sorted range
+    // from both ends (shared exclusion latches).
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 2 == 0) {
+            const auto item = lib.rimeMin(*start, end);
+            ASSERT_TRUE(item);
+            EXPECT_EQ(item->raw, expect[lo++]);
+        } else {
+            const auto item = lib.rimeMax(*start, end);
+            ASSERT_TRUE(item);
+            EXPECT_EQ(item->raw, expect[--hi]);
+        }
+    }
+    EXPECT_FALSE(lib.rimeMin(*start, end));
+    EXPECT_FALSE(lib.rimeMax(*start, end));
+}
+
+TEST(Operation, ConcurrentRangesProgressIndependently)
+{
+    RimeLibrary lib(config(1, 4));
+    const std::size_t n = 256;
+    auto a = randomU32(n, 17);
+    auto b = randomU32(n, 19);
+    const auto sa = lib.rimeMalloc(n * 4);
+    const auto sb = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(sa && sb);
+    lib.rimeInit(*sa, *sa + n * 4, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*sa, a);
+    lib.storeArray(*sb, b);
+    lib.rimeInit(*sa, *sa + n * 4, KeyMode::UnsignedFixed, 32);
+    lib.rimeInit(*sb, *sb + n * 4, KeyMode::UnsignedFixed, 32);
+
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto ia = lib.rimeMin(*sa, *sa + n * 4);
+        const auto ib = lib.rimeMin(*sb, *sb + n * 4);
+        ASSERT_TRUE(ia && ib);
+        EXPECT_EQ(ia->raw, a[i]);
+        EXPECT_EQ(ib->raw, b[i]);
+    }
+}
+
+TEST(Operation, RemainingTracksExtractionsAndInit)
+{
+    RimeLibrary lib(config(1, 4));
+    const std::size_t n = 64;
+    auto values = randomU32(n, 23);
+    const auto start = lib.rimeMalloc(n * 4);
+    ASSERT_TRUE(start);
+    const Addr end = *start + n * 4;
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    lib.storeArray(*start, values);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    EXPECT_EQ(lib.rimeRemaining(*start, end), n);
+    for (int i = 0; i < 10; ++i)
+        lib.rimeMin(*start, end);
+    EXPECT_EQ(lib.rimeRemaining(*start, end), n - 10);
+    lib.rimeInit(*start, end, KeyMode::UnsignedFixed, 32);
+    EXPECT_EQ(lib.rimeRemaining(*start, end), n);
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests of the high-level kernels (sort / top-k / k-th order
+ * statistic / merge / merge-join) built on the RIME API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hh"
+#include "rime/ops.hh"
+
+using namespace rime;
+
+namespace
+{
+
+LibraryConfig
+smallConfig()
+{
+    LibraryConfig cfg;
+    cfg.device.channels = 1;
+    cfg.device.geometry.chipsPerChannel = 4;
+    cfg.device.geometry.banksPerChip = 2;
+    cfg.device.geometry.subbanksPerBank = 4;
+    cfg.device.geometry.arrayRows = 64;
+    cfg.device.geometry.arrayCols = 64;
+    return cfg;
+}
+
+std::vector<std::uint64_t>
+randomU32(std::size_t n, std::uint64_t seed, std::uint64_t mask =
+          0xFFFFFFFFULL)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> v(n);
+    for (auto &x : v)
+        x = rng() & mask;
+    return v;
+}
+
+} // namespace
+
+TEST(Ops, SortMatchesStdSort)
+{
+    RimeLibrary lib(smallConfig());
+    auto values = randomU32(500, 3);
+    const auto result = rimeSort(lib, values, KeyMode::UnsignedFixed);
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+    ASSERT_EQ(result.values.size(), expect.size());
+    EXPECT_EQ(result.values, expect);
+    EXPECT_GT(result.seconds, 0.0);
+    EXPECT_GT(result.energyPJ, 0.0);
+    EXPECT_GT(result.throughputKeysPerSec(), 0.0);
+}
+
+TEST(Ops, SortWithDuplicates)
+{
+    RimeLibrary lib(smallConfig());
+    auto values = randomU32(400, 5, 0xF); // heavy duplication
+    const auto result = rimeSort(lib, values, KeyMode::UnsignedFixed);
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(result.values, expect);
+}
+
+TEST(Ops, EmptyAndSingleton)
+{
+    RimeLibrary lib(smallConfig());
+    const std::vector<std::uint64_t> empty;
+    EXPECT_TRUE(rimeSort(lib, empty, KeyMode::UnsignedFixed)
+                .values.empty());
+    const std::vector<std::uint64_t> one{42};
+    const auto r = rimeSort(lib, one, KeyMode::UnsignedFixed);
+    ASSERT_EQ(r.values.size(), 1u);
+    EXPECT_EQ(r.values[0], 42u);
+}
+
+TEST(Ops, TopKSmallestAndLargest)
+{
+    RimeLibrary lib(smallConfig());
+    auto values = randomU32(300, 7);
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+
+    const auto smallest = rimeTopK(lib, values, 10, false,
+                                   KeyMode::UnsignedFixed);
+    ASSERT_EQ(smallest.values.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(smallest.values[i], expect[i]);
+
+    const auto largest = rimeTopK(lib, values, 10, true,
+                                  KeyMode::UnsignedFixed);
+    ASSERT_EQ(largest.values.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(largest.values[i], expect[expect.size() - 1 - i]);
+}
+
+TEST(Ops, KthSmallest)
+{
+    RimeLibrary lib(smallConfig());
+    auto values = randomU32(200, 9);
+    auto expect = values;
+    std::sort(expect.begin(), expect.end());
+    const auto kth = rimeKthSmallest(lib, values, 50,
+                                     KeyMode::UnsignedFixed);
+    ASSERT_TRUE(kth);
+    EXPECT_EQ(*kth, expect[49]);
+    EXPECT_FALSE(rimeKthSmallest(lib, values, 0,
+                                 KeyMode::UnsignedFixed));
+    EXPECT_FALSE(rimeKthSmallest(lib, values, 201,
+                                 KeyMode::UnsignedFixed));
+}
+
+TEST(Ops, MergeProducesOrderedUnion)
+{
+    RimeLibrary lib(smallConfig());
+    auto a = randomU32(150, 11);
+    auto b = randomU32(100, 13);
+    const auto result = rimeMerge(lib, a, b, KeyMode::UnsignedFixed);
+    std::vector<std::uint64_t> expect = a;
+    expect.insert(expect.end(), b.begin(), b.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(result.values, expect);
+}
+
+TEST(Ops, MergeFigure6Example)
+{
+    RimeLibrary lib(smallConfig());
+    const std::vector<std::uint64_t> a{5, 1, 3, 7, 10};
+    const std::vector<std::uint64_t> b{4, 8, 5};
+    const auto merged = rimeMerge(lib, a, b, KeyMode::UnsignedFixed);
+    EXPECT_EQ(merged.values, (std::vector<std::uint64_t>{
+        1, 3, 4, 5, 5, 7, 8, 10}));
+    const auto joined = rimeMergeJoin(lib, a, b,
+                                      KeyMode::UnsignedFixed);
+    EXPECT_EQ(joined.values, (std::vector<std::uint64_t>{5}));
+}
+
+TEST(Ops, MergeJoinMatchesSetIntersection)
+{
+    RimeLibrary lib(smallConfig());
+    auto a = randomU32(200, 17, 0xFF);
+    auto b = randomU32(200, 19, 0xFF);
+    const auto result = rimeMergeJoin(lib, a, b,
+                                      KeyMode::UnsignedFixed);
+    std::set<std::uint64_t> sa(a.begin(), a.end());
+    std::set<std::uint64_t> sb(b.begin(), b.end());
+    std::vector<std::uint64_t> expect;
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(expect));
+    EXPECT_EQ(result.values, expect);
+}
+
+TEST(Ops, MergeWithEmptySide)
+{
+    RimeLibrary lib(smallConfig());
+    auto a = randomU32(50, 21);
+    const std::vector<std::uint64_t> empty;
+    const auto result = rimeMerge(lib, a, empty,
+                                  KeyMode::UnsignedFixed);
+    auto expect = a;
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(result.values, expect);
+}
+
+TEST(Ops, FloatSort)
+{
+    RimeLibrary lib(smallConfig());
+    Rng rng(23);
+    std::vector<float> floats;
+    std::vector<std::uint64_t> raws;
+    for (int i = 0; i < 200; ++i) {
+        const float f = static_cast<float>(rng.uniform(-100, 100));
+        floats.push_back(f);
+        raws.push_back(floatToRaw(f));
+    }
+    const auto result = rimeSort(lib, raws, KeyMode::Float);
+    std::sort(floats.begin(), floats.end());
+    ASSERT_EQ(result.values.size(), floats.size());
+    for (std::size_t i = 0; i < floats.size(); ++i) {
+        EXPECT_FLOAT_EQ(rawToFloat(static_cast<std::uint32_t>(
+            result.values[i])), floats[i]);
+    }
+}
+
+TEST(Ops, RepeatedKernelsReuseTheLibrary)
+{
+    RimeLibrary lib(smallConfig());
+    for (int round = 0; round < 5; ++round) {
+        auto values = randomU32(100, 100 + round);
+        auto expect = values;
+        std::sort(expect.begin(), expect.end());
+        EXPECT_EQ(rimeSort(lib, values, KeyMode::UnsignedFixed).values,
+                  expect);
+    }
+    // All regions were freed: the full capacity is allocatable again.
+    EXPECT_TRUE(lib.rimeMalloc(lib.device().capacityBytes() / 2));
+}
+
+TEST(Ops, KWayMergeMatchesSortedConcatenation)
+{
+    // Five regions need more capacity than the tiny default config.
+    LibraryConfig cfg = smallConfig();
+    cfg.device.geometry.banksPerChip = 8;
+    cfg.device.geometry.arrayRows = 128;
+    RimeLibrary lib(cfg);
+    std::vector<std::vector<std::uint64_t>> sets;
+    std::vector<std::uint64_t> expect;
+    for (int s = 0; s < 5; ++s) {
+        sets.push_back(randomU32(40 + 17 * s, 300 + s));
+        expect.insert(expect.end(), sets.back().begin(),
+                      sets.back().end());
+    }
+    std::sort(expect.begin(), expect.end());
+    const auto result = rimeMergeK(lib, sets,
+                                   KeyMode::UnsignedFixed);
+    EXPECT_EQ(result.values, expect);
+}
+
+TEST(Ops, KWayMergeWithEmptySets)
+{
+    RimeLibrary lib(smallConfig());
+    std::vector<std::vector<std::uint64_t>> sets(3);
+    sets[1] = randomU32(25, 7);
+    auto expect = sets[1];
+    std::sort(expect.begin(), expect.end());
+    const auto result = rimeMergeK(lib, sets,
+                                   KeyMode::UnsignedFixed);
+    EXPECT_EQ(result.values, expect);
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the multicore execution-time model, the baseline
+ * performance model, and the paper's qualitative performance claims:
+ * radixsort wins with unlimited bandwidth, quicksort wins on real
+ * memories (Figure 2), and HBM beats DDR4.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perfmodel/baseline.hh"
+
+using namespace rime;
+using namespace rime::cpusim;
+using namespace rime::perfmodel;
+
+TEST(MulticoreModel, ComputeBoundScalesWithCores)
+{
+    MulticoreModel model;
+    WorkloadProfile w;
+    w.instructions = 1e9;
+    w.baseIpc = 2.0;
+    w.parallelFraction = 1.0;
+    MemoryEnvironment env;
+    env.sustainedGBps = 1e9; // effectively unconstrained
+    const auto one = model.estimate(w, 1, env);
+    const auto four = model.estimate(w, 4, env);
+    EXPECT_NEAR(one.totalSeconds / four.totalSeconds, 4.0, 1e-6);
+}
+
+TEST(MulticoreModel, AmdahlLimitsScaling)
+{
+    MulticoreModel model;
+    WorkloadProfile w;
+    w.instructions = 1e9;
+    w.parallelFraction = 0.5;
+    MemoryEnvironment env;
+    env.sustainedGBps = 1e9;
+    const auto one = model.estimate(w, 1, env);
+    const auto many = model.estimate(w, 1024, env);
+    EXPECT_LT(one.totalSeconds / many.totalSeconds, 2.01);
+}
+
+TEST(MulticoreModel, BandwidthBoundDominatesWhenStarved)
+{
+    MulticoreModel model;
+    WorkloadProfile w;
+    w.instructions = 1e6; // negligible compute
+    w.memReads = 1e8;     // 6.4 GB of traffic
+    w.mlp = 16;
+    MemoryEnvironment env;
+    env.sustainedGBps = 10.0;
+    const auto est = model.estimate(w, 64, env);
+    EXPECT_NEAR(est.totalSeconds, 6.4e9 / 10e9, 1e-3);
+    EXPECT_EQ(est.totalSeconds, est.bandwidthSeconds);
+}
+
+TEST(MulticoreModel, LatencyBoundForDependentMisses)
+{
+    MulticoreModel model;
+    WorkloadProfile w;
+    w.instructions = 1e6;
+    w.memReads = 1e7;
+    w.mlp = 1.0; // fully dependent chain
+    MemoryEnvironment env;
+    env.sustainedGBps = 1e6; // bandwidth never the issue
+    env.loadedLatencyNs = 100.0;
+    const auto est = model.estimate(w, 1, env);
+    EXPECT_NEAR(est.totalSeconds, 1e7 * 100e-9, 1e-6);
+}
+
+TEST(BaselinePerf, EnvironmentsAreCachedAndOrdered)
+{
+    BaselinePerfModel model;
+    const auto ddr_seq = model.environment(
+        SystemKind::OffChipDdr4, memsim::AccessPattern::Sequential,
+        16);
+    const auto ddr_rnd = model.environment(
+        SystemKind::OffChipDdr4, memsim::AccessPattern::Random, 16);
+    const auto hbm_seq = model.environment(
+        SystemKind::InPackageHbm, memsim::AccessPattern::Sequential,
+        16);
+    EXPECT_GT(ddr_seq.sustainedGBps, ddr_rnd.sustainedGBps);
+    EXPECT_GT(hbm_seq.sustainedGBps, ddr_seq.sustainedGBps);
+    // Second lookup hits the cache (same value).
+    const auto again = model.environment(
+        SystemKind::OffChipDdr4, memsim::AccessPattern::Sequential,
+        16);
+    EXPECT_EQ(again.sustainedGBps, ddr_seq.sustainedGBps);
+}
+
+TEST(BaselinePerf, Figure2Shapes)
+{
+    // R/S wins with unlimited bandwidth; with realistic memories it
+    // loses its lead (Q/S overtakes it on DDR4).
+    BaselinePerfModel model;
+    sort::SortModel::Config cfg;
+    cfg.sampleCap = 1 << 18;
+    sort::SortModel sorts(cfg);
+    const std::uint64_t n = 16ULL << 20;
+    const unsigned cores = 64;
+
+    const double rs_unl = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Radixsort, n, cores,
+        SystemKind::Unlimited);
+    const double qs_unl = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Quicksort, n, cores,
+        SystemKind::Unlimited);
+    EXPECT_GT(rs_unl, qs_unl);
+
+    const double rs_ddr = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Radixsort, n, cores,
+        SystemKind::OffChipDdr4);
+    const double qs_ddr = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Quicksort, n, cores,
+        SystemKind::OffChipDdr4);
+    EXPECT_GT(qs_ddr, rs_ddr);
+}
+
+TEST(BaselinePerf, HbmBeatsDdr4ForEverySort)
+{
+    BaselinePerfModel model;
+    sort::SortModel::Config cfg;
+    cfg.sampleCap = 1 << 18;
+    sort::SortModel sorts(cfg);
+    const std::uint64_t n = 16ULL << 20;
+    for (const auto algo : sort::allAlgorithms) {
+        const double ddr = model.sortThroughputMKps(
+            sorts, algo, n, 64, SystemKind::OffChipDdr4);
+        const double hbm = model.sortThroughputMKps(
+            sorts, algo, n, 64, SystemKind::InPackageHbm);
+        EXPECT_GT(hbm, ddr) << sort::algorithmName(algo);
+        EXPECT_GT(ddr, 0.0);
+    }
+}
+
+TEST(BaselinePerf, ThroughputDropsWithDataSize)
+{
+    BaselinePerfModel model;
+    sort::SortModel::Config cfg;
+    cfg.sampleCap = 1 << 18;
+    sort::SortModel sorts(cfg);
+    const double small = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Mergesort, 1ULL << 20, 64,
+        SystemKind::OffChipDdr4);
+    const double large = model.sortThroughputMKps(
+        sorts, sort::Algorithm::Mergesort, 64ULL << 20, 64,
+        SystemKind::OffChipDdr4);
+    EXPECT_GT(small, large);
+}

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests of the RIME-backed strict priority queue: ordering, sentinel
+ * handling, decrease-key by in-place store, payload integrity,
+ * interleaved add/remove schedules against a reference heap, and the
+ * float key mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/rng.hh"
+#include "workloads/rime_pq.hh"
+
+using namespace rime;
+using namespace rime::workloads;
+
+namespace
+{
+
+LibraryConfig
+smallConfig()
+{
+    LibraryConfig cfg;
+    cfg.device.channels = 1;
+    cfg.device.geometry.chipsPerChannel = 4;
+    cfg.device.geometry.banksPerChip = 4;
+    cfg.device.geometry.subbanksPerBank = 8;
+    cfg.device.geometry.arrayRows = 128;
+    cfg.device.geometry.arrayCols = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(RimePq, PopsInKeyOrder)
+{
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 100, KeyMode::UnsignedFixed);
+    const std::uint32_t keys[] = {50, 10, 40, 20, 30};
+    for (const auto k : keys)
+        pq.push(k);
+    EXPECT_EQ(pq.size(), 5u);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 5; ++i) {
+        const auto e = pq.pop();
+        ASSERT_TRUE(e);
+        EXPECT_GE(e->first, prev);
+        prev = e->first;
+    }
+    EXPECT_TRUE(pq.empty());
+    EXPECT_FALSE(pq.pop());
+}
+
+TEST(RimePq, PayloadsFollowTheirKeys)
+{
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 64, KeyMode::UnsignedFixed);
+    for (std::uint64_t i = 0; i < 32; ++i)
+        pq.push(1000 - i * 10, /*payload=*/i);
+    for (std::uint64_t expect = 31; expect != ~0ULL; --expect) {
+        const auto e = pq.pop();
+        ASSERT_TRUE(e);
+        EXPECT_EQ(e->first, 1000 - expect * 10);
+        EXPECT_EQ(e->second, expect);
+        if (expect == 0)
+            break;
+    }
+}
+
+TEST(RimePq, DecreaseKeyTakesEffect)
+{
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 16, KeyMode::UnsignedFixed);
+    pq.push(100, 1);
+    const auto slot = pq.push(500, 2);
+    pq.push(300, 3);
+    pq.update(slot, 50); // element 2 becomes the min
+    auto e = pq.pop();
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->second, 2u);
+    EXPECT_EQ(e->first, 50u);
+    e = pq.pop();
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->second, 1u);
+}
+
+TEST(RimePq, RandomScheduleMatchesStdPriorityQueue)
+{
+    RimeLibrary lib(smallConfig());
+    const std::uint64_t ops = 3000;
+    RimePriorityQueue pq(lib, ops + 1, KeyMode::UnsignedFixed);
+    using Ref = std::priority_queue<std::uint32_t,
+                                    std::vector<std::uint32_t>,
+                                    std::greater<>>;
+    Ref ref;
+    Rng rng(77);
+    for (std::uint64_t i = 0; i < ops; ++i) {
+        if (ref.empty() || rng.below(3) != 0) {
+            const auto k =
+                static_cast<std::uint32_t>(rng()) & 0x7FFFFFFF;
+            pq.push(k);
+            ref.push(k);
+        } else {
+            const auto got = pq.pop();
+            ASSERT_TRUE(got);
+            EXPECT_EQ(got->first, ref.top());
+            ref.pop();
+        }
+        ASSERT_EQ(pq.size(), ref.size());
+    }
+    while (!ref.empty()) {
+        const auto got = pq.pop();
+        ASSERT_TRUE(got);
+        EXPECT_EQ(got->first, ref.top());
+        ref.pop();
+    }
+}
+
+TEST(RimePq, FloatKeys)
+{
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 16, KeyMode::Float);
+    const float keys[] = {3.5f, -2.0f, 0.25f, -10.5f};
+    for (std::uint64_t i = 0; i < 4; ++i)
+        pq.push(floatToRaw(keys[i]), i);
+    float prev = -1e30f;
+    for (int i = 0; i < 4; ++i) {
+        const auto e = pq.pop();
+        ASSERT_TRUE(e);
+        const float f = rawToFloat(
+            static_cast<std::uint32_t>(e->first));
+        EXPECT_GE(f, prev);
+        prev = f;
+    }
+}
+
+TEST(RimePq, SentinelCollisionIsFatal)
+{
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 8, KeyMode::UnsignedFixed);
+    EXPECT_THROW(pq.push(pq.sentinelRaw()), FatalError);
+}
+
+TEST(RimePq, CapacityExhaustionIsFatal)
+{
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 2, KeyMode::UnsignedFixed);
+    pq.push(1);
+    pq.push(2);
+    EXPECT_THROW(pq.push(3), FatalError);
+}
+
+TEST(RimePq, SlotsAreNotReusedUntilReinit)
+{
+    // Popped slots keep their exclusion latches: the queue drains
+    // even when the same keys are pushed to fresh slots.
+    RimeLibrary lib(smallConfig());
+    RimePriorityQueue pq(lib, 8, KeyMode::UnsignedFixed);
+    pq.push(5);
+    EXPECT_TRUE(pq.pop());
+    pq.push(5);
+    const auto e = pq.pop();
+    ASSERT_TRUE(e);
+    EXPECT_EQ(e->first, 5u);
+    EXPECT_TRUE(pq.empty());
+}

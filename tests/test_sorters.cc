@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Tests of the instrumented baseline sorting algorithms: correctness
+ * on random and adversarial inputs, operation counting, access-stream
+ * generation, and sanity of the traffic scaling model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hh"
+#include "sort/parallel_model.hh"
+#include "sort/sorters.hh"
+
+using namespace rime;
+using namespace rime::sort;
+
+namespace
+{
+
+Keys
+randomKeys(std::size_t n, std::uint64_t seed,
+           std::uint32_t mask = ~0u)
+{
+    Rng rng(seed);
+    Keys keys(n);
+    for (auto &k : keys)
+        k = static_cast<std::uint32_t>(rng()) & mask;
+    return keys;
+}
+
+class SorterTest : public ::testing::TestWithParam<Algorithm>
+{};
+
+} // namespace
+
+TEST_P(SorterTest, SortsRandomInput)
+{
+    NullSink sink;
+    Keys keys = randomKeys(10000, 3);
+    Keys expect = keys;
+    std::sort(expect.begin(), expect.end());
+    runSort(GetParam(), keys, 0, sink);
+    EXPECT_EQ(keys, expect);
+}
+
+TEST_P(SorterTest, SortsAdversarialInputs)
+{
+    NullSink sink;
+    for (int shape = 0; shape < 5; ++shape) {
+        Keys keys;
+        const std::size_t n = 2000;
+        switch (shape) {
+          case 0: // already sorted
+            for (std::size_t i = 0; i < n; ++i)
+                keys.push_back(static_cast<std::uint32_t>(i));
+            break;
+          case 1: // reverse sorted
+            for (std::size_t i = n; i-- > 0;)
+                keys.push_back(static_cast<std::uint32_t>(i));
+            break;
+          case 2: // all equal
+            keys.assign(n, 7);
+            break;
+          case 3: // two values
+            keys = randomKeys(n, 5, 1);
+            break;
+          case 4: // sawtooth
+            for (std::size_t i = 0; i < n; ++i)
+                keys.push_back(static_cast<std::uint32_t>(i % 17));
+            break;
+        }
+        Keys expect = keys;
+        std::sort(expect.begin(), expect.end());
+        runSort(GetParam(), keys, 0, sink);
+        EXPECT_EQ(keys, expect) << "shape " << shape;
+    }
+}
+
+TEST_P(SorterTest, TinyInputs)
+{
+    NullSink sink;
+    for (std::size_t n = 0; n <= 4; ++n) {
+        Keys keys = randomKeys(n, 40 + n);
+        Keys expect = keys;
+        std::sort(expect.begin(), expect.end());
+        runSort(GetParam(), keys, 0, sink);
+        EXPECT_EQ(keys, expect) << n;
+    }
+}
+
+TEST_P(SorterTest, GeneratesAccesses)
+{
+    CountingSink sink;
+    Keys keys = randomKeys(4096, 7);
+    const auto ops = runSort(GetParam(), keys, 0, sink);
+    EXPECT_GT(sink.loads(), 4096u);
+    EXPECT_GT(sink.stores(), 0u);
+    EXPECT_GT(ops.instructions(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, SorterTest,
+    ::testing::Values(Algorithm::Mergesort, Algorithm::Quicksort,
+                      Algorithm::Radixsort, Algorithm::Heapsort),
+    [](const auto &info) {
+        switch (info.param) {
+          case Algorithm::Mergesort: return "Mergesort";
+          case Algorithm::Quicksort: return "Quicksort";
+          case Algorithm::Radixsort: return "Radixsort";
+          case Algorithm::Heapsort: return "Heapsort";
+        }
+        return "Unknown";
+    });
+
+TEST(SortOps, ComparisonCountsAreOrderNlogN)
+{
+    NullSink sink;
+    Keys keys = randomKeys(1 << 14, 9);
+    const auto ops = runSort(Algorithm::Quicksort, keys, 0, sink);
+    const double n = 1 << 14;
+    EXPECT_GT(ops.comparisons, n * std::log2(n) * 0.6);
+    EXPECT_LT(ops.comparisons, n * std::log2(n) * 4.0);
+}
+
+TEST(SortOps, RadixsortDoesNoComparisons)
+{
+    NullSink sink;
+    Keys keys = randomKeys(4096, 11);
+    const auto ops = runSort(Algorithm::Radixsort, keys, 0, sink);
+    EXPECT_EQ(ops.comparisons, 0u);
+    EXPECT_EQ(ops.passes, 4u);
+}
+
+TEST(SortModel, TrafficGrowsWithDataSize)
+{
+    SortModel::Config cfg;
+    cfg.sampleCap = 1 << 16;
+    SortModel model(cfg);
+    for (const auto algo : allAlgorithms) {
+        const auto small = model.profile(algo, 1 << 16, 1);
+        const auto large = model.profile(algo, 1 << 20, 1);
+        EXPECT_GT(large.memReads + large.memWrites,
+                  small.memReads + small.memWrites)
+            << algorithmName(algo);
+    }
+}
+
+TEST(SortModel, MoreCoresMoreTotalAccesses)
+{
+    // Figure 1(b): total memory accesses grow with the core count
+    // (cross-core combining rounds).
+    SortModel::Config cfg;
+    cfg.sampleCap = 1 << 15;
+    SortModel model(cfg);
+    const auto algo = Algorithm::Mergesort;
+    const auto c1 = model.profile(algo, 8 << 20, 1);
+    const auto c16 = model.profile(algo, 8 << 20, 16);
+    const auto c64 = model.profile(algo, 8 << 20, 64);
+    EXPECT_GT(c16.memReads + c16.memWrites,
+              c1.memReads + c1.memWrites);
+    EXPECT_GT(c64.memReads + c64.memWrites,
+              c16.memReads + c16.memWrites);
+}
+
+TEST(SortModel, ExtrapolationIsConsistentAtTheBoundary)
+{
+    // Traffic predicted with a capped sample should be within a
+    // factor ~2 of the fully simulated value one octave up.  The
+    // scaling law only holds for DRAM-bound samples, so shrink the
+    // modeled L2 well below the sample working set (the production
+    // config enforces sampleCap >> L2 instead).
+    cachesim::CacheConfig small_l2 = cachesim::CacheConfig::l2();
+    small_l2.sizeBytes = 256 * 1024;
+    SortModel::Config exact_cfg;
+    exact_cfg.sampleCap = 1 << 21;
+    exact_cfg.l2 = small_l2;
+    SortModel exact(exact_cfg);
+    SortModel::Config capped_cfg;
+    capped_cfg.sampleCap = 1 << 20;
+    capped_cfg.l2 = small_l2;
+    SortModel capped(capped_cfg);
+    for (const auto algo : {Algorithm::Mergesort,
+                            Algorithm::Radixsort}) {
+        const auto full = exact.profile(algo, 1 << 21, 1);
+        const auto scaled = capped.profile(algo, 1 << 21, 1);
+        EXPECT_FALSE(full.extrapolated);
+        EXPECT_TRUE(scaled.extrapolated);
+        const double f = full.memReads + full.memWrites;
+        const double s = scaled.memReads + scaled.memWrites;
+        EXPECT_GT(s, f * 0.4) << algorithmName(algo);
+        EXPECT_LT(s, f * 2.5) << algorithmName(algo);
+    }
+}
+
+TEST(SortModel, WorkloadProfileFields)
+{
+    SortModel::Config cfg;
+    cfg.sampleCap = 1 << 14;
+    SortModel model(cfg);
+    const auto w = model.workloadProfile(Algorithm::Radixsort,
+                                         1 << 20, 4);
+    EXPECT_GT(w.instructions, 0.0);
+    EXPECT_GT(w.memReads, 0.0);
+    EXPECT_EQ(w.name, std::string("R/S"));
+}

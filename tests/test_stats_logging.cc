@@ -1,0 +1,98 @@
+/** @file Unit tests for the stats registry, logging, and RNG. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace rime;
+
+TEST(Stats, IncSetGet)
+{
+    StatGroup g("grp");
+    EXPECT_EQ(g.get("x"), 0.0);
+    g.inc("x");
+    g.inc("x", 2.5);
+    EXPECT_DOUBLE_EQ(g.get("x"), 3.5);
+    g.set("x", 1.0);
+    EXPECT_DOUBLE_EQ(g.get("x"), 1.0);
+    EXPECT_TRUE(g.has("x"));
+    EXPECT_FALSE(g.has("y"));
+}
+
+TEST(Stats, MergeAndReset)
+{
+    StatGroup a("a");
+    StatGroup b("b");
+    a.inc("hits", 2);
+    b.inc("hits", 3);
+    b.inc("misses", 1);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("hits"), 5.0);
+    EXPECT_DOUBLE_EQ(a.get("misses"), 1.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.get("hits"), 0.0);
+}
+
+TEST(Stats, Dump)
+{
+    StatGroup g("grp");
+    g.set("value", 4);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_EQ(os.str(), "grp.value 4\n");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(fatal("bad thing %d", 42), FatalError);
+    try {
+        fatal("bad thing %d", 42);
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "bad thing 42");
+    }
+}
+
+TEST(Rng, DeterministicAndSeedSensitive)
+{
+    Rng a(1);
+    Rng b(1);
+    Rng c(2);
+    bool differs = false;
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a();
+        EXPECT_EQ(va, b());
+        if (va != c())
+            differs = true;
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformRanges)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        const auto v = rng.range(5, 10);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 10u);
+    }
+}
+
+TEST(Rng, RoughUniformity)
+{
+    Rng rng(4);
+    int buckets[10] = {};
+    const int samples = 100000;
+    for (int i = 0; i < samples; ++i)
+        ++buckets[rng.below(10)];
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_NEAR(buckets[b], samples / 10, samples / 100)
+            << "bucket " << b;
+    }
+}

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Cross-validation of the application workloads: for every workload
+ * the CPU-baseline and RIME variants must produce identical results,
+ * and the baseline instrumentation must generate plausible traffic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "cachesim/hierarchy.hh"
+#include "workloads/astar.hh"
+#include "workloads/graph.hh"
+#include "workloads/kruskal.hh"
+#include "workloads/kv.hh"
+#include "workloads/shortest_path.hh"
+#include "workloads/rime_pq.hh"
+#include "workloads/spq.hh"
+
+using namespace rime;
+using namespace rime::workloads;
+
+namespace
+{
+
+LibraryConfig
+smallConfig()
+{
+    LibraryConfig cfg;
+    cfg.device.channels = 1;
+    cfg.device.geometry.chipsPerChannel = 4;
+    cfg.device.geometry.banksPerChip = 4;
+    cfg.device.geometry.subbanksPerBank = 8;
+    cfg.device.geometry.arrayRows = 128;
+    cfg.device.geometry.arrayCols = 64;
+    cfg.driver.startupPages = 64;
+    cfg.driver.growthPages = 64;
+    return cfg;
+}
+
+} // namespace
+
+TEST(GraphGen, ConnectedAndConsistent)
+{
+    const Graph g = randomConnectedGraph(500, 2.0, 7);
+    EXPECT_EQ(g.vertices, 500u);
+    EXPECT_GE(g.edges.size(), 499u);
+    // CSR degree sum equals twice the edge count.
+    std::uint64_t degree_sum = 0;
+    for (std::uint32_t v = 0; v < g.vertices; ++v)
+        degree_sum += g.degree(v);
+    EXPECT_EQ(degree_sum, 2 * g.edges.size());
+    // Connectivity: BFS reaches everything.
+    std::vector<std::uint8_t> seen(g.vertices, 0);
+    std::queue<std::uint32_t> frontier;
+    frontier.push(0);
+    seen[0] = 1;
+    std::uint32_t reached = 1;
+    while (!frontier.empty()) {
+        const std::uint32_t u = frontier.front();
+        frontier.pop();
+        for (std::uint32_t e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e) {
+            const std::uint32_t v = g.adjVertex[e];
+            if (!seen[v]) {
+                seen[v] = 1;
+                ++reached;
+                frontier.push(v);
+            }
+        }
+    }
+    EXPECT_EQ(reached, g.vertices);
+}
+
+TEST(Dijkstra, CpuAndRimeAgree)
+{
+    const Graph g = randomConnectedGraph(300, 3.0, 11);
+    sort::NullSink null;
+    const auto cpu = dijkstraCpu(g, 0, null);
+
+    RimeLibrary lib(smallConfig());
+    const auto rime = dijkstraRime(lib, g, 0);
+    ASSERT_EQ(cpu.dist.size(), rime.dist.size());
+    for (std::size_t v = 0; v < cpu.dist.size(); ++v)
+        EXPECT_EQ(cpu.dist[v], rime.dist[v]) << v;
+    // Every vertex is reachable.
+    for (const float d : cpu.dist)
+        EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(Dijkstra, MatchesTextbookReference)
+{
+    const Graph g = randomConnectedGraph(200, 2.0, 13);
+    sort::NullSink null;
+    const auto got = dijkstraCpu(g, 0, null);
+
+    // Reference: std::priority_queue implementation.
+    std::vector<float> dist(g.vertices,
+                            std::numeric_limits<float>::infinity());
+    using Entry = std::pair<float, std::uint32_t>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+    dist[0] = 0.0f;
+    pq.push({0.0f, 0});
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        if (d > dist[u])
+            continue;
+        for (std::uint32_t e = g.rowPtr[u]; e < g.rowPtr[u + 1]; ++e) {
+            const std::uint32_t v = g.adjVertex[e];
+            const float cand = d + g.adjWeight[e];
+            if (cand < dist[v]) {
+                dist[v] = cand;
+                pq.push({cand, v});
+            }
+        }
+    }
+    EXPECT_EQ(got.dist, dist);
+}
+
+TEST(Mst, PrimKruskalCpuRimeAllAgree)
+{
+    const Graph g = randomConnectedGraph(250, 2.5, 17);
+    sort::NullSink null;
+    const auto prim_cpu = primCpu(g, null);
+    const auto kruskal_cpu = kruskalCpu(g, null);
+
+    RimeLibrary lib(smallConfig());
+    const auto prim_rime = primRime(lib, g);
+    RimeLibrary lib2(smallConfig());
+    const auto kruskal_rime = kruskalRime(lib2, g);
+
+    EXPECT_EQ(prim_cpu.edgesUsed, g.vertices - 1);
+    EXPECT_EQ(kruskal_cpu.edgesUsed, g.vertices - 1);
+    EXPECT_EQ(prim_rime.edgesUsed, g.vertices - 1);
+    EXPECT_EQ(kruskal_rime.edgesUsed, g.vertices - 1);
+    // All four must find the same MST weight (weights are distinct
+    // with probability ~1).
+    EXPECT_NEAR(prim_cpu.totalWeight, kruskal_cpu.totalWeight, 1e-3);
+    EXPECT_NEAR(prim_cpu.totalWeight, prim_rime.totalWeight, 1e-3);
+    EXPECT_NEAR(kruskal_cpu.totalWeight, kruskal_rime.totalWeight,
+                1e-3);
+}
+
+TEST(AStar, CpuAndRimeFindTheSameOptimalCost)
+{
+    const GridMap grid = randomGrid(48, 48, 0.25, 19);
+    const std::uint32_t start = grid.cellId(0, 0);
+    const std::uint32_t goal = grid.cellId(47, 47);
+    sort::NullSink null;
+    const auto cpu = astarCpu(grid, start, goal, null);
+
+    RimeLibrary lib(smallConfig());
+    const auto rime = astarRime(lib, grid, start, goal);
+    EXPECT_EQ(cpu.reached, rime.reached);
+    if (cpu.reached) {
+        EXPECT_EQ(cpu.pathCost, rime.pathCost);
+        // Optimal cost is at least the Manhattan distance.
+        EXPECT_GE(cpu.pathCost, 94.0f);
+    }
+}
+
+TEST(AStar, ObstacleFreeGridCostIsManhattan)
+{
+    const GridMap grid = randomGrid(20, 20, 0.0, 1);
+    sort::NullSink null;
+    const auto r = astarCpu(grid, grid.cellId(0, 0),
+                            grid.cellId(19, 19), null);
+    ASSERT_TRUE(r.reached);
+    EXPECT_EQ(r.pathCost, 38.0f);
+}
+
+TEST(GroupBy, CpuAndRimeAgree)
+{
+    const auto table = randomTable(4000, 37, 23);
+    sort::NullSink null;
+    const auto cpu = groupByCpu(table, null);
+
+    RimeLibrary lib(smallConfig());
+    const auto rime = groupByRime(lib, table);
+    ASSERT_EQ(cpu.groups.size(), rime.groups.size());
+    for (std::size_t i = 0; i < cpu.groups.size(); ++i)
+        EXPECT_TRUE(cpu.groups[i] == rime.groups[i]) << i;
+
+    // Totals add up.
+    std::uint64_t total = 0;
+    for (const auto &g : cpu.groups)
+        total += g.count;
+    EXPECT_EQ(total, table.size());
+}
+
+TEST(MergeJoin, CpuAndRimeAgree)
+{
+    Rng rng(29);
+    std::vector<std::uint32_t> a(3000);
+    std::vector<std::uint32_t> b(2000);
+    for (auto &k : a)
+        k = static_cast<std::uint32_t>(rng.below(4096));
+    for (auto &k : b)
+        k = static_cast<std::uint32_t>(rng.below(4096));
+    sort::NullSink null;
+    const auto cpu = mergeJoinCpu(a, b, null);
+
+    RimeLibrary lib(smallConfig());
+    const auto rime = mergeJoinRime(lib, a, b);
+    EXPECT_EQ(cpu.keys, rime.keys);
+    EXPECT_FALSE(cpu.keys.empty());
+    EXPECT_TRUE(std::is_sorted(cpu.keys.begin(), cpu.keys.end()));
+}
+
+TEST(Spq, CpuAndRimeAgree)
+{
+    SpqParams params;
+    params.initialPackets = 2000;
+    params.addsPerRemove = 3;
+    params.removes = 1500;
+    params.seed = 31;
+    sort::NullSink null;
+    const auto cpu = spqCpu(params, null);
+
+    RimeLibrary lib(smallConfig());
+    const auto rime = spqRime(lib, params);
+    EXPECT_EQ(cpu.removed, params.removes);
+    EXPECT_EQ(cpu.removed, rime.removed);
+    EXPECT_EQ(cpu.checksum, rime.checksum);
+}
+
+TEST(Spq, RemovesComeOutInKeyOrderWhenNoAdds)
+{
+    SpqParams params;
+    params.initialPackets = 500;
+    params.addsPerRemove = 0;
+    params.removes = 500;
+    RimeLibrary lib(smallConfig());
+    // Replay and check monotone non-decreasing keys.
+    RimeLibrary lib2(smallConfig());
+    workloads::RimePriorityQueue pq(lib2, 500,
+                                    KeyMode::UnsignedFixed);
+    Rng rng(params.seed);
+    std::vector<std::uint32_t> keys;
+    for (int i = 0; i < 500; ++i) {
+        const auto k = static_cast<std::uint32_t>(rng()) & 0x7FFFFFFF;
+        keys.push_back(k);
+        pq.push(k);
+    }
+    std::sort(keys.begin(), keys.end());
+    for (int i = 0; i < 500; ++i) {
+        const auto entry = pq.pop();
+        ASSERT_TRUE(entry);
+        EXPECT_EQ(entry->first, keys[i]);
+    }
+    EXPECT_TRUE(pq.empty());
+}
+
+TEST(Workloads, BaselineInstrumentationProducesTraffic)
+{
+    const Graph g = randomConnectedGraph(2000, 4.0, 37);
+    cachesim::Hierarchy hierarchy(1);
+    sort::CacheSink sink(hierarchy);
+    const auto r = dijkstraCpu(g, 0, sink);
+    EXPECT_GT(r.counts.pops, 0u);
+    EXPECT_GT(r.counts.instructions(), 0.0);
+    EXPECT_GT(hierarchy.memAccesses(), 0u);
+}
