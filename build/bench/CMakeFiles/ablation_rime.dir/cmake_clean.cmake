@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rime.dir/ablation_rime.cc.o"
+  "CMakeFiles/ablation_rime.dir/ablation_rime.cc.o.d"
+  "ablation_rime"
+  "ablation_rime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_bandwidth.dir/fig01_bandwidth.cc.o"
+  "CMakeFiles/fig01_bandwidth.dir/fig01_bandwidth.cc.o.d"
+  "fig01_bandwidth"
+  "fig01_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_groupby_mergejoin.dir/fig16_groupby_mergejoin.cc.o"
+  "CMakeFiles/fig16_groupby_mergejoin.dir/fig16_groupby_mergejoin.cc.o.d"
+  "fig16_groupby_mergejoin"
+  "fig16_groupby_mergejoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_groupby_mergejoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

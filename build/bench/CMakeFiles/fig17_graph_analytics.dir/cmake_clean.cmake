@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_graph_analytics.dir/fig17_graph_analytics.cc.o"
+  "CMakeFiles/fig17_graph_analytics.dir/fig17_graph_analytics.cc.o.d"
+  "fig17_graph_analytics"
+  "fig17_graph_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_graph_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_priority_queue.dir/fig18_priority_queue.cc.o"
+  "CMakeFiles/fig18_priority_queue.dir/fig18_priority_queue.cc.o.d"
+  "fig18_priority_queue"
+  "fig18_priority_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_priority_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

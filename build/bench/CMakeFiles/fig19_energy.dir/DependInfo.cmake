@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig19_energy.cc" "bench/CMakeFiles/fig19_energy.dir/fig19_energy.cc.o" "gcc" "bench/CMakeFiles/fig19_energy.dir/fig19_energy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfmodel/CMakeFiles/rime_perfmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rime/CMakeFiles/rime_rime.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rime_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/rimehw/CMakeFiles/rime_rimehw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/rime_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/rime_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

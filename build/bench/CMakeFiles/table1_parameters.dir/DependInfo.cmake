@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_parameters.cc" "bench/CMakeFiles/table1_parameters.dir/table1_parameters.cc.o" "gcc" "bench/CMakeFiles/table1_parameters.dir/table1_parameters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rime/CMakeFiles/rime_rime.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/rime_memsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rimehw/CMakeFiles/rime_rimehw.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_analytics.dir/database_analytics.cpp.o"
+  "CMakeFiles/database_analytics.dir/database_analytics.cpp.o.d"
+  "database_analytics"
+  "database_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_scheduler.dir/packet_scheduler.cpp.o"
+  "CMakeFiles/packet_scheduler.dir/packet_scheduler.cpp.o.d"
+  "packet_scheduler"
+  "packet_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

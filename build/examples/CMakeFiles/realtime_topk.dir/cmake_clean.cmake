@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_topk.dir/realtime_topk.cpp.o"
+  "CMakeFiles/realtime_topk.dir/realtime_topk.cpp.o.d"
+  "realtime_topk"
+  "realtime_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

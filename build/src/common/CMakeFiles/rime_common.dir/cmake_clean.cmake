@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_common.dir/key_codec.cc.o"
+  "CMakeFiles/rime_common.dir/key_codec.cc.o.d"
+  "CMakeFiles/rime_common.dir/logging.cc.o"
+  "CMakeFiles/rime_common.dir/logging.cc.o.d"
+  "CMakeFiles/rime_common.dir/stats.cc.o"
+  "CMakeFiles/rime_common.dir/stats.cc.o.d"
+  "librime_common.a"
+  "librime_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

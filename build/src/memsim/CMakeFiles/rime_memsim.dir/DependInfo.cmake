@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsim/bandwidth_probe.cc" "src/memsim/CMakeFiles/rime_memsim.dir/bandwidth_probe.cc.o" "gcc" "src/memsim/CMakeFiles/rime_memsim.dir/bandwidth_probe.cc.o.d"
+  "/root/repo/src/memsim/dram_params.cc" "src/memsim/CMakeFiles/rime_memsim.dir/dram_params.cc.o" "gcc" "src/memsim/CMakeFiles/rime_memsim.dir/dram_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rime_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

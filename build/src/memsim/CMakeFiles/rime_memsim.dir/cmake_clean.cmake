@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_memsim.dir/bandwidth_probe.cc.o"
+  "CMakeFiles/rime_memsim.dir/bandwidth_probe.cc.o.d"
+  "CMakeFiles/rime_memsim.dir/dram_params.cc.o"
+  "CMakeFiles/rime_memsim.dir/dram_params.cc.o.d"
+  "librime_memsim.a"
+  "librime_memsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_memsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_perfmodel.dir/baseline.cc.o"
+  "CMakeFiles/rime_perfmodel.dir/baseline.cc.o.d"
+  "librime_perfmodel.a"
+  "librime_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rime/api.cc" "src/rime/CMakeFiles/rime_rime.dir/api.cc.o" "gcc" "src/rime/CMakeFiles/rime_rime.dir/api.cc.o.d"
+  "/root/repo/src/rime/device.cc" "src/rime/CMakeFiles/rime_rime.dir/device.cc.o" "gcc" "src/rime/CMakeFiles/rime_rime.dir/device.cc.o.d"
+  "/root/repo/src/rime/driver.cc" "src/rime/CMakeFiles/rime_rime.dir/driver.cc.o" "gcc" "src/rime/CMakeFiles/rime_rime.dir/driver.cc.o.d"
+  "/root/repo/src/rime/operation.cc" "src/rime/CMakeFiles/rime_rime.dir/operation.cc.o" "gcc" "src/rime/CMakeFiles/rime_rime.dir/operation.cc.o.d"
+  "/root/repo/src/rime/ops.cc" "src/rime/CMakeFiles/rime_rime.dir/ops.cc.o" "gcc" "src/rime/CMakeFiles/rime_rime.dir/ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rimehw/CMakeFiles/rime_rimehw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

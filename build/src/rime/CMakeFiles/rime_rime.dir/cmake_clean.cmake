@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_rime.dir/api.cc.o"
+  "CMakeFiles/rime_rime.dir/api.cc.o.d"
+  "CMakeFiles/rime_rime.dir/device.cc.o"
+  "CMakeFiles/rime_rime.dir/device.cc.o.d"
+  "CMakeFiles/rime_rime.dir/driver.cc.o"
+  "CMakeFiles/rime_rime.dir/driver.cc.o.d"
+  "CMakeFiles/rime_rime.dir/operation.cc.o"
+  "CMakeFiles/rime_rime.dir/operation.cc.o.d"
+  "CMakeFiles/rime_rime.dir/ops.cc.o"
+  "CMakeFiles/rime_rime.dir/ops.cc.o.d"
+  "librime_rime.a"
+  "librime_rime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_rime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_rimehw.dir/chip.cc.o"
+  "CMakeFiles/rime_rimehw.dir/chip.cc.o.d"
+  "CMakeFiles/rime_rimehw.dir/fast_model.cc.o"
+  "CMakeFiles/rime_rimehw.dir/fast_model.cc.o.d"
+  "librime_rimehw.a"
+  "librime_rimehw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_rimehw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

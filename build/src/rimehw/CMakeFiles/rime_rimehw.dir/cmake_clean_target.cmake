@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librime_rimehw.a"
+)

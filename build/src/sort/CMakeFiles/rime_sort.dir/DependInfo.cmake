@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/parallel_model.cc" "src/sort/CMakeFiles/rime_sort.dir/parallel_model.cc.o" "gcc" "src/sort/CMakeFiles/rime_sort.dir/parallel_model.cc.o.d"
+  "/root/repo/src/sort/sorters.cc" "src/sort/CMakeFiles/rime_sort.dir/sorters.cc.o" "gcc" "src/sort/CMakeFiles/rime_sort.dir/sorters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/rime_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

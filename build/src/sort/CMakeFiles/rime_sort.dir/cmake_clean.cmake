@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_sort.dir/parallel_model.cc.o"
+  "CMakeFiles/rime_sort.dir/parallel_model.cc.o.d"
+  "CMakeFiles/rime_sort.dir/sorters.cc.o"
+  "CMakeFiles/rime_sort.dir/sorters.cc.o.d"
+  "librime_sort.a"
+  "librime_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

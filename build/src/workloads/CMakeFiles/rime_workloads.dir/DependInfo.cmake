@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/astar.cc" "src/workloads/CMakeFiles/rime_workloads.dir/astar.cc.o" "gcc" "src/workloads/CMakeFiles/rime_workloads.dir/astar.cc.o.d"
+  "/root/repo/src/workloads/kruskal.cc" "src/workloads/CMakeFiles/rime_workloads.dir/kruskal.cc.o" "gcc" "src/workloads/CMakeFiles/rime_workloads.dir/kruskal.cc.o.d"
+  "/root/repo/src/workloads/kv.cc" "src/workloads/CMakeFiles/rime_workloads.dir/kv.cc.o" "gcc" "src/workloads/CMakeFiles/rime_workloads.dir/kv.cc.o.d"
+  "/root/repo/src/workloads/shortest_path.cc" "src/workloads/CMakeFiles/rime_workloads.dir/shortest_path.cc.o" "gcc" "src/workloads/CMakeFiles/rime_workloads.dir/shortest_path.cc.o.d"
+  "/root/repo/src/workloads/spq.cc" "src/workloads/CMakeFiles/rime_workloads.dir/spq.cc.o" "gcc" "src/workloads/CMakeFiles/rime_workloads.dir/spq.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rime_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/rime/CMakeFiles/rime_rime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/rime_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/rimehw/CMakeFiles/rime_rimehw.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsim/CMakeFiles/rime_memsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rime_workloads.dir/astar.cc.o"
+  "CMakeFiles/rime_workloads.dir/astar.cc.o.d"
+  "CMakeFiles/rime_workloads.dir/kruskal.cc.o"
+  "CMakeFiles/rime_workloads.dir/kruskal.cc.o.d"
+  "CMakeFiles/rime_workloads.dir/kv.cc.o"
+  "CMakeFiles/rime_workloads.dir/kv.cc.o.d"
+  "CMakeFiles/rime_workloads.dir/shortest_path.cc.o"
+  "CMakeFiles/rime_workloads.dir/shortest_path.cc.o.d"
+  "CMakeFiles/rime_workloads.dir/spq.cc.o"
+  "CMakeFiles/rime_workloads.dir/spq.cc.o.d"
+  "librime_workloads.a"
+  "librime_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rime_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

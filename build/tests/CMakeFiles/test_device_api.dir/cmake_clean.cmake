@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_api.dir/test_device_api.cc.o"
+  "CMakeFiles/test_device_api.dir/test_device_api.cc.o.d"
+  "test_device_api"
+  "test_device_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

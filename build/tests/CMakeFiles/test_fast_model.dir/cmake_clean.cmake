@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fast_model.dir/test_fast_model.cc.o"
+  "CMakeFiles/test_fast_model.dir/test_fast_model.cc.o.d"
+  "test_fast_model"
+  "test_fast_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fast_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_htree.dir/test_htree.cc.o"
+  "CMakeFiles/test_htree.dir/test_htree.cc.o.d"
+  "test_htree"
+  "test_htree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_htree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

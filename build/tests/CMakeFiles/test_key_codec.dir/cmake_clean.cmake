@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_key_codec.dir/test_key_codec.cc.o"
+  "CMakeFiles/test_key_codec.dir/test_key_codec.cc.o.d"
+  "test_key_codec"
+  "test_key_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_key_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

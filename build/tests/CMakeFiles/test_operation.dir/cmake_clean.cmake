@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operation.dir/test_operation.cc.o"
+  "CMakeFiles/test_operation.dir/test_operation.cc.o.d"
+  "test_operation"
+  "test_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

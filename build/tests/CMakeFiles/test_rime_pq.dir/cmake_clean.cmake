@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rime_pq.dir/test_rime_pq.cc.o"
+  "CMakeFiles/test_rime_pq.dir/test_rime_pq.cc.o.d"
+  "test_rime_pq"
+  "test_rime_pq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rime_pq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

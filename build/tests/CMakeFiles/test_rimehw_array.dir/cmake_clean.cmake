@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rimehw_array.dir/test_rimehw_array.cc.o"
+  "CMakeFiles/test_rimehw_array.dir/test_rimehw_array.cc.o.d"
+  "test_rimehw_array"
+  "test_rimehw_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rimehw_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

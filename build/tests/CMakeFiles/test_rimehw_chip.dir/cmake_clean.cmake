@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rimehw_chip.dir/test_rimehw_chip.cc.o"
+  "CMakeFiles/test_rimehw_chip.dir/test_rimehw_chip.cc.o.d"
+  "test_rimehw_chip"
+  "test_rimehw_chip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rimehw_chip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

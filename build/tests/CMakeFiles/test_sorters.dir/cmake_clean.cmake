@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sorters.dir/test_sorters.cc.o"
+  "CMakeFiles/test_sorters.dir/test_sorters.cc.o.d"
+  "test_sorters"
+  "test_sorters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sorters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

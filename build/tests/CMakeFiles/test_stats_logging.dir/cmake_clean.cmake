@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_logging.dir/test_stats_logging.cc.o"
+  "CMakeFiles/test_stats_logging.dir/test_stats_logging.cc.o.d"
+  "test_stats_logging"
+  "test_stats_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
