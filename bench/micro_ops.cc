@@ -5,11 +5,26 @@
  * driver allocator, the DRAM bank machine, and the cache hierarchy.
  * These measure *simulator* (host) performance, useful for keeping
  * the models fast enough for paper-scale sweeps.
+ *
+ * Before the registered benchmarks run, a self-timing pass measures
+ * host wall-clock of the bit-level scan at a >=1M-key range, serial
+ * (threads=1) vs parallel (RIME_THREADS / hardware width), verifies
+ * the results are bit-identical, and writes the machine-readable
+ * BENCH_scan.json next to the binary.  RIME_BENCH_KEYS overrides the
+ * key count.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
 #include "cachesim/hierarchy.hh"
+#include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "memsim/dram_system.hh"
 #include "rime/driver.hh"
@@ -145,6 +160,115 @@ BM_CacheHierarchyAccess(benchmark::State &state)
 }
 BENCHMARK(BM_CacheHierarchyAccess);
 
+void
+BM_BitLevelExtractParallel(benchmark::State &state)
+{
+    RimeChip chip(smallGeometry(), RimeTimingParams{},
+                  static_cast<unsigned>(state.range(0)));
+    chip.configure(32, KeyMode::UnsignedFixed);
+    Rng rng(3);
+    const std::uint64_t n = 4096;
+    for (std::uint64_t i = 0; i < n; ++i)
+        chip.writeValue(i, rng() & 0xFFFFFFFF);
+    chip.initRange(0, n);
+    for (auto _ : state) {
+        auto r = chip.extract(0, n, false);
+        if (!r.found) {
+            chip.initRange(0, n);
+        }
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(BM_BitLevelExtractParallel)->Arg(2)->Arg(4);
+
+/**
+ * Wall-clock self-timing of the bit-level scan, serial vs parallel,
+ * at a paper-scale key count; emits BENCH_scan.json.
+ */
+void
+runScanSelfTiming()
+{
+    using Clock = std::chrono::steady_clock;
+    std::uint64_t keys = 1ULL << 20;
+    if (const char *env = std::getenv("RIME_BENCH_KEYS")) {
+        const long long v = std::strtoll(env, nullptr, 10);
+        if (v > 0)
+            keys = static_cast<std::uint64_t>(v);
+    }
+    const unsigned parallel_threads =
+        std::max(2u, ThreadPool::configuredThreads());
+    const unsigned k = 32;
+    const int scans = 8;
+
+    RimeChip chip(RimeGeometry{}, RimeTimingParams{}, 1);
+    chip.configure(k, KeyMode::UnsignedFixed);
+    if (keys > chip.valueCapacity())
+        keys = chip.valueCapacity();
+    Rng rng(42);
+    for (std::uint64_t i = 0; i < keys; ++i)
+        chip.writeValue(i, rng() & 0xFFFFFFFF);
+    chip.initRange(0, keys);
+
+    // scan() is pure, so repeated scans perform identical work; one
+    // untimed warm-up populates the lazily allocated units.
+    ExtractResult serial_r = chip.scan(0, keys, false);
+    const auto t0 = Clock::now();
+    for (int i = 0; i < scans; ++i)
+        serial_r = chip.scan(0, keys, false);
+    const auto t1 = Clock::now();
+
+    chip.setHostThreads(parallel_threads);
+    ExtractResult parallel_r = chip.scan(0, keys, false);
+    const auto t2 = Clock::now();
+    for (int i = 0; i < scans; ++i)
+        parallel_r = chip.scan(0, keys, false);
+    const auto t3 = Clock::now();
+
+    if (parallel_r.index != serial_r.index ||
+        parallel_r.raw != serial_r.raw ||
+        parallel_r.steps != serial_r.steps)
+        fatal("parallel scan diverged from the serial scan");
+
+    const auto ms = [](Clock::duration d) {
+        return std::chrono::duration<double, std::milli>(d).count();
+    };
+    const double serial_ms = ms(t1 - t0) / scans;
+    const double parallel_ms = ms(t3 - t2) / scans;
+    const double simulated_ns = ticksToNs(serial_r.time);
+
+    std::printf("scan self-timing: %llu keys, k=%u: host %.3f ms "
+                "serial vs %.3f ms at %u threads (%.2fx), simulated "
+                "%.1f ns/scan\n",
+                static_cast<unsigned long long>(keys), k, serial_ms,
+                parallel_ms, parallel_threads,
+                serial_ms / parallel_ms, simulated_ns);
+
+    std::ofstream json("BENCH_scan.json");
+    json << "{\n"
+         << "  \"bench\": \"scan\",\n"
+         << "  \"keys\": " << keys << ",\n"
+         << "  \"word_bits\": " << k << ",\n"
+         << "  \"scans_timed\": " << scans << ",\n"
+         << "  \"scan_steps\": " << serial_r.steps << ",\n"
+         << "  \"serial_host_ms_per_scan\": " << serial_ms << ",\n"
+         << "  \"parallel_host_ms_per_scan\": " << parallel_ms
+         << ",\n"
+         << "  \"parallel_threads\": " << parallel_threads << ",\n"
+         << "  \"speedup\": " << serial_ms / parallel_ms << ",\n"
+         << "  \"simulated_ns_per_scan\": " << simulated_ns << "\n"
+         << "}\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    runScanSelfTiming();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

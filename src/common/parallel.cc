@@ -1,0 +1,159 @@
+#include "parallel.hh"
+
+#include <cstdlib>
+
+namespace rime
+{
+
+unsigned
+ThreadPool::configuredThreads()
+{
+    static const unsigned configured = [] {
+        if (const char *env = std::getenv("RIME_THREADS")) {
+            const long v = std::strtol(env, nullptr, 10);
+            if (v > 0)
+                return static_cast<unsigned>(v);
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? hw : 1u;
+    }();
+    return configured;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(configuredThreads());
+    return pool;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = configuredThreads();
+    spawnWorkers(threads - 1);
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wakeCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::ensureThreads(unsigned threads)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (threads <= workers_.size() + 1)
+        return;
+    // Spawning is only legal while no job is in flight; callers
+    // configure thread counts up front, before launching scans.
+    const unsigned extra =
+        threads - 1 - static_cast<unsigned>(workers_.size());
+    for (unsigned i = 0; i < extra; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::spawnWorkers(unsigned count)
+{
+    workers_.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    while (true) {
+        const std::function<void(unsigned)> *job;
+        unsigned tasks;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wakeCv_.wait(lock, [&] {
+                return stop_ || generation_ != seen_generation;
+            });
+            if (stop_)
+                return;
+            seen_generation = generation_;
+            job = job_;
+            tasks = tasks_;
+        }
+        while (true) {
+            const unsigned t =
+                nextTask_.fetch_add(1, std::memory_order_relaxed);
+            if (t >= tasks)
+                break;
+            (*job)(t);
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++workersDone_;
+        }
+        doneCv_.notify_one();
+    }
+}
+
+void
+ThreadPool::run(unsigned tasks, const std::function<void(unsigned)> &fn)
+{
+    if (tasks == 0)
+        return;
+    if (tasks == 1 || workers_.empty()) {
+        for (unsigned t = 0; t < tasks; ++t)
+            fn(t);
+        return;
+    }
+    unsigned workers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_ = &fn;
+        tasks_ = tasks;
+        workersDone_ = 0;
+        nextTask_.store(0, std::memory_order_relaxed);
+        ++generation_;
+        workers = static_cast<unsigned>(workers_.size());
+    }
+    wakeCv_.notify_all();
+    // The caller is a full participant in the task set.
+    while (true) {
+        const unsigned t =
+            nextTask_.fetch_add(1, std::memory_order_relaxed);
+        if (t >= tasks)
+            break;
+        fn(t);
+    }
+    // Wait for every worker to leave the grab loop so the next run()
+    // cannot hand a stale worker the new job's task indices.
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [&] { return workersDone_ == workers; });
+    job_ = nullptr;
+}
+
+void
+ThreadPool::forShards(std::size_t n, unsigned shards,
+                      const std::function<void(std::size_t, std::size_t,
+                                               unsigned)> &fn)
+{
+    if (n == 0)
+        return;
+    if (shards > n)
+        shards = static_cast<unsigned>(n);
+    if (shards <= 1) {
+        fn(0, n, 0);
+        return;
+    }
+    run(shards, [&](unsigned s) {
+        const std::size_t begin = n * s / shards;
+        const std::size_t end = n * (s + 1) / shards;
+        fn(begin, end, s);
+    });
+}
+
+} // namespace rime

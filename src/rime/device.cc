@@ -20,7 +20,7 @@ RimeDevice::RimeDevice(const DeviceConfig &config)
     for (unsigned i = 0; i < chips; ++i) {
         if (config.bitLevel) {
             chips_.push_back(std::make_unique<rimehw::RimeChip>(
-                config.geometry, config.timing));
+                config.geometry, config.timing, config.hostThreads));
         } else {
             chips_.push_back(std::make_unique<rimehw::FastRime>(
                 config.geometry, config.timing));

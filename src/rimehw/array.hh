@@ -33,6 +33,13 @@ struct ColumnSearchResult
     bool anyMismatch = false;
 };
 
+/** Just the two per-mat wired-OR signals of a column search. */
+struct ColumnSearchSignals
+{
+    bool anyMatch = false;
+    bool anyMismatch = false;
+};
+
 /** One memristive subarray. */
 class RramArray
 {
@@ -93,19 +100,38 @@ class RramArray
     {
         ColumnSearchResult result;
         result.match = BitVector(rows_);
+        const auto signals =
+            columnSearchInto(col, search_bit, select, result.match);
+        result.anyMatch = signals.anyMatch;
+        result.anyMismatch = signals.anyMismatch;
+        return result;
+    }
+
+    /**
+     * Allocation-free column search: write the match vector into
+     * `match` (which must be rows() wide) and return the wired-OR
+     * signals.  One pass over the column words; the hot path of a
+     * scan step.
+     */
+    ColumnSearchSignals
+    columnSearchInto(unsigned col, bool search_bit,
+                     const BitVector &select, BitVector &match) const
+    {
+        ColumnSearchSignals signals;
         const std::uint64_t *col_words = &columns_[colBase(col)];
+        std::uint64_t any_match = 0;
+        std::uint64_t any_mismatch = 0;
         for (unsigned w = 0; w < wordsPerCol_; ++w) {
             const std::uint64_t sel = select.word(w);
             const std::uint64_t bits = col_words[w];
-            const std::uint64_t match =
-                sel & (search_bit ? bits : ~bits);
-            result.match.setWord(w, match);
-            if (match)
-                result.anyMatch = true;
-            if (sel & ~match)
-                result.anyMismatch = true;
+            const std::uint64_t m = sel & (search_bit ? bits : ~bits);
+            match.setWord(w, m);
+            any_match |= m;
+            any_mismatch |= sel & ~m;
         }
-        return result;
+        signals.anyMatch = any_match != 0;
+        signals.anyMismatch = any_mismatch != 0;
+        return signals;
     }
 
   private:

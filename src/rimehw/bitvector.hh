@@ -43,12 +43,22 @@ class BitVector
             words_[pos >> 6] &= ~(1ULL << (pos & 63));
     }
 
-    /** Set bits [begin, end) to one. */
+    /** Set bits [begin, end) to one (word-parallel). */
     void
     setRange(unsigned begin, unsigned end)
     {
-        for (unsigned i = begin; i < end; ++i)
-            set(i, true);
+        applyRange(begin, end, [](std::uint64_t &w, std::uint64_t m) {
+            w |= m;
+        });
+    }
+
+    /** Clear bits [begin, end) (word-parallel). */
+    void
+    clearRange(unsigned begin, unsigned end)
+    {
+        applyRange(begin, end, [](std::uint64_t &w, std::uint64_t m) {
+            w &= ~m;
+        });
     }
 
     void
@@ -126,6 +136,36 @@ class BitVector
         return *this;
     }
 
+    /**
+     * Fused this &= ~other with a popcount of the result: one pass
+     * over the words (the commit + survivor-count step of a scan).
+     */
+    unsigned
+    andNotCount(const BitVector &other)
+    {
+        unsigned n = 0;
+        for (unsigned i = 0; i < words_.size(); ++i) {
+            words_[i] &= ~other.words_[i];
+            n += static_cast<unsigned>(std::popcount(words_[i]));
+        }
+        return n;
+    }
+
+    /**
+     * Fused this = base & ~mask with a popcount of the result (the
+     * select-latch load of beginExtraction: range minus excluded).
+     */
+    unsigned
+    assignAndNotCount(const BitVector &base, const BitVector &mask)
+    {
+        unsigned n = 0;
+        for (unsigned i = 0; i < words_.size(); ++i) {
+            words_[i] = base.words_[i] & ~mask.words_[i];
+            n += static_cast<unsigned>(std::popcount(words_[i]));
+        }
+        return n;
+    }
+
     bool
     operator==(const BitVector &other) const
     {
@@ -133,6 +173,31 @@ class BitVector
     }
 
   private:
+    /**
+     * Apply op(word, mask) to every word overlapping [begin, end),
+     * with mask covering the in-range bits of that word.
+     */
+    template <typename WordOp>
+    void
+    applyRange(unsigned begin, unsigned end, WordOp op)
+    {
+        if (begin >= end)
+            return;
+        const unsigned first = begin >> 6;
+        const unsigned last = (end - 1) >> 6;
+        const std::uint64_t head = ~0ULL << (begin & 63);
+        const std::uint64_t tail =
+            ~0ULL >> (63 - ((end - 1) & 63));
+        if (first == last) {
+            op(words_[first], head & tail);
+            return;
+        }
+        op(words_[first], head);
+        for (unsigned wi = first + 1; wi < last; ++wi)
+            op(words_[wi], ~0ULL);
+        op(words_[last], tail);
+    }
+
     /** Zero any bits beyond nbits_ in the last word. */
     void
     trim()

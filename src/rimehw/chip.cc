@@ -1,18 +1,40 @@
 #include "chip.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace rime::rimehw
 {
 
 RimeChip::RimeChip(const RimeGeometry &geometry,
-                   const RimeTimingParams &timing)
+                   const RimeTimingParams &timing,
+                   unsigned host_threads)
     : geometry_(geometry), timing_(timing), stats_("rimechip"),
       endurance_(512)
 {
     arrays_.resize(std::size_t(geometry_.banksPerChip) *
                    geometry_.subbanksPerBank);
+    setHostThreads(host_threads);
     configure(32, KeyMode::UnsignedFixed);
+}
+
+void
+RimeChip::setHostThreads(unsigned host_threads)
+{
+    threads_ = host_threads ? host_threads
+                            : ThreadPool::configuredThreads();
+    if (threads_ > 1)
+        ThreadPool::global().ensureThreads(threads_);
+    shardScratch_.assign(threads_, ShardSignals{});
+}
+
+unsigned
+RimeChip::shardCount() const
+{
+    return static_cast<unsigned>(std::min<std::size_t>(
+        threads_, activeUnits_.size()));
 }
 
 void
@@ -90,18 +112,24 @@ RimeChip::initRange(std::uint64_t begin, std::uint64_t end)
         fatal("bad range [%llu, %llu)",
               static_cast<unsigned long long>(begin),
               static_cast<unsigned long long>(end));
-    // Reset the exclusion latches of every row in the range.
+    // Reset the exclusion latches of every row in the range; each
+    // unit's latches are private, so units clear concurrently.
     selectRange(begin, end);
-    for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
-        const std::uint64_t rows = geometry_.arrayRows;
-        const std::uint64_t unit_base = (activeFirstUnit_ + i) * rows;
-        const unsigned begin_row = begin > unit_base
-            ? static_cast<unsigned>(begin - unit_base) : 0;
-        const unsigned end_row = end < unit_base + rows
-            ? static_cast<unsigned>(end - unit_base)
-            : static_cast<unsigned>(rows);
-        activeUnits_[i]->clearExclusions(begin_row, end_row);
-    }
+    ThreadPool::global().forShards(
+        activeUnits_.size(), shardCount(),
+        [&](std::size_t lo, std::size_t hi, unsigned) {
+            for (std::size_t i = lo; i < hi; ++i) {
+                const std::uint64_t rows = geometry_.arrayRows;
+                const std::uint64_t unit_base =
+                    (activeFirstUnit_ + i) * rows;
+                const unsigned begin_row = begin > unit_base
+                    ? static_cast<unsigned>(begin - unit_base) : 0;
+                const unsigned end_row = end < unit_base + rows
+                    ? static_cast<unsigned>(end - unit_base)
+                    : static_cast<unsigned>(rows);
+                activeUnits_[i]->clearExclusions(begin_row, end_row);
+            }
+        });
     stats_.inc("rangeInits");
     // Select-vector initialization propagates begin/end down the
     // H-tree and latches the per-row select bits: one tree traversal.
@@ -138,15 +166,25 @@ RimeChip::selectRange(std::uint64_t begin, std::uint64_t end)
 }
 
 std::uint64_t
+RimeChip::loadSelectLatches()
+{
+    return parallelReduce(
+        ThreadPool::global(), activeUnits_.size(), shardCount(),
+        std::uint64_t(0),
+        [&](std::size_t lo, std::size_t hi, unsigned) {
+            std::uint64_t count = 0;
+            for (std::size_t i = lo; i < hi; ++i)
+                count += activeUnits_[i]->beginExtraction();
+            return count;
+        },
+        [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+std::uint64_t
 RimeChip::remainingInRange(std::uint64_t begin, std::uint64_t end)
 {
     selectRange(begin, end);
-    std::uint64_t count = 0;
-    for (ArrayUnit *au : activeUnits_) {
-        au->beginExtraction();
-        count += au->survivorCount();
-    }
-    return count;
+    return loadSelectLatches();
 }
 
 void
@@ -184,18 +222,20 @@ RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
 
     // Load select latches: range minus previously extracted rows, and
     // obtain the initial survivor count from the index tree.
-    std::uint64_t survivors = 0;
-    for (ArrayUnit *au : activeUnits_) {
-        au->beginExtraction();
-        survivors += au->survivorCount();
-    }
+    std::uint64_t survivors = loadSelectLatches();
     if (survivors == 0)
         return result;
 
     // Bit-serial scan, MSB first.  Each step performs a column search
-    // in every active unit; the controller combines the per-mat
-    // (anyMatch, anyMismatch) signals through the OR-reducing
-    // data/index tree and broadcasts the global exclusion decision.
+    // in every active unit *concurrently* (all mats of a chip search
+    // in lockstep, Figure 11): the units are partitioned into
+    // contiguous shards, each shard probes/commits on its own worker,
+    // and the controller merges the per-shard (anyMatch, anyMismatch,
+    // survivors) partials in shard order -- an order-preserving
+    // reduction, so the outcome is bit-identical for any thread
+    // count.  The global exclusion decision is then broadcast back.
+    ThreadPool &pool = ThreadPool::global();
+    const unsigned shards = shardCount();
     bool negatives_present = false;
     unsigned steps = 0;
     if (survivors > 1 || !timing_.earlyTermination) {
@@ -203,19 +243,46 @@ RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
             const unsigned pos = k_ - 1 - s;
             const bool search_bit = searchPolarity(
                 pos, k_, mode_, negatives_present, find_max);
+            // Probe phase: per-shard wired-OR of the match signals.
+            pool.forShards(
+                activeUnits_.size(), shards,
+                [&](std::size_t lo, std::size_t hi, unsigned shard) {
+                    bool m = false, mm = false;
+                    for (std::size_t i = lo; i < hi; ++i) {
+                        const auto probe =
+                            activeUnits_[i]->probe(s, search_bit);
+                        m = m || probe.anyMatch;
+                        mm = mm || probe.anyMismatch;
+                    }
+                    shardScratch_[shard].anyMatch = m;
+                    shardScratch_[shard].anyMismatch = mm;
+                });
             bool any_match = false;
             bool any_mismatch = false;
-            for (ArrayUnit *au : activeUnits_) {
-                const auto probe = au->probe(s, search_bit);
-                any_match = any_match || probe.anyMatch;
-                any_mismatch = any_mismatch || probe.anyMismatch;
+            for (unsigned shard = 0; shard < shards; ++shard) {
+                any_match = any_match || shardScratch_[shard].anyMatch;
+                any_mismatch =
+                    any_mismatch || shardScratch_[shard].anyMismatch;
             }
             const bool exclude = any_match && any_mismatch;
-            survivors = 0;
-            for (ArrayUnit *au : activeUnits_) {
-                au->commit(exclude);
-                survivors += au->survivorCount();
+            if (exclude) {
+                // Commit phase: broadcast the decision, re-count
+                // survivors through the index tree.
+                pool.forShards(
+                    activeUnits_.size(), shards,
+                    [&](std::size_t lo, std::size_t hi,
+                        unsigned shard) {
+                        std::uint64_t n = 0;
+                        for (std::size_t i = lo; i < hi; ++i)
+                            n += activeUnits_[i]->commitAndCount(true);
+                        shardScratch_[shard].survivors = n;
+                    });
+                survivors = 0;
+                for (unsigned shard = 0; shard < shards; ++shard)
+                    survivors += shardScratch_[shard].survivors;
             }
+            // No exclusion: the select latches -- and therefore the
+            // survivor count -- are unchanged; skip the commit pass.
             ++steps;
             stats_.inc("columnSearches",
                        static_cast<double>(activeUnits_.size()));

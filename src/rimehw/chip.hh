@@ -35,8 +35,19 @@ namespace rime::rimehw
 class RimeChip : public RankBackend
 {
   public:
+    /**
+     * @param host_threads execution width of the host-side parallel
+     *        scan engine (mats compute concurrently in the real chip);
+     *        0 selects the RIME_THREADS / hardware default.  Results,
+     *        statistics, and energy are bit-identical for any value.
+     */
     RimeChip(const RimeGeometry &geometry = RimeGeometry{},
-             const RimeTimingParams &timing = RimeTimingParams{});
+             const RimeTimingParams &timing = RimeTimingParams{},
+             unsigned host_threads = 0);
+
+    /** Change the host-side execution width (0 = configured default). */
+    void setHostThreads(unsigned host_threads);
+    unsigned hostThreads() const { return threads_; }
 
     /**
      * Set the word width and data-type mode for subsequent operations
@@ -96,6 +107,23 @@ class RimeChip : public RankBackend
     ArrayUnit &unit(std::uint64_t unit_id);
     /** Point the cached active-unit list at [begin, end). */
     void selectRange(std::uint64_t begin, std::uint64_t end);
+    /** Shards for the current active-unit list. */
+    unsigned shardCount() const;
+    /** beginExtraction on every active unit; total survivor count. */
+    std::uint64_t loadSelectLatches();
+
+    /**
+     * Per-shard partials of one concurrent scan phase, merged by the
+     * controller in shard order (the order-preserving reduction the
+     * H-tree performs in hardware).  Cache-line aligned so worker
+     * threads never share a line.
+     */
+    struct alignas(64) ShardSignals
+    {
+        bool anyMatch = false;
+        bool anyMismatch = false;
+        std::uint64_t survivors = 0;
+    };
 
     RimeGeometry geometry_;
     RimeTimingParams timing_;
@@ -112,6 +140,11 @@ class RimeChip : public RankBackend
     /** Units overlapping the active range, in address order. */
     std::vector<ArrayUnit *> activeUnits_;
     std::uint64_t activeFirstUnit_ = 0;
+
+    /** Host-side execution width of the scan engine. */
+    unsigned threads_ = 1;
+    /** Per-shard scratch, reused across steps to avoid allocation. */
+    std::vector<ShardSignals> shardScratch_;
 
     StatGroup stats_;
     EnduranceTracker endurance_;

@@ -71,16 +71,18 @@ class ArrayUnit
     void
     clearExclusions(unsigned begin, unsigned end)
     {
-        for (unsigned r = begin; r < end; ++r)
-            excluded_.set(r, false);
+        excluded_.clearRange(begin, end);
     }
 
-    /** Load select latches for a new extraction: range minus excluded. */
-    void
+    /**
+     * Load select latches for a new extraction (range minus excluded)
+     * and return the survivor count, in one pass over the words.
+     */
+    unsigned
     beginExtraction()
     {
-        select_ = range_;
-        select_.andNot(excluded_);
+        survivors_ = select_.assignAndNotCount(range_, excluded_);
+        return survivors_;
     }
 
     /**
@@ -92,13 +94,18 @@ class ArrayUnit
      * @param search_bit    the reference bit; matching rows are the
      *                      exclusion candidates
      */
-    ColumnSearchResult
+    ColumnSearchSignals
     probe(unsigned step_from_msb, bool search_bit)
     {
-        auto result = array_->columnSearch(slot_ * k_ + step_from_msb,
-                                           search_bit, select_);
-        lastMatch_ = result.match;
-        return result;
+        // A unit whose select latches are all zero contributes
+        // nothing to the wired-OR signals; its selectlines stay
+        // quiet, so the sense pass is skipped.  (select_ is all
+        // zero, so a stale lastMatch_ cannot resurrect rows.)
+        if (survivors_ == 0)
+            return {};
+        return array_->columnSearchInto(slot_ * k_ + step_from_msb,
+                                        search_bit, select_,
+                                        lastMatch_);
     }
 
     /**
@@ -111,6 +118,18 @@ class ArrayUnit
     {
         if (global_exclude)
             select_.andNot(lastMatch_);
+    }
+
+    /**
+     * Fused commit + survivor count: apply the global decision and
+     * report the rows still selected in a single word pass.
+     */
+    unsigned
+    commitAndCount(bool global_exclude)
+    {
+        if (global_exclude && survivors_ != 0)
+            survivors_ = select_.andNotCount(lastMatch_);
+        return survivors_;
     }
 
     /** Rows still selected. */
@@ -138,6 +157,13 @@ class ArrayUnit
     BitVector excluded_;
     BitVector select_;
     BitVector lastMatch_;
+    /**
+     * Select-latch population, maintained by the fused extraction
+     * path (beginExtraction / commitAndCount) so drained units
+     * short-circuit their probes.  The legacy probe/commit pair used
+     * by the unit tests does not depend on it.
+     */
+    unsigned survivors_ = 0;
 };
 
 } // namespace rime::rimehw
