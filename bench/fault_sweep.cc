@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Fault-rate sweep: sorts a 1M-key array on the bit-level model at
+ * stuck-at cell rates from 0 to 1e-3, checking the produced prefix
+ * against std::sort exactly and reporting the repair-pipeline
+ * counters and the host-side wall-clock overhead the verify/repair
+ * machinery adds.  Emits BENCH_faults.json next to the binary.
+ *
+ * RIME_BENCH_SCALE scales the key count and the extraction cap.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+
+using namespace rime;
+using namespace rime::bench;
+
+namespace
+{
+
+struct SweepPoint
+{
+    double rate = 0.0;
+    std::uint64_t extracted = 0;
+    bool exact = true;
+    std::string status = "ok";
+    double wallMs = 0.0;
+    double simSeconds = 0.0;
+    double remaps = 0.0;
+    double retires = 0.0;
+    double deaths = 0.0;
+    double lost = 0.0;
+    double verifyMismatches = 0.0;
+    double writeErrors = 0.0;
+    std::uint64_t retiredBytes = 0;
+};
+
+SweepPoint
+runPoint(double rate, const std::vector<std::uint64_t> &keys,
+         std::uint64_t extractions)
+{
+    using Clock = std::chrono::steady_clock;
+    SweepPoint p;
+    p.rate = rate;
+
+    LibraryConfig cfg = tableOneRime();
+    cfg.device.bitLevel = true; // faults need cells to corrupt
+    cfg.device.faults.seed = 1;
+    cfg.device.faults.stuckAt0Rate = rate / 2;
+    cfg.device.faults.stuckAt1Rate = rate / 2;
+    RimeLibrary lib(cfg);
+
+    const std::uint64_t bytes = keys.size() * sizeof(std::uint32_t);
+    const auto addr = lib.rimeMalloc(bytes);
+    if (!addr)
+        fatal("fault sweep: allocation failed");
+    lib.storeArray(*addr, keys);
+    lib.rimeInit(*addr, *addr + bytes, KeyMode::UnsignedFixed, 32);
+
+    std::vector<std::uint64_t> got;
+    got.reserve(extractions);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < extractions; ++i) {
+        const RimeExtract r = lib.rimeMinChecked(*addr, *addr + bytes);
+        if (!r.ok()) {
+            p.status = rimeStatusName(r.status);
+            break;
+        }
+        got.push_back(r.item.raw);
+    }
+    const auto t1 = Clock::now();
+    p.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    p.simSeconds = lib.nowSeconds();
+    p.extracted = got.size();
+
+    // Zero silent corruption: whatever was emitted must equal the
+    // sorted prefix exactly.
+    std::vector<std::uint64_t> expect(keys);
+    std::sort(expect.begin(), expect.end());
+    p.exact = std::equal(got.begin(), got.end(), expect.begin());
+
+    const StatGroup stats = lib.device().aggregateStats();
+    p.remaps = stats.get("faultRowRemaps");
+    p.retires = stats.get("faultUnitRetires");
+    p.deaths = stats.get("faultUnitDeaths");
+    p.lost = stats.get("faultLostValues");
+    p.verifyMismatches = stats.get("faultVerifyMismatches");
+    p.writeErrors = stats.get("faultWriteErrors");
+    p.retiredBytes = lib.rimeHealth().retiredBytes;
+    return p;
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    const std::uint64_t n = scaledCap(1 << 20);
+    const std::uint64_t extractions =
+        std::min<std::uint64_t>(n, scaledCap(1 << 14));
+    const auto keys = randomRaws(n, 7);
+
+    std::printf("=== stuck-at sweep (%sM keys, %llu extractions) ===\n",
+                millions(n).c_str(),
+                static_cast<unsigned long long>(extractions));
+    std::printf("%10s %8s %6s %12s %9s %9s %8s %8s %8s\n", "rate",
+                "status", "exact", "wall ms", "remaps", "wrErrors",
+                "retires", "deaths", "lost");
+
+    std::vector<SweepPoint> points;
+    for (const double rate : {0.0, 1e-6, 1e-5, 1e-4, 1e-3}) {
+        points.push_back(runPoint(rate, keys, extractions));
+        const SweepPoint &p = points.back();
+        std::printf("%10.0e %8s %6s %12.1f %9.0f %9.0f %8.0f %8.0f "
+                    "%8.0f\n", p.rate, p.status.c_str(),
+                    p.exact ? "yes" : "NO", p.wallMs, p.remaps,
+                    p.writeErrors, p.retires, p.deaths, p.lost);
+        if (!p.exact)
+            fatal("silent corruption at stuck-at rate %g", p.rate);
+    }
+
+    const double base = points.front().wallMs;
+    std::ofstream json("BENCH_faults.json");
+    json << "{\n  \"bench\": \"fault_sweep\",\n"
+         << "  \"keys\": " << n << ",\n"
+         << "  \"extractions\": " << extractions << ",\n"
+         << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const SweepPoint &p = points[i];
+        json << "    {\"stuck_at_rate\": " << p.rate
+             << ", \"status\": \"" << p.status << "\""
+             << ", \"exact\": " << (p.exact ? "true" : "false")
+             << ", \"extracted\": " << p.extracted
+             << ", \"wall_ms\": " << p.wallMs
+             << ", \"overhead_vs_clean\": "
+             << (base > 0 ? p.wallMs / base : 0.0)
+             << ", \"sim_seconds\": " << p.simSeconds
+             << ", \"row_remaps\": " << p.remaps
+             << ", \"write_errors\": " << p.writeErrors
+             << ", \"unit_retires\": " << p.retires
+             << ", \"unit_deaths\": " << p.deaths
+             << ", \"lost_values\": " << p.lost
+             << ", \"verify_mismatches\": " << p.verifyMismatches
+             << ", \"retired_bytes\": " << p.retiredBytes << "}"
+             << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    std::printf("wrote BENCH_faults.json\n");
+    return 0;
+}

@@ -5,6 +5,22 @@
 namespace rime
 {
 
+const char *
+rimeStatusName(RimeStatus status)
+{
+    switch (status) {
+      case RimeStatus::Ok:
+        return "ok";
+      case RimeStatus::Empty:
+        return "empty";
+      case RimeStatus::VerifyFailed:
+        return "verify-failed";
+      case RimeStatus::DataLoss:
+        return "data-loss";
+    }
+    return "unknown";
+}
+
 RimeLibrary::RimeLibrary(const LibraryConfig &config)
     : deviceConfig_(config.device), device_(config.device),
       driver_(device_.capacityBytes(), config.driver)
@@ -21,9 +37,21 @@ RimeLibrary::toIndex(Addr addr) const
     return addr / wordBytes_;
 }
 
+void
+RimeLibrary::refreshRetiredExtents()
+{
+    for (const auto &[lo, hi] : device_.drainDeadExtents()) {
+        driver_.retireExtent(lo * wordBytes_,
+                             (hi - lo) * wordBytes_);
+    }
+}
+
 std::optional<Addr>
 RimeLibrary::rimeMalloc(std::uint64_t bytes)
 {
+    // Learn any freshly dead extents first so the allocation cannot
+    // land on mats whose repair capacity is exhausted.
+    refreshRetiredExtents();
     return driver_.allocate(bytes);
 }
 
@@ -86,22 +114,80 @@ RimeLibrary::operation(Addr start, Addr end, bool find_max)
     return *it->second;
 }
 
+RimeExtract
+RimeLibrary::extractChecked(Addr start, Addr end, bool find_max)
+{
+    RimeOperation &op = operation(start, end, find_max);
+    RimeExtract r;
+    auto item = op.next(now_);
+    if (item) {
+        r.status = RimeStatus::Ok;
+        r.item = *item;
+        r.item.index *= wordBytes_; // report a byte address
+        return r;
+    }
+    switch (op.status()) {
+      case rimehw::ScanStatus::Ok:
+        r.status = RimeStatus::Empty;
+        break;
+      case rimehw::ScanStatus::VerifyFailed:
+        r.status = RimeStatus::VerifyFailed;
+        break;
+      case rimehw::ScanStatus::DataLoss:
+        r.status = RimeStatus::DataLoss;
+        break;
+    }
+    return r;
+}
+
+RimeExtract
+RimeLibrary::rimeMinChecked(Addr start, Addr end)
+{
+    return extractChecked(start, end, false);
+}
+
+RimeExtract
+RimeLibrary::rimeMaxChecked(Addr start, Addr end)
+{
+    return extractChecked(start, end, true);
+}
+
 std::optional<RankedItem>
 RimeLibrary::rimeMin(Addr start, Addr end)
 {
-    auto item = operation(start, end, false).next(now_);
-    if (item)
-        item->index *= wordBytes_; // report a byte address
-    return item;
+    const RimeExtract r = extractChecked(start, end, false);
+    if (r.status == RimeStatus::Empty)
+        return std::nullopt;
+    if (!r.ok())
+        fatal("rime_min on [%llu, %llu) failed: %s",
+              static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(end),
+              rimeStatusName(r.status));
+    return r.item;
 }
 
 std::optional<RankedItem>
 RimeLibrary::rimeMax(Addr start, Addr end)
 {
-    auto item = operation(start, end, true).next(now_);
-    if (item)
-        item->index *= wordBytes_;
-    return item;
+    const RimeExtract r = extractChecked(start, end, true);
+    if (r.status == RimeStatus::Empty)
+        return std::nullopt;
+    if (!r.ok())
+        fatal("rime_max on [%llu, %llu) failed: %s",
+              static_cast<unsigned long long>(start),
+              static_cast<unsigned long long>(end),
+              rimeStatusName(r.status));
+    return r.item;
+}
+
+RimeHealthReport
+RimeLibrary::rimeHealth()
+{
+    refreshRetiredExtents();
+    RimeHealthReport report;
+    report.counts = device_.healthCounts();
+    report.retiredBytes = driver_.retiredBytes();
+    return report;
 }
 
 std::uint64_t

@@ -44,6 +44,46 @@ struct LibraryConfig
     DriverParams driver{};
 };
 
+/** Outcome of a checked API extraction. */
+enum class RimeStatus : std::uint8_t
+{
+    Ok,           ///< a verified-correct item was produced
+    Empty,        ///< the range is drained
+    VerifyFailed, ///< read-back verification kept failing (transient
+                  ///< faults exceeded the chip's retry budget)
+    DataLoss,     ///< a value in the range was lost beyond repair
+};
+
+/** Human-readable name of a RimeStatus. */
+const char *rimeStatusName(RimeStatus status);
+
+/** Item + status result of rimeMinChecked / rimeMaxChecked. */
+struct RimeExtract
+{
+    RimeStatus status = RimeStatus::Empty;
+    RankedItem item{};
+
+    bool ok() const { return status == RimeStatus::Ok; }
+    explicit operator bool() const { return ok(); }
+};
+
+/** Device health as seen at the API boundary. */
+struct RimeHealthReport
+{
+    rimehw::HealthCounts counts{};
+    /** Bytes the driver has permanently retired from the pool. */
+    std::uint64_t retiredBytes = 0;
+
+    /** No unit has left the healthy state and nothing was lost. */
+    bool
+    pristine() const
+    {
+        return counts.degradedUnits == 0 && counts.retiredUnits == 0 &&
+            counts.deadUnits == 0 && counts.lostValues == 0 &&
+            retiredBytes == 0;
+    }
+};
+
 /** The RIME API library. */
 class RimeLibrary
 {
@@ -73,11 +113,32 @@ class RimeLibrary
     void rimeInit(Addr start, Addr end, KeyMode mode,
                   unsigned word_bits = 32);
 
-    /** Next minimum of the initialized range (and its address). */
+    /**
+     * Next minimum of the initialized range (and its address).
+     *
+     * Items are verified correct before they are returned; if the
+     * device cannot produce a verified item (repair capacity
+     * exhausted or persistent verify failures) this legacy interface
+     * raises a fatal error rather than return a possibly-wrong value.
+     * Fault-tolerant callers should use rimeMinChecked().
+     */
     std::optional<RankedItem> rimeMin(Addr start, Addr end);
 
     /** Next maximum of the initialized range. */
     std::optional<RankedItem> rimeMax(Addr start, Addr end);
+
+    /** rimeMin with an explicit status instead of a fatal error. */
+    RimeExtract rimeMinChecked(Addr start, Addr end);
+
+    /** rimeMax with an explicit status instead of a fatal error. */
+    RimeExtract rimeMaxChecked(Addr start, Addr end);
+
+    /**
+     * Repair-pipeline health of the device.  Also drains dead extents
+     * from the chips into the driver, so the report's retiredBytes is
+     * current and subsequent rimeMalloc calls avoid dead mats.
+     */
+    RimeHealthReport rimeHealth();
 
     /** Values of [start, end) not yet extracted. */
     std::uint64_t rimeRemaining(Addr start, Addr end);
@@ -114,6 +175,9 @@ class RimeLibrary
     using OpKey = std::tuple<std::uint64_t, std::uint64_t, bool>;
     RimeOperation &operation(Addr start, Addr end, bool find_max);
     void dropOverlappingOps(std::uint64_t begin, std::uint64_t end);
+    RimeExtract extractChecked(Addr start, Addr end, bool find_max);
+    /** Move dead extents from the chips into the driver's pool. */
+    void refreshRetiredExtents();
 
     DeviceConfig deviceConfig_;
     RimeDevice device_;

@@ -16,11 +16,17 @@ RimeDevice::RimeDevice(const DeviceConfig &config)
         config.channels * config.geometry.chipsPerChannel;
     if (chips == 0)
         fatal("RIME device needs at least one chip");
+    if (config.faults.injecting() && !config.bitLevel)
+        fatal("fault injection requires the bit-level chip model");
     chips_.reserve(chips);
     for (unsigned i = 0; i < chips; ++i) {
         if (config.bitLevel) {
+            rimehw::FaultParams chip_faults = config.faults;
+            // Decorrelate the chips without extra user-visible knobs.
+            chip_faults.seed = config.faults.seed + i;
             chips_.push_back(std::make_unique<rimehw::RimeChip>(
-                config.geometry, config.timing, config.hostThreads));
+                config.geometry, config.timing, config.hostThreads,
+                chip_faults));
         } else {
             chips_.push_back(std::make_unique<rimehw::FastRime>(
                 config.geometry, config.timing));
@@ -155,6 +161,34 @@ RimeDevice::maxBlockWrites() const
     for (const auto &chip : chips_)
         worst = std::max(worst, chip->endurance().maxBlockWrites());
     return worst;
+}
+
+rimehw::HealthCounts
+RimeDevice::healthCounts() const
+{
+    rimehw::HealthCounts total;
+    for (const auto &chip : chips_)
+        total += chip->healthCounts();
+    return total;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+RimeDevice::drainDeadExtents()
+{
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+    const unsigned chips = totalChips();
+    for (unsigned c = 0; c < chips; ++c) {
+        for (const auto &[lo, hi] : chips_[c]->drainDeadExtents()) {
+            if (lo >= hi)
+                continue;
+            // Local [lo, hi) on chip c covers the striped global
+            // indices {v : v % chips == c, lo <= v / chips < hi};
+            // report the covering global extent (conservative).
+            out.emplace_back(globalIndex(c, lo),
+                             globalIndex(c, hi - 1) + 1);
+        }
+    }
+    return out;
 }
 
 } // namespace rime

@@ -19,6 +19,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "rimehw/backend.hh"
+#include "rimehw/faults.hh"
 #include "rimehw/params.hh"
 
 namespace rime
@@ -51,6 +52,12 @@ struct DeviceConfig
     double resultBurstNs = 6.0;
     /** Per-channel store bandwidth for bulk loads (DDR4-1600). */
     double loadBandwidthGBps = 12.8;
+    /**
+     * Fault injection and self-repair provisioning (per chip; each
+     * chip derives its decisions from faults.seed and its chip id).
+     * Requires the bit-level model: FastRime has no cells to corrupt.
+     */
+    rimehw::FaultParams faults{};
 };
 
 /** Location of a value index on the device. */
@@ -143,6 +150,17 @@ class RimeDevice
 
     /** Worst-case (hottest block) endurance info across chips. */
     std::uint64_t maxBlockWrites() const;
+
+    /** Repair-pipeline summary aggregated over every chip. */
+    rimehw::HealthCounts healthCounts() const;
+
+    /**
+     * Global value-index extents lost to dead units since the last
+     * drain (conservative: a chip-local extent is widened to the
+     * smallest global extent covering its striped indices).
+     */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    drainDeadExtents();
 
   private:
     DeviceConfig config_;

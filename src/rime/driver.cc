@@ -41,7 +41,7 @@ RimeDriver::grow(std::uint64_t min_bytes)
 }
 
 void
-RimeDriver::insertFree(Addr addr, std::uint64_t bytes)
+RimeDriver::insertFreeRaw(Addr addr, std::uint64_t bytes)
 {
     // Coalesce with the predecessor / successor extents.
     auto next = freeList_.lower_bound(addr);
@@ -58,6 +58,78 @@ RimeDriver::insertFree(Addr addr, std::uint64_t bytes)
         freeList_.erase(next);
     }
     freeList_[addr] = bytes;
+}
+
+void
+RimeDriver::insertFree(Addr addr, std::uint64_t bytes)
+{
+    // Retired spans never re-enter the free list: insert only the
+    // usable gaps around them.
+    Addr cur = addr;
+    const Addr end = addr + bytes;
+    auto it = retired_.upper_bound(cur);
+    if (it != retired_.begin())
+        it = std::prev(it);
+    for (; it != retired_.end() && it->first < end; ++it) {
+        const Addr rb = it->first;
+        const Addr re = it->first + it->second;
+        if (re <= cur)
+            continue;
+        if (rb > cur)
+            insertFreeRaw(cur, rb - cur);
+        cur = std::max(cur, re);
+        if (cur >= end)
+            return;
+    }
+    if (cur < end)
+        insertFreeRaw(cur, end - cur);
+}
+
+void
+RimeDriver::retireExtent(Addr addr, std::uint64_t bytes)
+{
+    if (bytes == 0 || addr >= regionBytes_)
+        return;
+    // Page-align outward: the allocator hands out whole pages.
+    Addr begin = (addr / params_.pageBytes) * params_.pageBytes;
+    Addr end = roundUp(addr + bytes, params_.pageBytes);
+    end = std::min<Addr>(end, regionBytes_);
+    // Merge into the retired map (coalescing overlapping spans).
+    auto it = retired_.upper_bound(begin);
+    if (it != retired_.begin())
+        it = std::prev(it);
+    while (it != retired_.end() && it->first <= end) {
+        const Addr rb = it->first;
+        const Addr re = it->first + it->second;
+        if (re < begin) {
+            ++it;
+            continue;
+        }
+        begin = std::min(begin, rb);
+        end = std::max(end, re);
+        retiredBytes_ -= it->second;
+        it = retired_.erase(it);
+    }
+    retired_[begin] = end - begin;
+    retiredBytes_ += end - begin;
+
+    // Carve the retired span out of the current free extents.
+    auto fit = freeList_.upper_bound(begin);
+    if (fit != freeList_.begin())
+        fit = std::prev(fit);
+    while (fit != freeList_.end() && fit->first < end) {
+        const Addr fb = fit->first;
+        const Addr fe = fit->first + fit->second;
+        if (fe <= begin) {
+            ++fit;
+            continue;
+        }
+        fit = freeList_.erase(fit);
+        if (fb < begin)
+            freeList_[fb] = begin - fb;
+        if (fe > end)
+            freeList_[end] = fe - end;
+    }
 }
 
 std::optional<Addr>
@@ -89,6 +161,7 @@ RimeDriver::allocate(std::uint64_t bytes)
         freeList_[addr + size] = extent - size;
     allocations_[addr] = size;
     allocatedBytes_ += size;
+    freed_.erase(addr);
     return addr;
 }
 
@@ -96,12 +169,43 @@ void
 RimeDriver::release(Addr addr)
 {
     auto it = allocations_.find(addr);
-    if (it == allocations_.end())
-        fatal("rime_free of unknown address %llu",
+    if (it == allocations_.end()) {
+        if (freed_.count(addr))
+            fatal("rime_free: double free of address %llu",
+                  static_cast<unsigned long long>(addr));
+        fatal("rime_free of address %llu, which is not the start of "
+              "any live allocation",
               static_cast<unsigned long long>(addr));
+    }
     allocatedBytes_ -= it->second;
     insertFree(it->first, it->second);
     allocations_.erase(it);
+    freed_.insert(addr);
+}
+
+std::uint64_t
+RimeDriver::largestUsableRun(Addr begin, Addr end) const
+{
+    // Longest sub-span of [begin, end) free of retired holes.
+    std::uint64_t best = 0;
+    Addr cur = begin;
+    auto it = retired_.upper_bound(begin);
+    if (it != retired_.begin())
+        it = std::prev(it);
+    for (; it != retired_.end() && it->first < end; ++it) {
+        const Addr rb = it->first;
+        const Addr re = it->first + it->second;
+        if (re <= cur)
+            continue;
+        if (rb > cur)
+            best = std::max<std::uint64_t>(best, rb - cur);
+        cur = std::max(cur, re);
+        if (cur >= end)
+            return best;
+    }
+    if (cur < end)
+        best = std::max<std::uint64_t>(best, end - cur);
+    return best;
 }
 
 std::uint64_t
@@ -110,14 +214,15 @@ RimeDriver::largestFreeExtent() const
     std::uint64_t best = 0;
     for (const auto &kv : freeList_)
         best = std::max(best, kv.second);
-    // Unreserved tail space is contiguous with a trailing free extent.
-    std::uint64_t tail = regionBytes_ - reservedBytes_;
+    // Unreserved tail space is contiguous with a trailing free extent,
+    // minus any retired holes inside it.
+    Addr tail_start = reservedBytes_;
     if (!freeList_.empty()) {
         const auto &last = *freeList_.rbegin();
         if (last.first + last.second == reservedBytes_)
-            tail += last.second;
+            tail_start = last.first;
     }
-    return std::max(best, tail);
+    return std::max(best, largestUsableRun(tail_start, regionBytes_));
 }
 
 std::uint64_t

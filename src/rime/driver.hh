@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 
 #include "common/types.hh"
 
@@ -57,6 +58,19 @@ class RimeDriver
     /** Free a previously allocated extent (coalesces neighbours). */
     void release(Addr addr);
 
+    /**
+     * Permanently remove a byte extent from the allocatable pool
+     * (a chip reported the backing mats dead).  Rounded outward to
+     * page granularity.  Live allocations overlapping the extent are
+     * unaffected -- the owner keeps its (possibly degraded) memory --
+     * but once released, the retired pages never re-enter the free
+     * list, so future rimeMalloc calls avoid the dead mats.
+     */
+    void retireExtent(Addr addr, std::uint64_t bytes);
+
+    /** Bytes permanently retired from the pool. */
+    std::uint64_t retiredBytes() const { return retiredBytes_; }
+
     /** Bytes currently reserved from the region. */
     std::uint64_t reservedBytes() const { return reservedBytes_; }
     /** Bytes currently handed out to allocations. */
@@ -73,16 +87,26 @@ class RimeDriver
 
   private:
     void grow(std::uint64_t min_bytes);
+    /** Insert a free extent, skipping the retired holes inside it. */
     void insertFree(Addr addr, std::uint64_t bytes);
+    /** Insert + coalesce, no retirement filtering. */
+    void insertFreeRaw(Addr addr, std::uint64_t bytes);
+    /** Largest piece of [begin, end) not covered by retired spans. */
+    std::uint64_t largestUsableRun(Addr begin, Addr end) const;
 
     std::uint64_t regionBytes_;
     DriverParams params_;
     std::uint64_t reservedBytes_ = 0;
     std::uint64_t allocatedBytes_ = 0;
+    std::uint64_t retiredBytes_ = 0;
     /** Free extents within the reservation: offset -> size. */
     std::map<Addr, std::uint64_t> freeList_;
     /** Live allocations: offset -> size. */
     std::map<Addr, std::uint64_t> allocations_;
+    /** Retired (dead) extents: offset -> size, coalesced. */
+    std::map<Addr, std::uint64_t> retired_;
+    /** Released start addresses (double-free diagnostics). */
+    std::set<Addr> freed_;
 };
 
 } // namespace rime

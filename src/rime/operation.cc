@@ -45,13 +45,24 @@ RimeOperation::peek(Stream &stream, Tick now)
     std::erase_if(stream.inserts, [&](const Candidate &c) {
         return chip.isExcluded(stream.lo, stream.hi, c.localIndex);
     });
-    if (stream.head || stream.exhausted)
+    if (stream.head || stream.exhausted ||
+        stream.scanStatus != rimehw::ScanStatus::Ok)
         return;
     const auto r = device_.chip(stream.chip)
         .scan(stream.lo, stream.hi, findMax_);
     // A fresh scan observes current memory: the insert buffer is
     // subsumed and cleared.
     stream.inserts.clear();
+    if (r.status != rimehw::ScanStatus::Ok) {
+        // The chip could not produce a verified candidate.  Latch the
+        // state (a rescan would deterministically fail again until
+        // the range is rewritten) and escalate to the operation.
+        stream.scanStatus = r.status;
+        if (static_cast<std::uint8_t>(r.status) >
+            static_cast<std::uint8_t>(status_))
+            status_ = r.status;
+        return;
+    }
     if (!r.found) {
         stream.exhausted = true;
         return;
@@ -138,6 +149,12 @@ RimeOperation::next(Tick &now)
             winner_stream = &stream;
         }
     }
+    // A stream in a fault state may hold the true global winner, so
+    // no value can be emitted until the fault clears (rewrite) or the
+    // caller gives up: fail the pop rather than return a maybe-wrong
+    // item.
+    if (status_ != rimehw::ScanStatus::Ok)
+        return std::nullopt;
     if (!winner)
         return std::nullopt;
 
@@ -186,6 +203,19 @@ RimeOperation::onStore(std::uint64_t index, std::uint64_t raw)
     for (auto &stream : streams_) {
         if (stream.chip != loc.chip)
             continue;
+        if (stream.scanStatus != rimehw::ScanStatus::Ok) {
+            // The rewrite may have repaired (or overwritten) the value
+            // behind the fault: let the stream try a fresh scan.
+            stream.scanStatus = rimehw::ScanStatus::Ok;
+            status_ = rimehw::ScanStatus::Ok;
+            for (const auto &other : streams_) {
+                if (static_cast<std::uint8_t>(other.scanStatus) >
+                    static_cast<std::uint8_t>(status_))
+                    status_ = other.scanStatus;
+            }
+            stream.head.reset();
+            stream.inserts.clear();
+        }
         // A store to a row whose exclusion latch is set stays
         // invisible until the next rime_init.
         if (device_.chip(stream.chip)
@@ -234,7 +264,9 @@ RimeOperation::onBulkStore()
         stream.head.reset();
         stream.inserts.clear();
         stream.exhausted = false;
+        stream.scanStatus = rimehw::ScanStatus::Ok;
     }
+    status_ = rimehw::ScanStatus::Ok;
 }
 
 } // namespace rime

@@ -57,10 +57,23 @@ class RimeOperation
     /**
      * Produce the next ranked value.
      *
+     * Returns std::nullopt when the range is drained *or* when a chip
+     * reported a fault it could not repair -- check status() to tell
+     * the two apart.  No value is ever returned from a stream in a
+     * non-Ok state: a fault anywhere in the range blocks extraction
+     * rather than risking a wrong global winner.
+     *
      * @param now in/out simulation clock; advanced to the tick at
      *            which the value is available to the application
      */
     std::optional<RankedItem> next(Tick &now);
+
+    /**
+     * Fault state of the operation: Ok, or the most severe ScanStatus
+     * any chip reported.  A store into the affected chip's range
+     * clears the state (the rewrite may have repaired the value).
+     */
+    rimehw::ScanStatus status() const { return status_; }
 
     /** Values of the range not yet produced. */
     std::uint64_t remaining() const { return remaining_; }
@@ -111,6 +124,8 @@ class RimeOperation
         /** Recent consumption ticks (buffer-depth pipeline cap). */
         std::deque<Tick> recentConsumes;
         bool exhausted = false;
+        /** Last scan outcome; non-Ok freezes the whole operation. */
+        rimehw::ScanStatus scanStatus = rimehw::ScanStatus::Ok;
     };
 
     void peek(Stream &stream, Tick now);
@@ -124,6 +139,7 @@ class RimeOperation
     Tick creation_;
     std::uint64_t remaining_;
     std::vector<Stream> streams_;
+    rimehw::ScanStatus status_ = rimehw::ScanStatus::Ok;
 };
 
 } // namespace rime

@@ -18,6 +18,7 @@
 
 #include "common/logging.hh"
 #include "rimehw/bitvector.hh"
+#include "rimehw/faults.hh"
 
 namespace rime::rimehw
 {
@@ -53,7 +54,30 @@ class RramArray
     unsigned rows() const { return rows_; }
     unsigned cols() const { return cols_; }
 
-    /** Read the stored bit of one cell. */
+    /**
+     * Attach a fault oracle.  Manufacturing stuck-at cells are baked
+     * into the stored bits here, so the sensing paths observe them
+     * without extra per-read work; wear-out and read disturb are
+     * consulted on the write and read paths respectively.
+     */
+    void
+    attachFaults(const FaultModel *faults, std::uint64_t array_id)
+    {
+        faults_ = faults;
+        arrayId_ = array_id;
+        if (!faults_)
+            return;
+        for (unsigned col = 0; col < cols_; ++col) {
+            for (unsigned row = 0; row < rows_; ++row) {
+                const int stuck = faults_->stuckState(arrayId_, row,
+                                                      col);
+                if (stuck >= 0)
+                    setCell(row, col, stuck != 0);
+            }
+        }
+    }
+
+    /** Read the stored (physical) bit of one cell; no disturb. */
     bool
     cell(unsigned row, unsigned col) const
     {
@@ -63,26 +87,54 @@ class RramArray
     /**
      * Write a k-bit value into one row with the MSB at column
      * `col_begin` (a row write in Figure 8c).
+     *
+     * @param block_writes wear level (block write count) applied to
+     *        the written cells; stuck cells keep their stuck value
+     *        and worn-out cells freeze at their current value, which
+     *        the chip's write-verify detects
      */
     void
     writeRowBits(unsigned row, unsigned col_begin, unsigned k,
-                 std::uint64_t value)
+                 std::uint64_t value, std::uint64_t block_writes = 0)
     {
         if (col_begin + k > cols_ || row >= rows_)
             fatal("row write out of array bounds");
         for (unsigned i = 0; i < k; ++i) {
-            const bool bit = (value >> (k - 1 - i)) & 1ULL;
-            setCell(row, col_begin + i, bit);
+            const unsigned col = col_begin + i;
+            bool bit = (value >> (k - 1 - i)) & 1ULL;
+            if (faults_) {
+                const int stuck = faults_->stuckState(arrayId_, row,
+                                                      col);
+                if (stuck >= 0)
+                    bit = stuck != 0;
+                else if (faults_->wornOut(arrayId_, row, col,
+                                          block_writes))
+                    continue; // frozen at the current stored value
+            }
+            setCell(row, col, bit);
         }
     }
 
-    /** Read back a k-bit value written by writeRowBits. */
+    /**
+     * Read back a k-bit value through the sense path: the stored bits
+     * of one row, transiently disturbed per the fault model's current
+     * epoch.
+     */
     std::uint64_t
     readRowBits(unsigned row, unsigned col_begin, unsigned k) const
     {
         std::uint64_t value = 0;
-        for (unsigned i = 0; i < k; ++i)
-            value = (value << 1) | (cell(row, col_begin + i) ? 1 : 0);
+        const unsigned word = row >> 6;
+        const std::uint64_t rowbit = 1ULL << (row & 63);
+        for (unsigned i = 0; i < k; ++i) {
+            const unsigned col = col_begin + i;
+            bool bit = cell(row, col);
+            if (faults_ &&
+                (faults_->disturbWord(arrayId_, col, word,
+                                      faults_->epoch()) & rowbit))
+                bit = !bit;
+            value = (value << 1) | (bit ? 1 : 0);
+        }
         return value;
     }
 
@@ -123,7 +175,11 @@ class RramArray
         std::uint64_t any_mismatch = 0;
         for (unsigned w = 0; w < wordsPerCol_; ++w) {
             const std::uint64_t sel = select.word(w);
-            const std::uint64_t bits = col_words[w];
+            std::uint64_t bits = col_words[w];
+            if (faults_) {
+                bits ^= faults_->disturbWord(arrayId_, col, w,
+                                             faults_->epoch());
+            }
             const std::uint64_t m = sel & (search_bit ? bits : ~bits);
             match.setWord(w, m);
             any_match |= m;
@@ -155,6 +211,9 @@ class RramArray
     unsigned cols_;
     unsigned wordsPerCol_;
     std::vector<std::uint64_t> columns_;
+    /** Fault oracle (nullptr on a perfect array). */
+    const FaultModel *faults_ = nullptr;
+    std::uint64_t arrayId_ = 0;
 };
 
 } // namespace rime::rimehw

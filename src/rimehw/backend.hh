@@ -12,6 +12,8 @@
 #define RIME_RIMEHW_BACKEND_HH
 
 #include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/key_codec.hh"
 #include "common/stats.hh"
@@ -21,6 +23,17 @@
 
 namespace rime::rimehw
 {
+
+/** Outcome class of a scan on a possibly-faulty chip. */
+enum class ScanStatus : std::uint8_t
+{
+    /** Result verified (or range empty with found == false). */
+    Ok,
+    /** Read-back verify kept failing within the retry budget. */
+    VerifyFailed,
+    /** The range covers a value that repair could not preserve. */
+    DataLoss,
+};
 
 /** Result of one in-situ min/max extraction. */
 struct ExtractResult
@@ -34,6 +47,31 @@ struct ExtractResult
     unsigned steps = 0;
     /** Latency of the extraction (scan + winner row read). */
     Tick time = 0;
+    /** Fault-detection outcome (always Ok on a fault-free chip). */
+    ScanStatus status = ScanStatus::Ok;
+};
+
+/** Aggregated repair-pipeline state of one chip. */
+struct HealthCounts
+{
+    std::uint64_t healthyUnits = 0;
+    std::uint64_t degradedUnits = 0; ///< rows remapped to spares
+    std::uint64_t retiredUnits = 0;  ///< migrated to a spare unit
+    std::uint64_t deadUnits = 0;     ///< repair capacity exhausted
+    std::uint64_t remappedRows = 0;
+    std::uint64_t lostValues = 0;
+
+    HealthCounts &
+    operator+=(const HealthCounts &o)
+    {
+        healthyUnits += o.healthyUnits;
+        degradedUnits += o.degradedUnits;
+        retiredUnits += o.retiredUnits;
+        deadUnits += o.deadUnits;
+        remappedRows += o.remappedRows;
+        lostValues += o.lostValues;
+        return *this;
+    }
 };
 
 /** Chip-level in-situ ranking interface. */
@@ -107,6 +145,17 @@ class RankBackend
     virtual const EnduranceTracker &endurance() const = 0;
     virtual const RimeGeometry &geometry() const = 0;
     virtual const RimeTimingParams &timing() const = 0;
+
+    /** Repair-pipeline summary (zeros on a fault-free backend). */
+    virtual HealthCounts healthCounts() const { return {}; }
+
+    /**
+     * Local value-index extents whose unit died (repair capacity
+     * exhausted) since the last drain.  The driver retires these from
+     * its free list so future allocations avoid dead mats.
+     */
+    virtual std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    drainDeadExtents() { return {}; }
 };
 
 } // namespace rime::rimehw

@@ -10,10 +10,13 @@ namespace rime::rimehw
 
 RimeChip::RimeChip(const RimeGeometry &geometry,
                    const RimeTimingParams &timing,
-                   unsigned host_threads)
-    : geometry_(geometry), timing_(timing), stats_("rimechip"),
-      endurance_(512)
+                   unsigned host_threads,
+                   const FaultParams &faults)
+    : geometry_(geometry), timing_(timing), faultParams_(faults),
+      stats_("rimechip"), endurance_(512)
 {
+    if (faultParams_.injecting())
+        faults_ = std::make_unique<FaultModel>(faultParams_);
     arrays_.resize(std::size_t(geometry_.banksPerChip) *
                    geometry_.subbanksPerBank);
     setHostThreads(host_threads);
@@ -37,6 +40,16 @@ RimeChip::shardCount() const
         threads_, activeUnits_.size()));
 }
 
+unsigned
+RimeChip::rowsPerUnit() const
+{
+    if (!faults_)
+        return geometry_.arrayRows;
+    const unsigned spares = std::min(faultParams_.spareRowsPerUnit,
+                                     geometry_.arrayRows - 1);
+    return geometry_.arrayRows - spares;
+}
+
 void
 RimeChip::configure(unsigned k, KeyMode mode)
 {
@@ -47,6 +60,18 @@ RimeChip::configure(unsigned k, KeyMode mode)
     mode_ = mode;
     unitsTotal_ = std::uint64_t(arrays_.size()) *
         geometry_.slotsPerRow(k);
+    logicalUnits_ = unitsTotal_;
+    if (faults_) {
+        const std::uint64_t spares = std::min<std::uint64_t>(
+            faultParams_.spareUnitsPerChip, unitsTotal_ - 1);
+        logicalUnits_ = unitsTotal_ - spares;
+    }
+    nextSpareUnit_ = logicalUnits_;
+    unitRemap_.clear();
+    health_.clear();
+    deadExtents_.clear();
+    remappedRows_ = 0;
+    lostValues_ = 0;
     units_.clear();
     units_.resize(unitsTotal_);
     activeUnits_.clear();
@@ -56,7 +81,7 @@ RimeChip::configure(unsigned k, KeyMode mode)
 std::uint64_t
 RimeChip::valueCapacity() const
 {
-    return unitsTotal_ * geometry_.arrayRows;
+    return logicalUnits_ * rowsPerUnit();
 }
 
 ArrayUnit &
@@ -71,11 +96,168 @@ RimeChip::unit(std::uint64_t unit_id)
         if (!arrays_[array_id]) {
             arrays_[array_id] = std::make_unique<RramArray>(
                 geometry_.arrayRows, geometry_.arrayCols);
+            if (faults_)
+                arrays_[array_id]->attachFaults(faults_.get(),
+                                                array_id);
         }
         units_[unit_id] = std::make_unique<ArrayUnit>(
-            arrays_[array_id].get(), slot, k_);
+            arrays_[array_id].get(), slot, k_,
+            faults_ ? rowsPerUnit() : 0);
     }
     return *units_[unit_id];
+}
+
+ArrayUnit &
+RimeChip::logicalUnit(std::uint64_t logical_id)
+{
+    if (faults_) {
+        auto it = unitRemap_.find(logical_id);
+        if (it != unitRemap_.end())
+            return unit(it->second);
+    }
+    return unit(logical_id);
+}
+
+void
+RimeChip::invalidateActiveUnits()
+{
+    rangeBegin_ = rangeEnd_ = 0;
+    activeUnits_.clear();
+}
+
+void
+RimeChip::raiseHealth(std::uint64_t logical_unit, UnitHealth to)
+{
+    auto it = health_.find(logical_unit);
+    if (it == health_.end())
+        health_.emplace(logical_unit, to);
+    else if (static_cast<std::uint8_t>(to) >
+             static_cast<std::uint8_t>(it->second))
+        it->second = to;
+}
+
+void
+RimeChip::chargeRead()
+{
+    stats_.inc("rowReads");
+    stats_.inc("energyPJ", timing_.readEnergy);
+}
+
+bool
+RimeChip::stableRead(const ArrayUnit &au, unsigned phys,
+                     std::uint64_t &out)
+{
+    out = au.readPhysical(phys);
+    chargeRead();
+    if (!faults_ || faults_->params().readDisturbRate <= 0.0)
+        return true;
+    // Disturb is transient and epoch-keyed: re-sense in fresh epochs
+    // until two consecutive reads agree.
+    std::uint64_t prev = out;
+    for (unsigned i = 0; i <= faultParams_.readRetries; ++i) {
+        faults_->advanceEpoch();
+        const std::uint64_t again = au.readPhysical(phys);
+        chargeRead();
+        if (again == prev) {
+            out = again;
+            return true;
+        }
+        prev = again;
+    }
+    out = prev;
+    return false;
+}
+
+bool
+RimeChip::writeRowRepair(std::uint64_t logical_unit, ArrayUnit &au,
+                         unsigned row, std::uint64_t raw,
+                         std::uint64_t block_writes, bool charge_first)
+{
+    unsigned phys = au.physicalRow(row);
+    bool first = true;
+    for (;;) {
+        if (!first || charge_first) {
+            stats_.inc("rowWrites");
+            stats_.inc("energyPJ", timing_.writeEnergy);
+        }
+        first = false;
+        au.writePhysical(phys, raw, block_writes);
+        std::uint64_t got = 0;
+        if (stableRead(au, phys, got) && got == raw) {
+            if (phys != au.physicalRow(row)) {
+                au.installRemap(row, phys);
+                ++remappedRows_;
+                stats_.inc("faultRowRemaps");
+                raiseHealth(logical_unit, UnitHealth::Degraded);
+                invalidateActiveUnits();
+            }
+            return true;
+        }
+        stats_.inc("faultWriteErrors");
+        if (phys != au.physicalRow(row))
+            au.markBadPhysical(phys); // a spare that failed too
+        phys = au.allocateSpare();
+        if (phys >= au.rows())
+            return false;
+    }
+}
+
+bool
+RimeChip::retireUnit(std::uint64_t logical_unit)
+{
+    if (nextSpareUnit_ >= unitsTotal_) {
+        raiseHealth(logical_unit, UnitHealth::Dead);
+        deadExtents_.emplace_back(logical_unit * rowsPerUnit(),
+                                  (logical_unit + 1) * rowsPerUnit());
+        stats_.inc("faultUnitDeaths");
+        invalidateActiveUnits();
+        return false;
+    }
+    const std::uint64_t spare = nextSpareUnit_++;
+    ArrayUnit &from = logicalUnit(logical_unit);
+    ArrayUnit &to = unit(spare);
+    const unsigned rpu = rowsPerUnit();
+    for (unsigned row = 0; row < rpu; ++row) {
+        if (from.isLost(row)) {
+            to.markLost(row);
+            continue;
+        }
+        std::uint64_t val = 0;
+        stableRead(from, from.physicalRow(row), val);
+        if (writeRowRepair(logical_unit, to, row, val, 0, true)) {
+            if (from.isExcluded(row))
+                to.exclude(row);
+        } else {
+            to.markLost(row);
+            ++lostValues_;
+            stats_.inc("faultLostValues");
+            deadExtents_.emplace_back(
+                logical_unit * rpu + row,
+                logical_unit * rpu + row + 1);
+        }
+    }
+    unitRemap_[logical_unit] = spare;
+    raiseHealth(logical_unit, UnitHealth::Retired);
+    stats_.inc("faultUnitRetires");
+    invalidateActiveUnits();
+    return true;
+}
+
+bool
+RimeChip::writeVerified(std::uint64_t logical_unit, unsigned row,
+                        std::uint64_t raw, std::uint64_t block_writes)
+{
+    bool first = true;
+    for (;;) {
+        ArrayUnit &au = logicalUnit(logical_unit);
+        // The first physical write was charged by writeValue().
+        if (writeRowRepair(logical_unit, au, row, raw, block_writes,
+                           !first))
+            return true;
+        first = false;
+        if (!retireUnit(logical_unit))
+            return false;
+    }
 }
 
 Tick
@@ -84,22 +266,44 @@ RimeChip::writeValue(std::uint64_t index, std::uint64_t raw)
     if (index >= valueCapacity())
         fatal("value index %llu beyond chip capacity",
               static_cast<unsigned long long>(index));
-    const std::uint64_t unit_id = index / geometry_.arrayRows;
-    const unsigned row =
-        static_cast<unsigned>(index % geometry_.arrayRows);
-    unit(unit_id).writeValue(row, raw);
+    const std::uint64_t rows = rowsPerUnit();
+    const std::uint64_t unit_id = index / rows;
+    const unsigned row = static_cast<unsigned>(index % rows);
     stats_.inc("rowWrites");
     stats_.inc("energyPJ", timing_.writeEnergy);
     endurance_.recordWrite(index * ((k_ + 7) / 8), (k_ + 7) / 8);
+    if (!faults_) {
+        unit(unit_id).writeValue(row, raw);
+        return timing_.tWrite;
+    }
+    const std::uint64_t block_writes =
+        endurance_.blockWrites(index * ((k_ + 7) / 8));
+    if (writeVerified(unit_id, row, raw, block_writes)) {
+        logicalUnit(unit_id).clearLost(row);
+    } else {
+        ArrayUnit &au = logicalUnit(unit_id);
+        if (!au.isLost(row)) {
+            au.markLost(row);
+            ++lostValues_;
+            stats_.inc("faultLostValues");
+        }
+        invalidateActiveUnits();
+    }
     return timing_.tWrite;
 }
 
 std::uint64_t
 RimeChip::readValue(std::uint64_t index)
 {
-    const std::uint64_t unit_id = index / geometry_.arrayRows;
-    const unsigned row =
-        static_cast<unsigned>(index % geometry_.arrayRows);
+    const std::uint64_t rows = rowsPerUnit();
+    const std::uint64_t unit_id = index / rows;
+    const unsigned row = static_cast<unsigned>(index % rows);
+    if (faults_) {
+        ArrayUnit &au = logicalUnit(unit_id);
+        std::uint64_t value = 0;
+        stableRead(au, au.physicalRow(row), value);
+        return value;
+    }
     stats_.inc("rowReads");
     stats_.inc("energyPJ", timing_.readEnergy);
     return unit(unit_id).readValue(row);
@@ -119,7 +323,7 @@ RimeChip::initRange(std::uint64_t begin, std::uint64_t end)
         activeUnits_.size(), shardCount(),
         [&](std::size_t lo, std::size_t hi, unsigned) {
             for (std::size_t i = lo; i < hi; ++i) {
-                const std::uint64_t rows = geometry_.arrayRows;
+                const std::uint64_t rows = rowsPerUnit();
                 const std::uint64_t unit_base =
                     (activeFirstUnit_ + i) * rows;
                 const unsigned begin_row = begin > unit_base
@@ -148,12 +352,12 @@ RimeChip::selectRange(std::uint64_t begin, std::uint64_t end)
     activeUnits_.clear();
     if (begin >= end)
         return;
-    const std::uint64_t rows = geometry_.arrayRows;
+    const std::uint64_t rows = rowsPerUnit();
     const std::uint64_t first_unit = begin / rows;
     const std::uint64_t last_unit = (end - 1) / rows;
     activeFirstUnit_ = first_unit;
     for (std::uint64_t u = first_unit; u <= last_unit; ++u) {
-        ArrayUnit &au = unit(u);
+        ArrayUnit &au = logicalUnit(u);
         const std::uint64_t unit_base = u * rows;
         const unsigned begin_row = begin > unit_base
             ? static_cast<unsigned>(begin - unit_base) : 0;
@@ -193,10 +397,10 @@ RimeChip::exclude(std::uint64_t begin, std::uint64_t end,
 {
     if (index < begin || index >= end)
         fatal("exclude index outside the range");
-    const std::uint64_t unit_id = index / geometry_.arrayRows;
-    const unsigned row =
-        static_cast<unsigned>(index % geometry_.arrayRows);
-    unit(unit_id).exclude(row);
+    const std::uint64_t rows = rowsPerUnit();
+    const std::uint64_t unit_id = index / rows;
+    const unsigned row = static_cast<unsigned>(index % rows);
+    logicalUnit(unit_id).exclude(row);
     stats_.inc("exclusions");
 }
 
@@ -206,26 +410,16 @@ RimeChip::isExcluded(std::uint64_t begin, std::uint64_t end,
 {
     if (index < begin || index >= end)
         fatal("index outside the range");
-    const std::uint64_t unit_id = index / geometry_.arrayRows;
-    const unsigned row =
-        static_cast<unsigned>(index % geometry_.arrayRows);
-    return unit(unit_id).isExcluded(row);
+    const std::uint64_t rows = rowsPerUnit();
+    const std::uint64_t unit_id = index / rows;
+    const unsigned row = static_cast<unsigned>(index % rows);
+    return logicalUnit(unit_id).isExcluded(row);
 }
 
-ExtractResult
-RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
+RimeChip::ScanAttempt
+RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
 {
-    selectRange(begin, end);
-    ExtractResult result;
-    if (activeUnits_.empty())
-        return result;
-
-    // Load select latches: range minus previously extracted rows, and
-    // obtain the initial survivor count from the index tree.
-    std::uint64_t survivors = loadSelectLatches();
-    if (survivors == 0)
-        return result;
-
+    ScanAttempt att;
     // Bit-serial scan, MSB first.  Each step performs a column search
     // in every active unit *concurrently* (all mats of a chip search
     // in lockstep, Figure 11): the units are partitioned into
@@ -237,7 +431,6 @@ RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
     ThreadPool &pool = ThreadPool::global();
     const unsigned shards = shardCount();
     bool negatives_present = false;
-    unsigned steps = 0;
     if (survivors > 1 || !timing_.earlyTermination) {
         for (unsigned s = 0; s < k_; ++s) {
             const unsigned pos = k_ - 1 - s;
@@ -283,7 +476,17 @@ RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
             }
             // No exclusion: the select latches -- and therefore the
             // survivor count -- are unchanged; skip the commit pass.
-            ++steps;
+            //
+            // Every survivor of this step carries the same bit at this
+            // position.  Rows matching the search bit are the
+            // exclusion candidates, so the survivors carry its
+            // complement -- unless nothing mismatched and the whole
+            // select set carries the search bit itself.  Recording
+            // this trajectory lets the controller verify the winner's
+            // read-back.
+            if (any_mismatch != search_bit)
+                att.trajectory |= 1ULL << s;
+            ++att.steps;
             stats_.inc("columnSearches",
                        static_cast<double>(activeUnits_.size()));
             if (pos == k_ - 1) {
@@ -303,22 +506,193 @@ RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
         const unsigned row = au->firstSurvivor();
         if (row >= au->rows())
             continue;
-        const std::uint64_t index =
-            (activeFirstUnit_ + i) * geometry_.arrayRows + row;
+        att.found = true;
+        att.unitPos = i;
+        att.physRow = row;
+        return att;
+    }
+    return att;
+}
+
+ExtractResult
+RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
+{
+    selectRange(begin, end);
+    ExtractResult result;
+    if (activeUnits_.empty())
+        return result;
+
+    if (faults_) {
+        // A lost value inside the range poisons the extraction: the
+        // true minimum may be the value we could not preserve, so
+        // refuse explicitly instead of silently skipping it.
+        const std::uint64_t rows = rowsPerUnit();
+        for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
+            const std::uint64_t unit_base =
+                (activeFirstUnit_ + i) * rows;
+            const unsigned begin_row = begin > unit_base
+                ? static_cast<unsigned>(begin - unit_base) : 0;
+            const unsigned end_row = end < unit_base + rows
+                ? static_cast<unsigned>(end - unit_base)
+                : static_cast<unsigned>(rows);
+            if (activeUnits_[i]->lostUnexcluded(begin_row, end_row)) {
+                result.status = ScanStatus::DataLoss;
+                return result;
+            }
+        }
+    }
+
+    // Load select latches: range minus previously extracted rows, and
+    // obtain the initial survivor count from the index tree.
+    std::uint64_t survivors = loadSelectLatches();
+    if (survivors == 0)
+        return result;
+
+    if (!faults_) {
+        const ScanAttempt att = runScanSteps(find_max, survivors);
+        if (!att.found)
+            panic("survivor count positive but no survivor found");
+        ArrayUnit *au = activeUnits_[att.unitPos];
         result.found = true;
-        result.raw = au->readValue(row);
-        result.index = index;
-        result.steps = steps;
-        result.time = steps * timing_.stepTime() + timing_.tRead;
+        result.raw = au->readPhysical(att.physRow);
+        result.index = (activeFirstUnit_ + att.unitPos) *
+            geometry_.arrayRows + att.physRow;
+        result.steps = att.steps;
+        result.time = att.steps * timing_.stepTime() + timing_.tRead;
         stats_.inc("extractions");
-        stats_.inc("scanSteps", steps);
+        stats_.inc("scanSteps", att.steps);
         stats_.inc("rowReads");
-        stats_.inc("energyPJ", steps * timing_.stepEnergy() +
+        stats_.inc("energyPJ", att.steps * timing_.stepEnergy() +
                    timing_.readEnergy);
         stats_.inc("busyTicks", static_cast<double>(result.time));
         return result;
     }
-    panic("survivor count positive but no survivor found");
+
+    // Faulty chip: verify and (under read disturb) confirm.
+    //
+    // Stuck-at and worn-out cells are caught by write-verify, so a
+    // successfully stored value always senses correctly -- on such a
+    // chip the scan below runs once, verifies, and is exact.  Read
+    // disturb is transient and epoch-keyed, so every scan anomaly it
+    // causes is non-repeatable: the winner's read-back must match the
+    // bit trajectory the scan observed (catches a disturbed winner),
+    // and when disturb is enabled two consecutive scans in different
+    // epochs must agree on the same winner (catches a disturbed
+    // *loser*, e.g. the true minimum knocked out of the survivor
+    // set).  Verified-correct item or explicit error; never silent.
+    const std::uint64_t rows = rowsPerUnit();
+    const bool confirm = faults_->params().readDisturbRate > 0.0;
+    // Confirmation consumes a second scan, so it needs two attempts
+    // even with retries configured off.
+    const unsigned attempts =
+        std::max(faultParams_.scanRetries + 1, confirm ? 2u : 1u);
+    bool have_prev = false;
+    std::size_t prev_pos = 0;
+    unsigned prev_phys = 0;
+    std::uint64_t prev_raw = 0;
+    unsigned total_steps = 0;
+
+    const auto finish = [&](std::size_t pos, unsigned phys,
+                            std::uint64_t raw) {
+        ArrayUnit *au = activeUnits_[pos];
+        result.found = true;
+        result.raw = raw;
+        result.index = (activeFirstUnit_ + pos) * rows +
+            au->logicalRow(phys);
+        result.steps = total_steps;
+        result.time = total_steps * timing_.stepTime() + timing_.tRead;
+        result.status = ScanStatus::Ok;
+        stats_.inc("extractions");
+        stats_.inc("scanSteps", total_steps);
+        stats_.inc("energyPJ", total_steps * timing_.stepEnergy());
+        stats_.inc("busyTicks", static_cast<double>(result.time));
+        return result;
+    };
+
+    for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            // Re-arm the select latches (the previous walk consumed
+            // them); exclusion latches are untouched, so the reload
+            // restores the full candidate set.
+            survivors = loadSelectLatches();
+            stats_.inc("faultRescans");
+        }
+        const ScanAttempt att = runScanSteps(find_max, survivors);
+        total_steps += att.steps;
+        if (!att.found)
+            panic("survivor count positive but no survivor found");
+
+        ArrayUnit *au = activeUnits_[att.unitPos];
+        std::uint64_t got = 0;
+        bool ok = stableRead(*au, att.physRow, got);
+        if (ok) {
+            for (unsigned s = 0; s < att.steps; ++s) {
+                const bool traj = (att.trajectory >> s) & 1ULL;
+                const bool bit = (got >> (k_ - 1 - s)) & 1ULL;
+                if (bit != traj) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (!ok) {
+            // Transient: a disturbed winner read-back or scan walk.
+            // A fresh epoch re-senses everything.
+            stats_.inc("faultVerifyMismatches");
+            have_prev = false;
+            faults_->advanceEpoch();
+            continue;
+        }
+        if (!confirm)
+            return finish(att.unitPos, att.physRow, got);
+        if (have_prev && prev_pos == att.unitPos &&
+            prev_phys == att.physRow && prev_raw == got) {
+            return finish(att.unitPos, att.physRow, got);
+        }
+        // First verified sighting (or disagreement with the previous
+        // one): require the next epoch's scan to reproduce it.
+        have_prev = true;
+        prev_pos = att.unitPos;
+        prev_phys = att.physRow;
+        prev_raw = got;
+        faults_->advanceEpoch();
+    }
+    stats_.inc("faultScanFailures");
+    result.status = ScanStatus::VerifyFailed;
+    return result;
+}
+
+HealthCounts
+RimeChip::healthCounts() const
+{
+    HealthCounts hc;
+    hc.healthyUnits = logicalUnits_;
+    for (const auto &[lu, state] : health_) {
+        (void)lu;
+        switch (state) {
+          case UnitHealth::Degraded:
+            ++hc.degradedUnits;
+            break;
+          case UnitHealth::Retired:
+            ++hc.retiredUnits;
+            break;
+          case UnitHealth::Dead:
+            ++hc.deadUnits;
+            break;
+        }
+        --hc.healthyUnits;
+    }
+    hc.remappedRows = remappedRows_;
+    hc.lostValues = lostValues_;
+    return hc;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+RimeChip::drainDeadExtents()
+{
+    auto out = std::move(deadExtents_);
+    deadExtents_.clear();
+    return out;
 }
 
 } // namespace rime::rimehw

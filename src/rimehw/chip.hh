@@ -10,6 +10,19 @@
  * row = index % rows.  Units are ordered (bank, mat, array, slot), so
  * priority encoding over (unit, row) equals address order -- the
  * property the paper uses to guarantee stable sorting.
+ *
+ * With fault injection active (see rimehw/faults.hh) the chip runs a
+ * verify-retry-remap-retire pipeline: every write is read back and
+ * compared (stuck-at and worn-out cells surface here and the value is
+ * remapped to a spare row, or the whole unit is migrated to a spare
+ * unit), every extraction's winner is read back and compared against
+ * the bit trajectory the scan observed, and -- when transient read
+ * disturb is enabled -- two consecutive scans in different disturb
+ * epochs must reproduce the same winner before it is emitted.  A scan
+ * either returns a verified-correct value or an
+ * explicit non-Ok ScanStatus -- never a silently wrong item.  All
+ * repair decisions are made serially by the controller, so results
+ * stay bit-identical for any hostThreads value.
  */
 
 #ifndef RIME_RIMEHW_CHIP_HH
@@ -17,6 +30,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/key_codec.hh"
@@ -25,6 +40,7 @@
 #include "rimehw/array.hh"
 #include "rimehw/backend.hh"
 #include "rimehw/endurance.hh"
+#include "rimehw/faults.hh"
 #include "rimehw/params.hh"
 #include "rimehw/unit.hh"
 
@@ -40,10 +56,14 @@ class RimeChip : public RankBackend
      *        scan engine (mats compute concurrently in the real chip);
      *        0 selects the RIME_THREADS / hardware default.  Results,
      *        statistics, and energy are bit-identical for any value.
+     * @param faults fault-injection and repair-provisioning knobs;
+     *        default-constructed params inject nothing and leave the
+     *        fault machinery entirely out of the scan path
      */
     RimeChip(const RimeGeometry &geometry = RimeGeometry{},
              const RimeTimingParams &timing = RimeTimingParams{},
-             unsigned host_threads = 0);
+             unsigned host_threads = 0,
+             const FaultParams &faults = FaultParams{});
 
     /** Change the host-side execution width (0 = configured default). */
     void setHostThreads(unsigned host_threads);
@@ -103,14 +123,60 @@ class RimeChip : public RankBackend
     /** Total energy charged so far, picojoules. */
     PicoJoules energyPJ() const { return stats_.get("energyPJ"); }
 
+    /** The chip's fault oracle (nullptr when injection is off). */
+    const FaultModel *faultModel() const { return faults_.get(); }
+
+    HealthCounts healthCounts() const override;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    drainDeadExtents() override;
+
   private:
+    /** Repair state of one logical unit. */
+    enum class UnitHealth : std::uint8_t { Degraded = 1, Retired,
+                                           Dead };
+
     ArrayUnit &unit(std::uint64_t unit_id);
+    /** Unit backing a logical unit id (follows retirement remaps). */
+    ArrayUnit &logicalUnit(std::uint64_t logical_id);
+    /** Rows addressable as values per unit (spares carved out). */
+    unsigned rowsPerUnit() const;
     /** Point the cached active-unit list at [begin, end). */
     void selectRange(std::uint64_t begin, std::uint64_t end);
     /** Shards for the current active-unit list. */
     unsigned shardCount() const;
     /** beginExtraction on every active unit; total survivor count. */
     std::uint64_t loadSelectLatches();
+
+    /** Charge one sense read of a value row to stats. */
+    void chargeRead();
+    /**
+     * Read a physical row until two consecutive reads agree (filters
+     * transient read disturb); false when the readout never settled.
+     */
+    bool stableRead(const ArrayUnit &au, unsigned phys,
+                    std::uint64_t &out);
+    /**
+     * Verified write into one unit with spare-row remapping only
+     * (no unit escalation); false when the unit's spares ran out.
+     */
+    bool writeRowRepair(std::uint64_t logical_unit, ArrayUnit &au,
+                        unsigned row, std::uint64_t raw,
+                        std::uint64_t block_writes, bool charge_first);
+    /**
+     * Write-verify with spare-row remap and unit retirement; false
+     * when repair capacity is exhausted (the value is then lost).
+     */
+    bool writeVerified(std::uint64_t logical_unit, unsigned row,
+                       std::uint64_t raw, std::uint64_t block_writes);
+    /**
+     * Migrate a unit whose spares ran out to a spare unit; false (and
+     * the unit marked dead) when no spare unit remains.
+     */
+    bool retireUnit(std::uint64_t logical_unit);
+    /** Degrade-at-least (state machine only moves forward). */
+    void raiseHealth(std::uint64_t logical_unit, UnitHealth to);
+    /** Drop the cached active-unit list (after a unit migration). */
+    void invalidateActiveUnits();
 
     /**
      * Per-shard partials of one concurrent scan phase, merged by the
@@ -125,17 +191,33 @@ class RimeChip : public RankBackend
         std::uint64_t survivors = 0;
     };
 
+    /** Winner of one scan attempt (before verification). */
+    struct ScanAttempt
+    {
+        bool found = false;
+        std::size_t unitPos = 0; ///< index into activeUnits_
+        unsigned physRow = 0;
+        unsigned steps = 0;
+        /** Bit observed at step s (trajectory), bit s of the mask. */
+        std::uint64_t trajectory = 0;
+    };
+
+    /** One probe/commit walk over the loaded select latches. */
+    ScanAttempt runScanSteps(bool find_max, std::uint64_t survivors);
+
     RimeGeometry geometry_;
     RimeTimingParams timing_;
     unsigned k_ = 32;
     KeyMode mode_ = KeyMode::UnsignedFixed;
     std::uint64_t unitsTotal_ = 0;
+    /** Units addressable as values; the rest are spare units. */
+    std::uint64_t logicalUnits_ = 0;
     std::uint64_t rangeBegin_ = 0;
     std::uint64_t rangeEnd_ = 0;
 
     /** Lazily allocated subarrays (bank*subbanks + subbank). */
     std::vector<std::unique_ptr<RramArray>> arrays_;
-    /** Lazily created scan units, indexed by unit id. */
+    /** Lazily created scan units, indexed by physical unit id. */
     std::vector<std::unique_ptr<ArrayUnit>> units_;
     /** Units overlapping the active range, in address order. */
     std::vector<ArrayUnit *> activeUnits_;
@@ -145,6 +227,18 @@ class RimeChip : public RankBackend
     unsigned threads_ = 1;
     /** Per-shard scratch, reused across steps to avoid allocation. */
     std::vector<ShardSignals> shardScratch_;
+
+    FaultParams faultParams_;
+    std::unique_ptr<FaultModel> faults_;
+    /** Retired logical unit -> spare unit it migrated to. */
+    std::unordered_map<std::uint64_t, std::uint64_t> unitRemap_;
+    /** Logical units that left the healthy state. */
+    std::unordered_map<std::uint64_t, UnitHealth> health_;
+    std::uint64_t nextSpareUnit_ = 0;
+    std::uint64_t remappedRows_ = 0;
+    std::uint64_t lostValues_ = 0;
+    /** Dead local extents not yet drained by the driver. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> deadExtents_;
 
     StatGroup stats_;
     EnduranceTracker endurance_;

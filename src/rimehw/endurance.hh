@@ -43,6 +43,18 @@ class EnduranceTracker
     std::uint64_t maxBlockWrites() const { return maxWrites_; }
     std::uint64_t touchedBlocks() const { return writes_.size(); }
 
+    /** Block index covering a byte offset. */
+    std::uint64_t blockOf(std::uint64_t byte_offset) const
+    { return byte_offset / blockBytes_; }
+
+    /** Writes recorded against the block covering a byte offset. */
+    std::uint64_t
+    blockWrites(std::uint64_t byte_offset) const
+    {
+        auto it = writes_.find(blockOf(byte_offset));
+        return it == writes_.end() ? 0 : it->second;
+    }
+
     /**
      * Projected lifetime in years: the hottest block observed
      * `maxBlockWrites()` writes over `elapsed_seconds` of simulated

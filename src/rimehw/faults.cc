@@ -1,0 +1,107 @@
+#include "faults.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rime::rimehw
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer: the per-coordinate hash core. */
+constexpr std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine fault coordinates into one 64-bit hash. */
+constexpr std::uint64_t
+cellHash(std::uint64_t seed, std::uint64_t array_id, std::uint64_t a,
+         std::uint64_t b, std::uint64_t salt)
+{
+    return mix(mix(mix(mix(seed ^ salt) + array_id) + a) + b);
+}
+
+/** Probability in [0, 1] as a 64-bit comparison threshold. */
+std::uint64_t
+threshold(double p)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    return static_cast<std::uint64_t>(
+        std::nearbyint(p * 18446744073709549568.0));
+}
+
+constexpr std::uint64_t saltStuck = 0x57C0ULL;
+constexpr std::uint64_t saltWear = 0x3EA4ULL;
+constexpr std::uint64_t saltDisturb = 0xD157ULL;
+
+} // namespace
+
+FaultModel::FaultModel(const FaultParams &params) : params_(params)
+{
+    if (params.stuckAt0Rate < 0 || params.stuckAt1Rate < 0 ||
+        params.readDisturbRate < 0 ||
+        params.stuckAt0Rate + params.stuckAt1Rate > 1.0)
+        fatal("invalid fault rates");
+    stuck0Threshold_ = threshold(params.stuckAt0Rate);
+    stuckThreshold_ =
+        threshold(params.stuckAt0Rate + params.stuckAt1Rate);
+    // A word read senses 64 cells; model at most one flip per word
+    // per read, which matches a per-cell rate for the small disturb
+    // probabilities of interest.
+    disturbThreshold_ = threshold(
+        std::min(1.0, params.readDisturbRate * 64.0));
+}
+
+int
+FaultModel::stuckState(std::uint64_t array_id, unsigned row,
+                       unsigned col) const
+{
+    if (stuckThreshold_ == 0)
+        return -1;
+    const std::uint64_t h =
+        cellHash(params_.seed, array_id, row, col, saltStuck);
+    if (h >= stuckThreshold_)
+        return -1;
+    return h < stuck0Threshold_ ? 0 : 1;
+}
+
+bool
+FaultModel::wornOut(std::uint64_t array_id, unsigned row, unsigned col,
+                    std::uint64_t block_writes) const
+{
+    if (params_.wearOutBlockWrites == 0)
+        return false;
+    const std::uint64_t h =
+        cellHash(params_.seed, array_id, row, col, saltWear);
+    // Budget varies per cell in [base*(1-spread), base*(1+spread)].
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+    const double budget =
+        static_cast<double>(params_.wearOutBlockWrites) *
+        (1.0 - params_.wearOutSpread +
+         2.0 * params_.wearOutSpread * u);
+    return static_cast<double>(block_writes) > budget;
+}
+
+std::uint64_t
+FaultModel::disturbWord(std::uint64_t array_id, unsigned col,
+                        unsigned word, std::uint64_t epoch) const
+{
+    if (disturbThreshold_ == 0)
+        return 0;
+    const std::uint64_t h = cellHash(
+        params_.seed ^ mix(epoch), array_id, col, word, saltDisturb);
+    if (h >= disturbThreshold_)
+        return 0;
+    return 1ULL << (mix(h) & 63);
+}
+
+} // namespace rime::rimehw

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/logging.hh"
 #include "rime/driver.hh"
 
@@ -114,6 +117,103 @@ TEST(Driver, UnknownFreeIsFatal)
 {
     RimeDriver driver(1 << 20, smallPages());
     EXPECT_THROW(driver.release(12345), FatalError);
+}
+
+TEST(Driver, DoubleFreeIsFatalAndDiagnosed)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    const auto a = driver.allocate(4096);
+    ASSERT_TRUE(a);
+    driver.release(*a);
+    try {
+        driver.release(*a);
+        FAIL() << "double free was not detected";
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("double free"),
+                  std::string::npos) << e.what();
+    }
+    // Re-allocation of the address makes it live again.
+    const auto b = driver.allocate(4096);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(*b, *a);
+    driver.release(*b);
+}
+
+TEST(Driver, RetiredExtentNeverReallocated)
+{
+    RimeDriver driver(16 * 4096, smallPages());
+    const auto a = driver.allocate(4096);
+    ASSERT_TRUE(a);
+    driver.release(*a);
+    driver.retireExtent(*a, 4096);
+    EXPECT_EQ(driver.retiredBytes(), 4096u);
+    // Every future allocation must avoid the dead page even after the
+    // pool is exhausted and regrown.
+    std::vector<Addr> got;
+    while (auto x = driver.allocate(4096))
+        got.push_back(*x);
+    for (const Addr x : got)
+        EXPECT_NE(x, *a);
+    EXPECT_EQ(got.size(), 15u); // 16 pages minus the retired one
+}
+
+TEST(Driver, RetireAlignsOutwardAndCarvesFreeExtents)
+{
+    RimeDriver driver(16 * 4096, smallPages());
+    // Retire a sub-page byte range in the middle of free space: the
+    // whole covering page dies, and a spanning allocation no longer
+    // fits even though total free bytes would suffice.
+    driver.retireExtent(2 * 4096 + 100, 8);
+    EXPECT_EQ(driver.retiredBytes(), 4096u);
+    const auto big = driver.allocate(16 * 4096);
+    EXPECT_FALSE(big);
+    EXPECT_EQ(driver.largestFreeExtent(), 13 * 4096u);
+    // The two usable sides are still allocatable.
+    const auto lo = driver.allocate(2 * 4096);
+    ASSERT_TRUE(lo);
+    EXPECT_EQ(*lo, 0u);
+    const auto hi = driver.allocate(13 * 4096);
+    ASSERT_TRUE(hi);
+    EXPECT_EQ(*hi, 3 * 4096u);
+}
+
+TEST(Driver, FreeingAroundRetiredHoleSkipsIt)
+{
+    RimeDriver driver(16 * 4096, smallPages());
+    const auto a = driver.allocate(3 * 4096);
+    ASSERT_TRUE(a);
+    // The middle page dies while allocated; the owner keeps the
+    // memory until it frees, after which only the outer pages return
+    // to the pool.
+    driver.retireExtent(*a + 4096, 4096);
+    driver.release(*a);
+    // Pages 2..15 stay contiguous; page 1 is a hole, page 0 an island.
+    EXPECT_EQ(driver.largestFreeExtent(), 14 * 4096u);
+    const auto b = driver.allocate(2 * 4096);
+    ASSERT_TRUE(b);
+    EXPECT_NE(*b, *a + 4096); // never lands on the dead page
+}
+
+TEST(Driver, RetireCoalescesOverlappingExtents)
+{
+    RimeDriver driver(1 << 20, smallPages());
+    driver.retireExtent(0, 4096);
+    driver.retireExtent(4096, 4096);
+    driver.retireExtent(2048, 4096); // overlaps both
+    EXPECT_EQ(driver.retiredBytes(), 2 * 4096u);
+    driver.retireExtent(0, 2 * 4096); // fully covered, no change
+    EXPECT_EQ(driver.retiredBytes(), 2 * 4096u);
+}
+
+TEST(Driver, RetireBeyondRegionIsClamped)
+{
+    RimeDriver driver(4 * 4096, smallPages());
+    driver.retireExtent(3 * 4096, 10 * 4096);
+    EXPECT_EQ(driver.retiredBytes(), 4096u);
+    driver.retireExtent(100 * 4096, 4096); // entirely outside
+    EXPECT_EQ(driver.retiredBytes(), 4096u);
+    driver.retireExtent(0, 0); // empty
+    EXPECT_EQ(driver.retiredBytes(), 4096u);
 }
 
 TEST(Driver, AllocationSizeLookup)

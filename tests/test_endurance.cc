@@ -63,3 +63,52 @@ TEST(Endurance, Reset)
     EXPECT_EQ(tracker.totalWrites(), 0u);
     EXPECT_EQ(tracker.maxBlockWrites(), 0u);
 }
+
+TEST(Endurance, ZeroByteWriteStillWearsItsBlock)
+{
+    // A zero-length write is a degenerate command that still cycles
+    // the target row once; it must not underflow into a write of
+    // every block.
+    EnduranceTracker tracker(512);
+    tracker.recordWrite(100, 0);
+    EXPECT_EQ(tracker.totalWrites(), 1u);
+    EXPECT_EQ(tracker.touchedBlocks(), 1u);
+    EXPECT_EQ(tracker.blockWrites(100), 1u);
+    EXPECT_EQ(tracker.blockWrites(600), 0u);
+}
+
+TEST(Endurance, WriteStraddlingManyBlocksWearsEach)
+{
+    EnduranceTracker tracker(512);
+    // [500, 1600) covers blocks 0, 1, 2, and 3.
+    tracker.recordWrite(500, 1100);
+    EXPECT_EQ(tracker.touchedBlocks(), 4u);
+    EXPECT_EQ(tracker.totalWrites(), 4u);
+    for (const std::uint64_t off : {0u, 512u, 1024u, 1536u})
+        EXPECT_EQ(tracker.blockWrites(off), 1u) << off;
+    // An exact block-boundary end touches only the blocks it covers.
+    tracker.recordWrite(0, 512);
+    EXPECT_EQ(tracker.blockWrites(0), 2u);
+    EXPECT_EQ(tracker.blockWrites(512), 1u);
+}
+
+TEST(Endurance, LifetimeEdgeCases)
+{
+    EnduranceTracker tracker(512);
+    // No writes: infinite, regardless of elapsed time.
+    EXPECT_TRUE(std::isinf(tracker.lifetimeYears(0.0)));
+    tracker.recordWrite(0, 4);
+    // Zero or negative elapsed time cannot produce a finite rate.
+    EXPECT_TRUE(std::isinf(tracker.lifetimeYears(0.0)));
+    EXPECT_TRUE(std::isinf(tracker.lifetimeYears(-1.0)));
+    EXPECT_GT(tracker.lifetimeYears(1.0), 0.0);
+}
+
+TEST(Endurance, BlockOfMapsOffsetsToBlocks)
+{
+    EnduranceTracker tracker(512);
+    EXPECT_EQ(tracker.blockOf(0), 0u);
+    EXPECT_EQ(tracker.blockOf(511), 0u);
+    EXPECT_EQ(tracker.blockOf(512), 1u);
+    EXPECT_EQ(tracker.blockOf(5 * 512 + 17), 5u);
+}
