@@ -97,5 +97,6 @@ main()
                         r.throughputKeysPerSec() / 1e6);
         }
     }
+    writeStatsJson("ablation");
     return 0;
 }

@@ -7,29 +7,58 @@
  * Environment knobs:
  *  - RIME_BENCH_SCALE: scales every simulation cap (default 1.0;
  *    0.25 gives a quick smoke run, 4 a higher-fidelity run).
+ *  - RIME_STATS: path of the JSON stat dump each bench writes on
+ *    exit (default STATS_<bench>.json in the working directory).
  */
 
 #ifndef RIME_BENCH_BENCH_UTIL_HH
 #define RIME_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
-#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/stat_registry.hh"
 #include "rime/ops.hh"
 
 namespace rime::bench
 {
 
-/** RIME_BENCH_SCALE (default 1.0). */
+/** RIME_BENCH_SCALE (default 1.0); garbage aborts, <= 0 warns. */
 inline double
 benchScale()
 {
-    const char *s = std::getenv("RIME_BENCH_SCALE");
-    const double v = s ? std::atof(s) : 1.0;
-    return v > 0 ? v : 1.0;
+    const double v = envDouble("RIME_BENCH_SCALE", 1.0);
+    if (v <= 0.0) {
+        warn("RIME_BENCH_SCALE=%g is not positive; using 1.0", v);
+        return 1.0;
+    }
+    return v;
+}
+
+/**
+ * Dump the process-wide stat registry (everything published by the
+ * RimeLibrary instances this bench created) as JSON to RIME_STATS, or
+ * to STATS_<bench>.json by default.  Wall-clock stats are excluded,
+ * so the dump is bit-identical for any RIME_THREADS.
+ */
+inline void
+writeStatsJson(const std::string &bench)
+{
+    const std::string path = envString("RIME_STATS")
+        .value_or("STATS_" + bench + ".json");
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write stat dump to %s", path.c_str());
+        return;
+    }
+    StatRegistry::process().dumpJson(out);
+    out << "\n";
+    std::printf("stats: %s\n", path.c_str());
 }
 
 /** Apply the bench scale to a simulation cap. */

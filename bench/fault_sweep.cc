@@ -155,5 +155,6 @@ main()
     }
     json << "  ]\n}\n";
     std::printf("wrote BENCH_faults.json\n");
+    writeStatsJson("faults");
     return 0;
 }

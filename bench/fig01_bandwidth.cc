@@ -102,5 +102,6 @@ main()
                      row);
         }
     }
+    writeStatsJson("fig01");
     return 0;
 }

@@ -68,5 +68,6 @@ main()
                 "Q/S %.2f; DDR4 R/S %.2f %s Q/S %.2f\n",
                 rs_unl, rs_unl > qs_unl ? ">" : "<=", qs_unl,
                 rs_ddr, rs_ddr < qs_ddr ? "<" : ">=", qs_ddr);
+    writeStatsJson("fig02");
     return 0;
 }

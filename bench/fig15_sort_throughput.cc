@@ -81,5 +81,6 @@ main()
         printRow(sort::algorithmName(algo),
                  {hbm_gain / sizes.size(), rime_gain / sizes.size()});
     }
+    writeStatsJson("fig15");
     return 0;
 }

@@ -140,5 +140,6 @@ main()
     span(mj_hbm, mj_ddr);
     std::printf("MergeJoin RIME/DDR4 (paper 5.6-24.1x):");
     span(mj_rime, mj_ddr);
+    writeStatsJson("fig16");
     return 0;
 }

@@ -217,5 +217,6 @@ main()
     printSpan("Prim RIME", "6.3-14.3x", rows[2].rime, rows[2].ddr);
     printSpan("A* HBM", "1-1.1x", rows[3].hbm, rows[3].ddr);
     printSpan("A* RIME", "2.3-23x", rows[3].rime, rows[3].ddr);
+    writeStatsJson("fig17");
     return 0;
 }

@@ -104,5 +104,6 @@ main()
     std::printf("\nRIME gain span over both baselines: "
                 "%.1f - %.1fx (paper 6.1-43.6x)\n",
                 min_gain, max_gain);
+    writeStatsJson("fig18");
     return 0;
 }

@@ -260,5 +260,6 @@ main()
     std::printf("\nworst RIME relative energy: %.3f "
                 "(paper: 0.04-0.09, i.e. 91-96%% savings)\n",
                 worst_rime);
+    writeStatsJson("fig19");
     return 0;
 }

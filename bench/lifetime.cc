@@ -128,5 +128,6 @@ main()
                 "12 hours, and rotating the\nphysical placement "
                 "across the 64 banks (standard wear-levelling) "
                 "relaxes it to every ~11 minutes.\n");
+    writeStatsJson("lifetime");
     return 0;
 }

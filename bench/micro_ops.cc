@@ -19,13 +19,14 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 
 #include "cachesim/hierarchy.hh"
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/stat_registry.hh"
 #include "memsim/dram_system.hh"
 #include "rime/driver.hh"
 #include "rimehw/chip.hh"
@@ -189,11 +190,12 @@ void
 runScanSelfTiming()
 {
     using Clock = std::chrono::steady_clock;
-    std::uint64_t keys = 1ULL << 20;
-    if (const char *env = std::getenv("RIME_BENCH_KEYS")) {
-        const long long v = std::strtoll(env, nullptr, 10);
-        if (v > 0)
-            keys = static_cast<std::uint64_t>(v);
+    // Strict parse: a garbled RIME_BENCH_KEYS aborts instead of
+    // silently timing the default size.  0 keeps the default too.
+    std::uint64_t keys = envU64("RIME_BENCH_KEYS", 1ULL << 20);
+    if (keys == 0) {
+        warn("RIME_BENCH_KEYS=0; using the default key count");
+        keys = 1ULL << 20;
     }
     const unsigned parallel_threads =
         std::max(2u, ThreadPool::configuredThreads());
@@ -257,6 +259,17 @@ runScanSelfTiming()
          << "  \"speedup\": " << serial_ms / parallel_ms << ",\n"
          << "  \"simulated_ns_per_scan\": " << simulated_ns << "\n"
          << "}\n";
+
+    // Deterministic chip-stat dump: identical scan work for any
+    // thread count must produce a bit-identical file (CI diffs the
+    // RIME_THREADS=1 and =4 dumps).
+    const std::string stats_path =
+        envString("RIME_STATS").value_or("STATS_scan.json");
+    StatRegistry::process().mergeGroup("chip", chip.stats());
+    std::ofstream stats_out(stats_path);
+    StatRegistry::process().dumpJson(stats_out);
+    stats_out << "\n";
+    std::printf("stats: %s\n", stats_path.c_str());
 }
 
 } // namespace

@@ -85,5 +85,6 @@ main()
         rimeSortThroughputMKps(1 << 20, 1 << 20, 7);
     std::printf("[check]    RIME in-situ sort throughput at 1M keys: "
                 "%.1f MKps\n", mkps);
+    writeStatsJson("table1");
     return 0;
 }

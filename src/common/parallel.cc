@@ -1,6 +1,7 @@
 #include "parallel.hh"
 
-#include <cstdlib>
+#include "env.hh"
+#include "logging.hh"
 
 namespace rime
 {
@@ -9,11 +10,12 @@ unsigned
 ThreadPool::configuredThreads()
 {
     static const unsigned configured = [] {
-        if (const char *env = std::getenv("RIME_THREADS")) {
-            const long v = std::strtol(env, nullptr, 10);
-            if (v > 0)
-                return static_cast<unsigned>(v);
-        }
+        // Strict parse: a garbled RIME_THREADS aborts instead of
+        // silently falling back to the hardware width.  0 (or unset)
+        // selects the hardware default.
+        const std::uint64_t v = envU64("RIME_THREADS", 0);
+        if (v > 0)
+            return static_cast<unsigned>(v);
         const unsigned hw = std::thread::hardware_concurrency();
         return hw > 0 ? hw : 1u;
     }();
@@ -105,6 +107,18 @@ ThreadPool::run(unsigned tasks, const std::function<void(unsigned)> &fn)
 {
     if (tasks == 0)
         return;
+    // A task calling back into its own pool would deadlock: the outer
+    // run() holds every worker, so the inner one could never finish.
+    // Catch the misuse deterministically (even on pools where the
+    // serial fallback below would happen to execute it).
+    if (running_.exchange(true, std::memory_order_acquire))
+        panic("ThreadPool::run is not reentrant: a task called back "
+              "into its own pool");
+    struct RunningGuard
+    {
+        std::atomic<bool> &flag;
+        ~RunningGuard() { flag.store(false, std::memory_order_release); }
+    } guard{running_};
     if (tasks == 1 || workers_.empty()) {
         for (unsigned t = 0; t < tasks; ++t)
             fn(t);

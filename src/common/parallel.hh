@@ -62,6 +62,9 @@ class ThreadPool
      * Execute fn(0) .. fn(tasks-1), each exactly once, distributed
      * over the workers and the calling thread; returns when all have
      * finished.  Not reentrant: fn must not call back into the pool.
+     * Reentry panics immediately (in every configuration, including
+     * single-threaded pools where it would happen to work) instead of
+     * deadlocking the worker set.
      */
     void run(unsigned tasks, const std::function<void(unsigned)> &fn);
 
@@ -94,6 +97,8 @@ class ThreadPool
     unsigned tasks_ = 0;
     unsigned workersDone_ = 0;
     std::atomic<unsigned> nextTask_{0};
+    /** Guards the documented non-reentrancy of run(). */
+    std::atomic<bool> running_{false};
     bool stop_ = false;
 };
 

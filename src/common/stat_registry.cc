@@ -1,0 +1,261 @@
+#include "stat_registry.hh"
+
+#include <cstdio>
+
+#include "logging.hh"
+
+namespace rime
+{
+
+namespace
+{
+
+/** Round-trip-safe JSON number (no locale, no stream state). */
+std::string
+jsonNumber(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonNumber(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** One node of the dotted-path tree built for the JSON dump. */
+struct PathNode
+{
+    const StatGroup *group = nullptr;
+    std::map<std::string, PathNode> children;
+};
+
+void
+emitIndent(std::ostream &os, unsigned depth)
+{
+    for (unsigned i = 0; i < depth; ++i)
+        os << "  ";
+}
+
+void
+emitHistogram(std::ostream &os, const StatHistogram &h,
+              unsigned depth)
+{
+    os << "{\"count\": " << jsonNumber(h.count());
+    if (h.count() > 0) {
+        os << ", \"sum\": " << jsonNumber(h.sum())
+           << ", \"mean\": " << jsonNumber(h.mean())
+           << ", \"min\": " << jsonNumber(h.min())
+           << ", \"max\": " << jsonNumber(h.max());
+    }
+    os << ", \"buckets\": [";
+    bool first = true;
+    for (const auto &bucket : h.buckets()) {
+        const auto [lo, hi] = StatHistogram::bucketBounds(
+            bucket.first);
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+        emitIndent(os, depth + 1);
+        os << "{\"lo\": " << jsonNumber(lo)
+           << ", \"hi\": " << jsonNumber(hi)
+           << ", \"count\": " << jsonNumber(bucket.second) << "}";
+    }
+    if (!first) {
+        os << "\n";
+        emitIndent(os, depth);
+    }
+    os << "]}";
+}
+
+void
+emitNode(std::ostream &os, const PathNode &node, unsigned depth,
+         bool include_wall_clock)
+{
+    os << "{";
+    bool first = true;
+    const auto separator = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n";
+        emitIndent(os, depth + 1);
+    };
+    if (node.group) {
+        bool any_scalar = false;
+        for (const auto &kv : node.group->values()) {
+            if (!include_wall_clock && isWallClockStat(kv.first))
+                continue;
+            any_scalar = true;
+        }
+        if (any_scalar) {
+            separator();
+            os << "\"stats\": {";
+            bool first_stat = true;
+            for (const auto &kv : node.group->values()) {
+                if (!include_wall_clock && isWallClockStat(kv.first))
+                    continue;
+                if (!first_stat)
+                    os << ",";
+                first_stat = false;
+                os << "\n";
+                emitIndent(os, depth + 2);
+                os << "\"" << kv.first << "\": "
+                   << jsonNumber(kv.second);
+            }
+            os << "\n";
+            emitIndent(os, depth + 1);
+            os << "}";
+        }
+        if (!node.group->histograms().empty()) {
+            separator();
+            os << "\"hists\": {";
+            bool first_hist = true;
+            for (const auto &kv : node.group->histograms()) {
+                if (!include_wall_clock && isWallClockStat(kv.first))
+                    continue;
+                if (!first_hist)
+                    os << ",";
+                first_hist = false;
+                os << "\n";
+                emitIndent(os, depth + 2);
+                os << "\"" << kv.first << "\": ";
+                emitHistogram(os, kv.second, depth + 2);
+            }
+            os << "\n";
+            emitIndent(os, depth + 1);
+            os << "}";
+        }
+    }
+    for (const auto &kv : node.children) {
+        separator();
+        os << "\"" << kv.first << "\": ";
+        emitNode(os, kv.second, depth + 1, include_wall_clock);
+    }
+    if (!first) {
+        os << "\n";
+        emitIndent(os, depth);
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+StatRegistry::attach(const std::string &path, StatGroup &group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    attached_[path] = &group;
+}
+
+void
+StatRegistry::detach(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    attached_.erase(path);
+}
+
+StatGroup &
+StatRegistry::group(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto &slot = owned_[path];
+    if (!slot)
+        slot = std::make_unique<StatGroup>(path);
+    return *slot;
+}
+
+bool
+StatRegistry::has(const std::string &path) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return attached_.count(path) != 0 || owned_.count(path) != 0;
+}
+
+void
+StatRegistry::mergeGroup(const std::string &path, const StatGroup &from)
+{
+    group(path).merge(from);
+}
+
+void
+StatRegistry::mergeRegistry(const StatRegistry &other)
+{
+    if (&other == this)
+        fatal("cannot merge a stat registry into itself");
+    for (const auto &kv : other.combined())
+        mergeGroup(kv.first, *kv.second);
+}
+
+void
+StatRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &kv : attached_)
+        kv.second->reset();
+    for (auto &kv : owned_)
+        kv.second->reset();
+}
+
+std::map<std::string, const StatGroup *>
+StatRegistry::combined() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, const StatGroup *> view;
+    for (const auto &kv : owned_)
+        view[kv.first] = kv.second.get();
+    // An attached (live) group shadows an owned accumulator of the
+    // same path.
+    for (const auto &kv : attached_)
+        view[kv.first] = kv.second;
+    return view;
+}
+
+void
+StatRegistry::dumpText(std::ostream &os) const
+{
+    for (const auto &kv : combined()) {
+        // Dump under the registry path, not the group's own name.
+        StatGroup named(kv.first);
+        named.merge(*kv.second);
+        named.dump(os);
+    }
+}
+
+void
+StatRegistry::dumpJson(std::ostream &os, bool include_wall_clock) const
+{
+    PathNode root;
+    for (const auto &kv : combined()) {
+        PathNode *node = &root;
+        std::size_t begin = 0;
+        while (begin <= kv.first.size()) {
+            const std::size_t dot = kv.first.find('.', begin);
+            const std::string segment = kv.first.substr(
+                begin, dot == std::string::npos ? std::string::npos
+                                                : dot - begin);
+            node = &node->children[segment];
+            if (dot == std::string::npos)
+                break;
+            begin = dot + 1;
+        }
+        node->group = kv.second;
+    }
+    emitNode(os, root, 0, include_wall_clock);
+    os << "\n";
+}
+
+StatRegistry &
+StatRegistry::process()
+{
+    static StatRegistry registry;
+    return registry;
+}
+
+} // namespace rime

@@ -1,17 +1,112 @@
 #include "stats.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
 
 namespace rime
 {
 
+bool
+isWallClockStat(const std::string &stat)
+{
+    static const std::string suffix = "WallNs";
+    return stat.size() >= suffix.size() &&
+        stat.compare(stat.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+int
+StatHistogram::bucketOf(double value)
+{
+    if (!(value >= 1.0))
+        return 0;
+    // ilogb is exact on the binary exponent, so bucket boundaries are
+    // deterministic (no log() rounding at powers of two).
+    return std::ilogb(value) + 1;
+}
+
+std::pair<double, double>
+StatHistogram::bucketBounds(int b)
+{
+    if (b <= 0)
+        return {0.0, 1.0};
+    return {std::ldexp(1.0, b - 1), std::ldexp(1.0, b)};
+}
+
+void
+StatHistogram::record(double value, std::uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += weight;
+    sum_ += value * static_cast<double>(weight);
+    buckets_[bucketOf(value)] += weight;
+}
+
+void
+StatHistogram::merge(const StatHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    for (const auto &kv : other.buckets_)
+        buckets_[kv.first] += kv.second;
+}
+
+void
+StatHistogram::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+    buckets_.clear();
+}
+
 void
 StatGroup::dump(std::ostream &os) const
 {
-    for (const auto &kv : values_) {
-        os << (name_.empty() ? "" : name_ + ".") << kv.first
-           << " " << std::setprecision(12) << kv.second << "\n";
+    // setprecision would otherwise leak into the caller's stream.
+    const std::ios_base::fmtflags flags = os.flags();
+    const std::streamsize precision = os.precision();
+    os << std::setprecision(12);
+    const std::string prefix = name_.empty() ? "" : name_ + ".";
+    for (const auto &kv : values_)
+        os << prefix << kv.first << " " << kv.second << "\n";
+    for (const auto &kv : hists_) {
+        const std::string hp = prefix + kv.first;
+        const StatHistogram &h = kv.second;
+        os << hp << ".count " << h.count() << "\n";
+        if (h.count() == 0)
+            continue;
+        os << hp << ".mean " << h.mean() << "\n"
+           << hp << ".min " << h.min() << "\n"
+           << hp << ".max " << h.max() << "\n";
+        for (const auto &bucket : h.buckets()) {
+            const auto [lo, hi] = StatHistogram::bucketBounds(
+                bucket.first);
+            os << hp << ".bucket[" << lo << "," << hi << ") "
+               << bucket.second << "\n";
+        }
     }
+    os.flags(flags);
+    os.precision(precision);
 }
 
 } // namespace rime

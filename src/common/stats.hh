@@ -3,6 +3,13 @@
  * A small named-counter statistics registry, loosely modelled on gem5's
  * stats package.  Components register counters under a hierarchical name
  * and the harness dumps them uniformly.
+ *
+ * Beyond scalars, a StatGroup can hold log2-bucketed histograms
+ * (per-extraction latency, repair-event batch sizes, survivor
+ * distributions).  All recording happens on the controller thread of a
+ * simulation, so stat content is deterministic for any RIME_THREADS
+ * value; wall-clock measurements use the reserved "*WallNs" name
+ * suffix, which deterministic dumps (StatRegistry::dumpJson) exclude.
  */
 
 #ifndef RIME_COMMON_STATS_HH
@@ -12,11 +19,61 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 
 namespace rime
 {
 
-/** A group of named scalar statistics. */
+/** True for stat names carrying host wall-clock time ("*WallNs"). */
+bool isWallClockStat(const std::string &stat);
+
+/**
+ * A log2-bucketed distribution: bucket 0 holds values below 1, bucket
+ * b >= 1 holds [2^(b-1), 2^b).  Exact count/sum/min/max ride along.
+ * Designed for non-negative quantities (latencies, counts, energies).
+ */
+class StatHistogram
+{
+  public:
+    void record(double value, std::uint64_t weight = 1);
+
+    /** Merge another histogram's samples into this one. */
+    void merge(const StatHistogram &other);
+
+    /** Forget all samples. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Smallest recorded value (0 when empty). */
+    double min() const { return count_ ? min_ : 0.0; }
+    /** Largest recorded value (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+    double
+    mean() const
+    {
+        return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+    }
+
+    /** Occupied buckets: bucket index -> sample count. */
+    const std::map<int, std::uint64_t> &buckets() const
+    { return buckets_; }
+
+    /** Bucket index holding `value`. */
+    static int bucketOf(double value);
+
+    /** [lo, hi) value range of bucket `b`. */
+    static std::pair<double, double> bucketBounds(int b);
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::map<int, std::uint64_t> buckets_;
+};
+
+/** A group of named scalar and histogram statistics. */
 class StatGroup
 {
   public:
@@ -51,31 +108,57 @@ class StatGroup
         return values_.count(stat) != 0;
     }
 
-    /** Reset all counters to zero. */
+    /** The named histogram (created empty on first use). */
+    StatHistogram &
+    hist(const std::string &stat)
+    {
+        return hists_[stat];
+    }
+
+    /** True if the named histogram exists. */
+    bool
+    hasHist(const std::string &stat) const
+    {
+        return hists_.count(stat) != 0;
+    }
+
+    const std::map<std::string, StatHistogram> &histograms() const
+    { return hists_; }
+
+    /** Reset all counters to zero and all histograms to empty. */
     void
     reset()
     {
         for (auto &kv : values_)
             kv.second = 0.0;
+        for (auto &kv : hists_)
+            kv.second.reset();
     }
 
-    /** Merge another group's counters into this one (summing). */
+    /** Merge another group's counters and histograms into this one. */
     void
     merge(const StatGroup &other)
     {
         for (const auto &kv : other.values_)
             values_[kv.first] += kv.second;
+        for (const auto &kv : other.hists_)
+            hists_[kv.first].merge(kv.second);
     }
 
     const std::string &name() const { return name_; }
     const std::map<std::string, double> &values() const { return values_; }
 
-    /** Write "group.stat value" lines. */
+    /**
+     * Write "group.stat value" lines (histograms as count/mean/min/max
+     * plus occupied buckets).  The caller's stream formatting state is
+     * preserved.
+     */
     void dump(std::ostream &os) const;
 
   private:
     std::string name_;
     std::map<std::string, double> values_;
+    std::map<std::string, StatHistogram> hists_;
 };
 
 } // namespace rime

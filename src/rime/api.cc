@@ -1,9 +1,27 @@
 #include "api.hh"
 
+#include <chrono>
+#include <string>
+
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace rime
 {
+
+namespace
+{
+
+/** Nanoseconds of host wall time elapsed since `start`. */
+double
+hostNsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start).count());
+}
+
+} // namespace
 
 const char *
 rimeStatusName(RimeStatus status)
@@ -26,6 +44,29 @@ RimeLibrary::RimeLibrary(const LibraryConfig &config)
       driver_(device_.capacityBytes(), config.driver)
 {
     wordBytes_ = device_.wordBits() / 8;
+    // Attach every component's stat group live: the registry always
+    // reflects current values, and detaching never copies.
+    registry_.attach("api", apiStats_);
+    registry_.attach("driver", driver_.stats());
+    registry_.attach("device", device_.stats());
+    for (unsigned c = 0; c < device_.totalChips(); ++c) {
+        registry_.attach("chip." + std::to_string(c),
+                         device_.chip(c).stats());
+    }
+}
+
+RimeLibrary::~RimeLibrary()
+{
+    publishStats();
+}
+
+void
+RimeLibrary::publishStats()
+{
+    if (published_)
+        return;
+    published_ = true;
+    StatRegistry::process().mergeRegistry(registry_);
 }
 
 std::uint64_t
@@ -97,7 +138,16 @@ RimeLibrary::rimeInit(Addr start, Addr end, KeyMode mode,
     // (paper: "extra buffered values are discarded when a new
     // rime_init() is called for the same address range").
     dropOverlappingOps(begin, endIdx);
+    TraceSpan span("api", "rimeInit");
+    span.arg("start", start);
+    span.arg("end", end);
+    span.arg("wordBits", word_bits);
+    const auto host_start = std::chrono::steady_clock::now();
+    const Tick sim_start = now_;
     now_ += device_.initRange(begin, endIdx, now_);
+    apiStats_.inc("initCalls");
+    apiStats_.inc("initTicks", static_cast<double>(now_ - sim_start));
+    apiStats_.inc("initWallNs", hostNsSince(host_start));
 }
 
 RimeOperation &
@@ -117,10 +167,23 @@ RimeLibrary::operation(Addr start, Addr end, bool find_max)
 RimeExtract
 RimeLibrary::extractChecked(Addr start, Addr end, bool find_max)
 {
+    TraceSpan span("api", find_max ? "rimeMax" : "rimeMin");
+    span.arg("start", start);
+    span.arg("end", end);
+    const auto host_start = std::chrono::steady_clock::now();
+    const Tick sim_start = now_;
     RimeOperation &op = operation(start, end, find_max);
     RimeExtract r;
     auto item = op.next(now_);
+    apiStats_.inc("extractCalls");
+    apiStats_.inc("extractTicks", static_cast<double>(now_ - sim_start));
+    apiStats_.inc("extractWallNs", hostNsSince(host_start));
+    span.arg("ok", item.has_value());
     if (item) {
+        // Per-extraction simulated latency: the per-rimeMin number the
+        // paper's figures are built from.
+        apiStats_.hist("extractLatencyTicks")
+            .record(static_cast<double>(now_ - sim_start));
         r.status = RimeStatus::Ok;
         r.item = *item;
         r.item.index *= wordBytes_; // report a byte address
@@ -234,8 +297,19 @@ RimeLibrary::load(Addr addr)
 void
 RimeLibrary::storeArray(Addr start, std::span<const std::uint64_t> raws)
 {
+    TraceSpan span("api", "storeArray");
+    span.arg("start", start);
+    span.arg("count", static_cast<std::uint64_t>(raws.size()));
+    const auto host_start = std::chrono::steady_clock::now();
+    const Tick sim_start = now_;
     const std::uint64_t begin = toIndex(start);
     now_ += device_.loadValues(begin, raws);
+    apiStats_.inc("bulkStoreCalls");
+    apiStats_.inc("bulkStoreValues",
+                  static_cast<double>(raws.size()));
+    apiStats_.inc("bulkStoreTicks",
+                  static_cast<double>(now_ - sim_start));
+    apiStats_.inc("bulkStoreWallNs", hostNsSince(host_start));
     for (auto &kv : ops_) {
         if (std::get<0>(kv.first) < begin + raws.size() &&
             begin < std::get<1>(kv.first)) {

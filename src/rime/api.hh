@@ -30,6 +30,7 @@
 #include <span>
 #include <tuple>
 
+#include "common/stat_registry.hh"
 #include "rime/device.hh"
 #include "rime/driver.hh"
 #include "rime/operation.hh"
@@ -89,6 +90,7 @@ class RimeLibrary
 {
   public:
     explicit RimeLibrary(const LibraryConfig &config = LibraryConfig{});
+    ~RimeLibrary();
 
     // ------------------------------------------------------------------
     // Paper API (byte addresses within the RIME region).
@@ -170,6 +172,26 @@ class RimeLibrary
 
     unsigned wordBytes() const { return wordBytes_; }
 
+    /**
+     * This library instance's stat tree: "api" (API-level counters and
+     * latency histograms), "driver", "device", and "chip.<n>" groups,
+     * all attached live to the owning components.
+     */
+    StatRegistry &statRegistry() { return registry_; }
+    const StatRegistry &statRegistry() const { return registry_; }
+
+    /** API-level counters (extractions, init/store phases). */
+    StatGroup &apiStats() { return apiStats_; }
+
+    /**
+     * Merge this instance's stat tree into the process-wide registry
+     * (StatRegistry::process()).  Runs at most once per instance --
+     * the destructor calls it, so short-lived libraries created by
+     * benches contribute to the process dump automatically; calling
+     * it earlier by hand does not double-count.
+     */
+    void publishStats();
+
   private:
     std::uint64_t toIndex(Addr addr) const;
     using OpKey = std::tuple<std::uint64_t, std::uint64_t, bool>;
@@ -185,6 +207,9 @@ class RimeLibrary
     Tick now_ = 0;
     unsigned wordBytes_ = 4;
     std::map<OpKey, std::unique_ptr<RimeOperation>> ops_;
+    StatGroup apiStats_{"api"};
+    StatRegistry registry_;
+    bool published_ = false;
 };
 
 } // namespace rime

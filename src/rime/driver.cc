@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace rime
 {
@@ -112,6 +113,14 @@ RimeDriver::retireExtent(Addr addr, std::uint64_t bytes)
     }
     retired_[begin] = end - begin;
     retiredBytes_ += end - begin;
+    stats_.inc("retireCalls");
+    stats_.inc("retiredPages",
+               static_cast<double>((end - begin) / params_.pageBytes));
+    if (Tracer::global().enabled()) {
+        Tracer::global().instant(
+            "driver", "retireExtent",
+            traceArgs({{"addr", begin}, {"bytes", end - begin}}));
+    }
 
     // Carve the retired span out of the current free extents.
     auto fit = freeList_.upper_bound(begin);
@@ -135,8 +144,13 @@ RimeDriver::retireExtent(Addr addr, std::uint64_t bytes)
 std::optional<Addr>
 RimeDriver::allocate(std::uint64_t bytes)
 {
-    if (bytes == 0)
+    TraceSpan span("driver", "alloc");
+    span.arg("bytes", bytes);
+    stats_.inc("allocCalls");
+    if (bytes == 0) {
+        stats_.inc("allocFailures");
         return std::nullopt;
+    }
     const std::uint64_t size = roundUp(bytes, params_.pageBytes);
 
     auto find_fit = [this, size]() {
@@ -148,10 +162,15 @@ RimeDriver::allocate(std::uint64_t bytes)
 
     auto it = find_fit();
     if (it == freeList_.end()) {
+        stats_.inc("allocGrowths");
         grow(size);
         it = find_fit();
-        if (it == freeList_.end())
-            return std::nullopt; // fragmentation: API returns NULL
+        if (it == freeList_.end()) {
+            // Fragmentation: the API returns NULL.
+            stats_.inc("allocFailures");
+            span.arg("failed", true);
+            return std::nullopt;
+        }
     }
 
     const Addr addr = it->first;
@@ -162,6 +181,10 @@ RimeDriver::allocate(std::uint64_t bytes)
     allocations_[addr] = size;
     allocatedBytes_ += size;
     freed_.erase(addr);
+    stats_.hist("allocPages").record(
+        static_cast<double>(size / params_.pageBytes));
+    span.arg("addr", addr);
+    span.arg("pages", size / params_.pageBytes);
     return addr;
 }
 
@@ -178,6 +201,12 @@ RimeDriver::release(Addr addr)
               static_cast<unsigned long long>(addr));
     }
     allocatedBytes_ -= it->second;
+    stats_.inc("releases");
+    if (Tracer::global().enabled()) {
+        Tracer::global().instant(
+            "driver", "free",
+            traceArgs({{"addr", addr}, {"bytes", it->second}}));
+    }
     insertFree(it->first, it->second);
     allocations_.erase(it);
     freed_.insert(addr);

@@ -19,6 +19,7 @@
 #include <optional>
 #include <set>
 
+#include "common/stats.hh"
 #include "common/types.hh"
 
 namespace rime
@@ -85,6 +86,10 @@ class RimeDriver
     /** Size in bytes of the allocation at addr (0 if unknown). */
     std::uint64_t allocationSize(Addr addr) const;
 
+    /** Allocator counters and extent-size distributions. */
+    const StatGroup &stats() const { return stats_; }
+    StatGroup &stats() { return stats_; }
+
   private:
     void grow(std::uint64_t min_bytes);
     /** Insert a free extent, skipping the retired holes inside it. */
@@ -107,6 +112,8 @@ class RimeDriver
     std::map<Addr, std::uint64_t> retired_;
     /** Released start addresses (double-free diagnostics). */
     std::set<Addr> freed_;
+
+    StatGroup stats_{"driver"};
 };
 
 } // namespace rime

@@ -1,8 +1,10 @@
 #include "ops.hh"
 
+#include <chrono>
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace rime
 {
@@ -44,9 +46,11 @@ struct CostMark
 {
     Tick startTick;
     PicoJoules startEnergy;
+    std::chrono::steady_clock::time_point startHost;
 
     explicit CostMark(const RimeLibrary &lib)
-        : startTick(lib.now()), startEnergy(lib.energyPJ())
+        : startTick(lib.now()), startEnergy(lib.energyPJ()),
+          startHost(std::chrono::steady_clock::now())
     {}
 
     void
@@ -54,6 +58,15 @@ struct CostMark
     {
         result.seconds = ticksToSeconds(lib.now() - startTick);
         result.energyPJ = lib.energyPJ() - startEnergy;
+        result.hostSeconds = std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - startHost).count();
+    }
+
+    /** Simulated span between this mark and a later one. */
+    double
+    simSecondsUntil(const CostMark &later) const
+    {
+        return ticksToSeconds(later.startTick - startTick);
     }
 };
 
@@ -76,15 +89,24 @@ rimeTopK(RimeLibrary &lib, std::span<const std::uint64_t> raws,
     const std::uint64_t bytes = raws.size() * (word_bits / 8);
     if (bytes == 0)
         return result;
+    TraceSpan kernel_span("workload", largest ? "rimeTopK.max"
+                                              : "rimeTopK.min");
+    kernel_span.arg("n", static_cast<std::uint64_t>(raws.size()));
+    kernel_span.arg("count", count);
     Region region(lib, bytes);
 
     // Configure the device mode first so the bulk store uses the
     // operation's word width.
     lib.rimeInit(region.start(), region.start(), mode, word_bits);
     CostMark load_mark(lib);
-    lib.storeArray(region.start(), raws);
+    {
+        TraceSpan load_span("workload", "load");
+        lib.storeArray(region.start(), raws);
+    }
     CostMark compute_mark(lib);
+    result.loadSeconds = load_mark.simSecondsUntil(compute_mark);
 
+    TraceSpan compute_span("workload", "compute");
     lib.rimeInit(region.start(), region.end(), mode, word_bits);
     result.values.reserve(count);
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -94,6 +116,8 @@ rimeTopK(RimeLibrary &lib, std::span<const std::uint64_t> raws,
             break;
         result.values.push_back(item->raw);
     }
+    compute_span.arg("produced",
+                     static_cast<std::uint64_t>(result.values.size()));
     (include_load ? load_mark : compute_mark).settle(lib, result);
     return result;
 }
@@ -124,15 +148,23 @@ mergeStreams(RimeLibrary &lib, std::span<const std::uint64_t> set_a,
     const unsigned wb = word_bits / 8;
     if (set_a.empty() && set_b.empty())
         return result;
+    TraceSpan kernel_span("workload", "mergeStreams");
+    kernel_span.arg("na", static_cast<std::uint64_t>(set_a.size()));
+    kernel_span.arg("nb", static_cast<std::uint64_t>(set_b.size()));
     Region ra(lib, std::max<std::uint64_t>(set_a.size(), 1) * wb);
     Region rb(lib, std::max<std::uint64_t>(set_b.size(), 1) * wb);
 
     lib.rimeInit(ra.start(), ra.start(), mode, word_bits);
     CostMark load_mark(lib);
-    lib.storeArray(ra.start(), set_a);
-    lib.storeArray(rb.start(), set_b);
+    {
+        TraceSpan load_span("workload", "load");
+        lib.storeArray(ra.start(), set_a);
+        lib.storeArray(rb.start(), set_b);
+    }
     CostMark compute_mark(lib);
+    result.loadSeconds = load_mark.simSecondsUntil(compute_mark);
 
+    TraceSpan compute_span("workload", "compute");
     lib.rimeInit(ra.start(), ra.start() + set_a.size() * wb, mode,
                  word_bits);
     lib.rimeInit(rb.start(), rb.start() + set_b.size() * wb, mode,
@@ -207,12 +239,21 @@ rimeMergeK(RimeLibrary &lib,
                                 set.size() * wb);
     }
 
+    TraceSpan kernel_span("workload", "mergeK");
+    kernel_span.arg("sets", static_cast<std::uint64_t>(sets.size()));
+    kernel_span.arg("total", total);
     lib.rimeInit(ranges.front().first, ranges.front().first, mode,
                  word_bits);
     CostMark load_mark(lib);
-    for (std::size_t i = 0; i < sets.size(); ++i)
-        lib.storeArray(ranges[i].first, sets[i]);
+    {
+        TraceSpan load_span("workload", "load");
+        for (std::size_t i = 0; i < sets.size(); ++i)
+            lib.storeArray(ranges[i].first, sets[i]);
+    }
     CostMark compute_mark(lib);
+    result.loadSeconds = load_mark.simSecondsUntil(compute_mark);
+
+    TraceSpan compute_span("workload", "compute");
     for (const auto &[begin, end] : ranges)
         lib.rimeInit(begin, end, mode, word_bits);
 

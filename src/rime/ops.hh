@@ -26,6 +26,12 @@ struct KernelResult
     std::vector<std::uint64_t> values;
     /** Simulated elapsed seconds (excluding data generation). */
     double seconds = 0.0;
+    /** Simulated seconds of the bulk-load phase (always measured,
+     *  whether or not include_load charges it into `seconds`). */
+    double loadSeconds = 0.0;
+    /** Host wall-clock seconds the simulation of the charged phases
+     *  took (profiling the simulator itself, not the device). */
+    double hostSeconds = 0.0;
     /** Device energy consumed, picojoules. */
     PicoJoules energyPJ = 0.0;
     /** Values produced per second of simulated time. */

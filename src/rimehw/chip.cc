@@ -1,9 +1,11 @@
 #include "chip.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "common/trace.hh"
 
 namespace rime::rimehw
 {
@@ -175,19 +177,31 @@ RimeChip::writeRowRepair(std::uint64_t logical_unit, ArrayUnit &au,
 {
     unsigned phys = au.physicalRow(row);
     bool first = true;
+    unsigned attempts = 0;
     for (;;) {
         if (!first || charge_first) {
             stats_.inc("rowWrites");
             stats_.inc("energyPJ", timing_.writeEnergy);
         }
         first = false;
+        ++attempts;
         au.writePhysical(phys, raw, block_writes);
         std::uint64_t got = 0;
         if (stableRead(au, phys, got) && got == raw) {
+            // Distribution of write retries per *repaired* write; the
+            // clean first-try path records nothing.
+            if (attempts > 1)
+                stats_.hist("repairWriteRetries").record(attempts - 1);
             if (phys != au.physicalRow(row)) {
                 au.installRemap(row, phys);
                 ++remappedRows_;
                 stats_.inc("faultRowRemaps");
+                if (Tracer::global().enabled()) {
+                    Tracer::global().instant(
+                        "fault", "rowRemap",
+                        traceArgs({{"unit", logical_unit},
+                                   {"row", row}, {"phys", phys}}));
+                }
                 raiseHealth(logical_unit, UnitHealth::Degraded);
                 invalidateActiveUnits();
             }
@@ -210,6 +224,11 @@ RimeChip::retireUnit(std::uint64_t logical_unit)
         deadExtents_.emplace_back(logical_unit * rowsPerUnit(),
                                   (logical_unit + 1) * rowsPerUnit());
         stats_.inc("faultUnitDeaths");
+        if (Tracer::global().enabled()) {
+            Tracer::global().instant(
+                "fault", "unitDead",
+                traceArgs({{"unit", logical_unit}}));
+        }
         invalidateActiveUnits();
         return false;
     }
@@ -239,6 +258,11 @@ RimeChip::retireUnit(std::uint64_t logical_unit)
     unitRemap_[logical_unit] = spare;
     raiseHealth(logical_unit, UnitHealth::Retired);
     stats_.inc("faultUnitRetires");
+    if (Tracer::global().enabled()) {
+        Tracer::global().instant(
+            "fault", "unitRetire",
+            traceArgs({{"unit", logical_unit}, {"spare", spare}}));
+    }
     invalidateActiveUnits();
     return true;
 }
@@ -312,6 +336,9 @@ RimeChip::readValue(std::uint64_t index)
 Tick
 RimeChip::initRange(std::uint64_t begin, std::uint64_t end)
 {
+    TraceSpan span("chip", "initRange");
+    span.arg("begin", begin);
+    span.arg("end", end);
     if (end > valueCapacity() || begin > end)
         fatal("bad range [%llu, %llu)",
               static_cast<unsigned long long>(begin),
@@ -429,6 +456,7 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
     // reduction, so the outcome is bit-identical for any thread
     // count.  The global exclusion decision is then broadcast back.
     ThreadPool &pool = ThreadPool::global();
+    Tracer &tracer = Tracer::global();
     const unsigned shards = shardCount();
     bool negatives_present = false;
     if (survivors > 1 || !timing_.earlyTermination) {
@@ -436,31 +464,42 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
             const unsigned pos = k_ - 1 - s;
             const bool search_bit = searchPolarity(
                 pos, k_, mode_, negatives_present, find_max);
-            // Probe phase: per-shard wired-OR of the match signals.
-            pool.forShards(
-                activeUnits_.size(), shards,
-                [&](std::size_t lo, std::size_t hi, unsigned shard) {
-                    bool m = false, mm = false;
-                    for (std::size_t i = lo; i < hi; ++i) {
-                        const auto probe =
-                            activeUnits_[i]->probe(s, search_bit);
-                        m = m || probe.anyMatch;
-                        mm = mm || probe.anyMismatch;
-                    }
-                    shardScratch_[shard].anyMatch = m;
-                    shardScratch_[shard].anyMismatch = mm;
-                });
             bool any_match = false;
             bool any_mismatch = false;
-            for (unsigned shard = 0; shard < shards; ++shard) {
-                any_match = any_match || shardScratch_[shard].anyMatch;
-                any_mismatch =
-                    any_mismatch || shardScratch_[shard].anyMismatch;
+            {
+                // Probe phase: per-shard wired-OR of the match
+                // signals.
+                TraceSpan probe_span(tracer, "chip", "probe");
+                pool.forShards(
+                    activeUnits_.size(), shards,
+                    [&](std::size_t lo, std::size_t hi,
+                        unsigned shard) {
+                        bool m = false, mm = false;
+                        for (std::size_t i = lo; i < hi; ++i) {
+                            const auto probe =
+                                activeUnits_[i]->probe(s, search_bit);
+                            m = m || probe.anyMatch;
+                            mm = mm || probe.anyMismatch;
+                        }
+                        shardScratch_[shard].anyMatch = m;
+                        shardScratch_[shard].anyMismatch = mm;
+                    });
+                for (unsigned shard = 0; shard < shards; ++shard) {
+                    any_match =
+                        any_match || shardScratch_[shard].anyMatch;
+                    any_mismatch =
+                        any_mismatch || shardScratch_[shard].anyMismatch;
+                }
+                probe_span.arg("step", s);
+                probe_span.arg("searchBit", search_bit);
+                probe_span.arg("anyMatch", any_match);
+                probe_span.arg("anyMismatch", any_mismatch);
             }
             const bool exclude = any_match && any_mismatch;
             if (exclude) {
                 // Commit phase: broadcast the decision, re-count
                 // survivors through the index tree.
+                TraceSpan commit_span(tracer, "chip", "commit");
                 pool.forShards(
                     activeUnits_.size(), shards,
                     [&](std::size_t lo, std::size_t hi,
@@ -473,6 +512,12 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
                 survivors = 0;
                 for (unsigned shard = 0; shard < shards; ++shard)
                     survivors += shardScratch_[shard].survivors;
+                commit_span.arg("step", s);
+                commit_span.arg("survivors", survivors);
+                // Survivor-set narrowing distribution, one sample per
+                // excluding step (deterministic for any thread count).
+                stats_.hist("scanSurvivors").record(
+                    static_cast<double>(survivors));
             }
             // No exclusion: the select latches -- and therefore the
             // survivor count -- are unchanged; skip the commit pass.
@@ -516,6 +561,33 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
 
 ExtractResult
 RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
+{
+    TraceSpan span("chip", "scan");
+    const auto host_start = std::chrono::steady_clock::now();
+    const ExtractResult result = scanImpl(begin, end, find_max);
+    const auto host_end = std::chrono::steady_clock::now();
+    // Host-side wall time: excluded from deterministic JSON stat
+    // dumps by the *WallNs naming convention (see isWallClockStat).
+    stats_.inc("scanWallNs", static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            host_end - host_start).count()));
+    if (result.found) {
+        stats_.hist("scanStepsPerExtract")
+            .record(static_cast<double>(result.steps));
+        stats_.hist("scanLatencyTicks")
+            .record(static_cast<double>(result.time));
+    }
+    span.arg("begin", begin);
+    span.arg("end", end);
+    span.arg("findMax", find_max);
+    span.arg("found", result.found);
+    span.arg("steps", result.steps);
+    span.arg("status", static_cast<unsigned>(result.status));
+    return result;
+}
+
+ExtractResult
+RimeChip::scanImpl(std::uint64_t begin, std::uint64_t end, bool find_max)
 {
     selectRange(begin, end);
     ExtractResult result;

@@ -205,6 +205,10 @@ class RimeChip : public RankBackend
     /** One probe/commit walk over the loaded select latches. */
     ScanAttempt runScanSteps(bool find_max, std::uint64_t survivors);
 
+    /** scan() body; the public wrapper adds tracing and profiling. */
+    ExtractResult scanImpl(std::uint64_t begin, std::uint64_t end,
+                           bool find_max);
+
     RimeGeometry geometry_;
     RimeTimingParams timing_;
     unsigned k_ = 32;

@@ -46,6 +46,41 @@ TEST(Stats, Dump)
     EXPECT_EQ(os.str(), "grp.value 4\n");
 }
 
+TEST(Stats, DumpPreservesStreamState)
+{
+    // dump() raises the stream precision internally; it must not leak
+    // that (or any flag changes) into the caller's stream.
+    StatGroup g("grp");
+    g.set("ratio", 1.0 / 3.0);
+    g.hist("lat").record(2.0);
+    std::ostringstream os;
+    const std::ios_base::fmtflags flags_before = os.flags();
+    const std::streamsize precision_before = os.precision();
+    g.dump(os);
+    EXPECT_EQ(os.flags(), flags_before);
+    EXPECT_EQ(os.precision(), precision_before);
+    const std::size_t mark = os.str().size();
+    os << 0.123456789;
+    EXPECT_EQ(os.str().substr(mark), "0.123457");
+}
+
+TEST(Stats, DumpIncludesHistograms)
+{
+    StatGroup g("grp");
+    g.hist("lat").record(3.0);
+    g.hist("lat").record(3.0);
+    g.hist("empty");
+    std::ostringstream os;
+    g.dump(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("grp.lat.count 2"), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.mean 3"), std::string::npos);
+    EXPECT_NE(text.find("grp.lat.bucket[2,4) 2"), std::string::npos);
+    // An empty histogram dumps only its count line.
+    EXPECT_NE(text.find("grp.empty.count 0"), std::string::npos);
+    EXPECT_EQ(text.find("grp.empty.mean"), std::string::npos);
+}
+
 TEST(Logging, FatalThrows)
 {
     EXPECT_THROW(fatal("bad thing %d", 42), FatalError);
