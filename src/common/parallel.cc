@@ -6,6 +6,14 @@
 namespace rime
 {
 
+namespace
+{
+
+/** The pool (if any) whose worker loop the current thread runs. */
+thread_local const ThreadPool *tlsWorkerOf = nullptr;
+
+} // namespace
+
 unsigned
 ThreadPool::configuredThreads()
 {
@@ -50,11 +58,13 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::ensureThreads(unsigned threads)
 {
+    // Growing while another thread's run() is in flight would let a
+    // fresh worker join the live job and skew its completion count,
+    // so growth waits for the pool to go idle.
+    std::lock_guard<std::mutex> run_lock(runMutex_);
     std::lock_guard<std::mutex> lock(mutex_);
     if (threads <= workers_.size() + 1)
         return;
-    // Spawning is only legal while no job is in flight; callers
-    // configure thread counts up front, before launching scans.
     const unsigned extra =
         threads - 1 - static_cast<unsigned>(workers_.size());
     for (unsigned i = 0; i < extra; ++i)
@@ -72,6 +82,7 @@ ThreadPool::spawnWorkers(unsigned count)
 void
 ThreadPool::workerLoop()
 {
+    tlsWorkerOf = this;
     std::uint64_t seen_generation = 0;
     while (true) {
         const std::function<void(unsigned)> *job;
@@ -110,15 +121,27 @@ ThreadPool::run(unsigned tasks, const std::function<void(unsigned)> &fn)
     // A task calling back into its own pool would deadlock: the outer
     // run() holds every worker, so the inner one could never finish.
     // Catch the misuse deterministically (even on pools where the
-    // serial fallback below would happen to execute it).
-    if (running_.exchange(true, std::memory_order_acquire))
+    // serial fallback below would happen to execute it) whether the
+    // nested call lands on the dispatching thread or on a worker.
+    // Concurrent calls from *distinct* external threads, by contrast,
+    // are legal and simply serialize on runMutex_.
+    if (tlsWorkerOf == this ||
+        runOwner_.load(std::memory_order_acquire) ==
+            std::this_thread::get_id()) {
         panic("ThreadPool::run is not reentrant: a task called back "
               "into its own pool");
-    struct RunningGuard
+    }
+    std::lock_guard<std::mutex> run_lock(runMutex_);
+    runOwner_.store(std::this_thread::get_id(),
+                    std::memory_order_release);
+    struct OwnerGuard
     {
-        std::atomic<bool> &flag;
-        ~RunningGuard() { flag.store(false, std::memory_order_release); }
-    } guard{running_};
+        std::atomic<std::thread::id> &owner;
+        ~OwnerGuard()
+        {
+            owner.store(std::thread::id{}, std::memory_order_release);
+        }
+    } guard{runOwner_};
     if (tasks == 1 || workers_.empty()) {
         for (unsigned t = 0; t < tasks; ++t)
             fn(t);

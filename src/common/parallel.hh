@@ -65,6 +65,11 @@ class ThreadPool
      * Reentry panics immediately (in every configuration, including
      * single-threaded pools where it would happen to work) instead of
      * deadlocking the worker set.
+     *
+     * Distinct external threads may call run() concurrently (several
+     * shard controllers sharing the global pool): calls serialize on
+     * an internal mutex, so the pool is a shared simulator-speed
+     * resource rather than a correctness hazard.
      */
     void run(unsigned tasks, const std::function<void(unsigned)> &fn);
 
@@ -97,8 +102,10 @@ class ThreadPool
     unsigned tasks_ = 0;
     unsigned workersDone_ = 0;
     std::atomic<unsigned> nextTask_{0};
-    /** Guards the documented non-reentrancy of run(). */
-    std::atomic<bool> running_{false};
+    /** Serializes concurrent run() calls from distinct threads. */
+    std::mutex runMutex_;
+    /** Thread currently inside run() (reentrancy diagnostics). */
+    std::atomic<std::thread::id> runOwner_{};
     bool stop_ = false;
 };
 

@@ -90,7 +90,7 @@ emitNode(std::ostream &os, const PathNode &node, unsigned depth,
     if (node.group) {
         bool any_scalar = false;
         for (const auto &kv : node.group->values()) {
-            if (!include_wall_clock && isWallClockStat(kv.first))
+            if (!include_wall_clock && isHostDependentStat(kv.first))
                 continue;
             any_scalar = true;
         }
@@ -99,7 +99,7 @@ emitNode(std::ostream &os, const PathNode &node, unsigned depth,
             os << "\"stats\": {";
             bool first_stat = true;
             for (const auto &kv : node.group->values()) {
-                if (!include_wall_clock && isWallClockStat(kv.first))
+                if (!include_wall_clock && isHostDependentStat(kv.first))
                     continue;
                 if (!first_stat)
                     os << ",";
@@ -118,7 +118,7 @@ emitNode(std::ostream &os, const PathNode &node, unsigned depth,
             os << "\"hists\": {";
             bool first_hist = true;
             for (const auto &kv : node.group->histograms()) {
-                if (!include_wall_clock && isWallClockStat(kv.first))
+                if (!include_wall_clock && isHostDependentStat(kv.first))
                     continue;
                 if (!first_hist)
                     os << ",";
@@ -185,12 +185,13 @@ StatRegistry::mergeGroup(const std::string &path, const StatGroup &from)
 }
 
 void
-StatRegistry::mergeRegistry(const StatRegistry &other)
+StatRegistry::mergeRegistry(const StatRegistry &other,
+                            const std::string &prefix)
 {
     if (&other == this)
         fatal("cannot merge a stat registry into itself");
     for (const auto &kv : other.combined())
-        mergeGroup(kv.first, *kv.second);
+        mergeGroup(prefix + kv.first, *kv.second);
 }
 
 void

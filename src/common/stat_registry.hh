@@ -66,8 +66,14 @@ class StatRegistry
     /** Merge one group's stats into the owned group at `path`. */
     void mergeGroup(const std::string &path, const StatGroup &from);
 
-    /** Merge every group of `other` into this registry's owned tree. */
-    void mergeRegistry(const StatRegistry &other);
+    /**
+     * Merge every group of `other` into this registry's owned tree,
+     * each under `prefix` + its original path.  The serving layer uses
+     * this to collect per-shard library registries into one tree
+     * ("shard.0.api", "shard.1.chip.3", ...).
+     */
+    void mergeRegistry(const StatRegistry &other,
+                       const std::string &prefix = "");
 
     /** Reset every attached and owned group. */
     void resetAll();
@@ -76,7 +82,8 @@ class StatRegistry
     void dumpText(std::ostream &os) const;
 
     /**
-     * The full tree as nested JSON.  Wall-clock stats ("*WallNs") are
+     * The full tree as nested JSON.  Host-dependent stats ("*WallNs"
+     * wall-clock values and "*Host" scheduling-dependent values) are
      * excluded unless `include_wall_clock` is set, keeping the dump
      * deterministic across thread counts and runs.
      */

@@ -7,13 +7,29 @@
 namespace rime
 {
 
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(),
+                  suffix) == 0;
+}
+
+} // namespace
+
 bool
 isWallClockStat(const std::string &stat)
 {
-    static const std::string suffix = "WallNs";
-    return stat.size() >= suffix.size() &&
-        stat.compare(stat.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
+    return endsWith(stat, "WallNs");
+}
+
+bool
+isHostDependentStat(const std::string &stat)
+{
+    return isWallClockStat(stat) || endsWith(stat, "Host");
 }
 
 int

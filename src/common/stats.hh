@@ -10,6 +10,13 @@
  * simulation, so stat content is deterministic for any RIME_THREADS
  * value; wall-clock measurements use the reserved "*WallNs" name
  * suffix, which deterministic dumps (StatRegistry::dumpJson) exclude.
+ *
+ * The serving layer adds a second reserved suffix, "*Host": values
+ * that are deterministic functions of nothing but host scheduling
+ * (queue depths, submission batch coalescing, reject counts under
+ * client-thread races).  Both suffixes are excluded from the
+ * deterministic dump; "*WallNs" additionally marks the value as being
+ * in wall-clock nanoseconds.
  */
 
 #ifndef RIME_COMMON_STATS_HH
@@ -26,6 +33,12 @@ namespace rime
 
 /** True for stat names carrying host wall-clock time ("*WallNs"). */
 bool isWallClockStat(const std::string &stat);
+
+/**
+ * True for stat names whose value depends on host thread scheduling
+ * ("*WallNs" or "*Host"): excluded from deterministic dumps.
+ */
+bool isHostDependentStat(const std::string &stat);
 
 /**
  * A log2-bucketed distribution: bucket 0 holds values below 1, bucket

@@ -41,7 +41,8 @@ rimeStatusName(RimeStatus status)
 
 RimeLibrary::RimeLibrary(const LibraryConfig &config)
     : deviceConfig_(config.device), device_(config.device),
-      driver_(device_.capacityBytes(), config.driver)
+      driver_(device_.capacityBytes(), config.driver),
+      affinityChecks_(config.affinityChecks)
 {
     wordBytes_ = device_.wordBits() / 8;
     // Attach every component's stat group live: the registry always
@@ -69,6 +70,37 @@ RimeLibrary::publishStats()
     StatRegistry::process().mergeRegistry(registry_);
 }
 
+void
+RimeLibrary::checkAffinity(const char *entry) const
+{
+    if (!affinityChecks_)
+        return;
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id bound = boundThread_.load(std::memory_order_acquire);
+    if (bound == std::thread::id{}) {
+        // First entry binds; on a race the loser falls through to the
+        // mismatch check and reports the cross-thread use.
+        if (boundThread_.compare_exchange_strong(
+                bound, self, std::memory_order_acq_rel)) {
+            return;
+        }
+    }
+    if (bound != self) {
+        fatal("%s called from a thread other than the one this "
+              "RimeLibrary is bound to: a library instance is "
+              "single-controller (route concurrent work through "
+              "RimeService, or rimeBindThread() after a sequential "
+              "hand-off)", entry);
+    }
+}
+
+void
+RimeLibrary::rimeBindThread()
+{
+    boundThread_.store(std::this_thread::get_id(),
+                       std::memory_order_release);
+}
+
 std::uint64_t
 RimeLibrary::toIndex(Addr addr) const
 {
@@ -90,6 +122,7 @@ RimeLibrary::refreshRetiredExtents()
 std::optional<Addr>
 RimeLibrary::rimeMalloc(std::uint64_t bytes)
 {
+    checkAffinity("rimeMalloc");
     // Learn any freshly dead extents first so the allocation cannot
     // land on mats whose repair capacity is exhausted.
     refreshRetiredExtents();
@@ -99,6 +132,7 @@ RimeLibrary::rimeMalloc(std::uint64_t bytes)
 void
 RimeLibrary::rimeFree(Addr start)
 {
+    checkAffinity("rimeFree");
     const std::uint64_t size = driver_.allocationSize(start);
     if (size > 0) {
         // Freed memory retires any operation state on the range.
@@ -123,6 +157,7 @@ void
 RimeLibrary::rimeInit(Addr start, Addr end, KeyMode mode,
                       unsigned word_bits)
 {
+    checkAffinity("rimeInit");
     if (word_bits % 8 != 0 || word_bits == 0 || word_bits > 64)
         fatal("unsupported word width %u", word_bits);
     if (device_.wordBits() != word_bits || device_.mode() != mode) {
@@ -167,6 +202,7 @@ RimeLibrary::operation(Addr start, Addr end, bool find_max)
 RimeExtract
 RimeLibrary::extractChecked(Addr start, Addr end, bool find_max)
 {
+    checkAffinity(find_max ? "rimeMax" : "rimeMin");
     TraceSpan span("api", find_max ? "rimeMax" : "rimeMin");
     span.arg("start", start);
     span.arg("end", end);
@@ -246,6 +282,7 @@ RimeLibrary::rimeMax(Addr start, Addr end)
 RimeHealthReport
 RimeLibrary::rimeHealth()
 {
+    checkAffinity("rimeHealth");
     refreshRetiredExtents();
     RimeHealthReport report;
     report.counts = device_.healthCounts();
@@ -254,8 +291,9 @@ RimeLibrary::rimeHealth()
 }
 
 std::uint64_t
-RimeLibrary::rimeRemaining(Addr start, Addr end)
+RimeLibrary::rimeRemaining(Addr start, Addr end) const
 {
+    checkAffinity("rimeRemaining");
     // Prefer an existing operation's count (either direction).
     const std::uint64_t begin = toIndex(start);
     const std::uint64_t endIdx = toIndex(end);
@@ -270,6 +308,7 @@ RimeLibrary::rimeRemaining(Addr start, Addr end)
 void
 RimeLibrary::store(Addr addr, std::uint64_t raw)
 {
+    checkAffinity("store");
     const std::uint64_t index = toIndex(addr);
     device_.writeValue(index, raw);
     // Stores are posted: the host pays only the command/bus cost.
@@ -290,6 +329,7 @@ RimeLibrary::store(Addr addr, std::uint64_t raw)
 std::uint64_t
 RimeLibrary::load(Addr addr)
 {
+    checkAffinity("load");
     now_ += device_.config().timing.tRead;
     return device_.readValue(toIndex(addr));
 }
@@ -297,6 +337,7 @@ RimeLibrary::load(Addr addr)
 void
 RimeLibrary::storeArray(Addr start, std::span<const std::uint64_t> raws)
 {
+    checkAffinity("storeArray");
     TraceSpan span("api", "storeArray");
     span.arg("start", start);
     span.arg("count", static_cast<std::uint64_t>(raws.size()));

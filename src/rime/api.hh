@@ -23,11 +23,13 @@
 #ifndef RIME_RIME_API_HH
 #define RIME_RIME_API_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <span>
+#include <thread>
 #include <tuple>
 
 #include "common/stat_registry.hh"
@@ -43,6 +45,15 @@ struct LibraryConfig
 {
     DeviceConfig device{};
     DriverParams driver{};
+    /**
+     * Enforce that every API entry point is called from one thread:
+     * the first caller binds the library to its thread (the shard's
+     * controller in the serving layer) and any later cross-thread call
+     * raises a fatal error instead of racing the simulated clock and
+     * operation state silently.  rimeBindThread() rebinds explicitly
+     * for legitimate sequential hand-offs.
+     */
+    bool affinityChecks = true;
 };
 
 /** Outcome of a checked API extraction. */
@@ -143,7 +154,16 @@ class RimeLibrary
     RimeHealthReport rimeHealth();
 
     /** Values of [start, end) not yet extracted. */
-    std::uint64_t rimeRemaining(Addr start, Addr end);
+    std::uint64_t rimeRemaining(Addr start, Addr end) const;
+
+    /**
+     * Bind (or re-bind) the library to the calling thread.  Entry
+     * points bind implicitly on first use; an explicit rebind is only
+     * needed when ownership moves between threads *sequentially*
+     * (e.g. a library built on the main thread, then handed to a
+     * dedicated controller thread that already made calls elsewhere).
+     */
+    void rimeBindThread();
 
     // ------------------------------------------------------------------
     // Ordinary memory accesses (normal storage mode of the region).
@@ -193,6 +213,8 @@ class RimeLibrary
     void publishStats();
 
   private:
+    /** Bind-on-first-use controller-thread assertion (see above). */
+    void checkAffinity(const char *entry) const;
     std::uint64_t toIndex(Addr addr) const;
     using OpKey = std::tuple<std::uint64_t, std::uint64_t, bool>;
     RimeOperation &operation(Addr start, Addr end, bool find_max);
@@ -210,6 +232,9 @@ class RimeLibrary
     StatGroup apiStats_{"api"};
     StatRegistry registry_;
     bool published_ = false;
+    const bool affinityChecks_;
+    /** Thread the library is bound to (default id = unbound). */
+    mutable std::atomic<std::thread::id> boundThread_{};
 };
 
 } // namespace rime

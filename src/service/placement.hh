@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Pluggable session-to-shard placement.
+ *
+ * A session is pinned to one shard for its whole life (its
+ * allocations and operation state live in that shard's RimeLibrary),
+ * so placement happens once, at session open.  The policy sees a load
+ * snapshot of every shard and returns the shard index to pin to; a
+ * SessionConfig may bypass the policy entirely with an explicit
+ * shard.
+ */
+
+#ifndef RIME_SERVICE_PLACEMENT_HH
+#define RIME_SERVICE_PLACEMENT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rime::service
+{
+
+/** Load snapshot of one shard at placement time. */
+struct ShardLoad
+{
+    unsigned shard = 0;
+    /** Sessions currently pinned to the shard. */
+    std::size_t sessions = 0;
+    /** Requests queued in the shard's submission queue (racy). */
+    std::size_t queueDepth = 0;
+};
+
+/** Picks the shard a new session is pinned to. */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy() = default;
+    virtual const char *name() const = 0;
+    /** @return the chosen shard index (< loads.size()) */
+    virtual unsigned place(std::span<const ShardLoad> loads) = 0;
+};
+
+/** Cycle through the shards in open order. */
+class RoundRobinPlacement : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "round-robin"; }
+
+    unsigned
+    place(std::span<const ShardLoad> loads) override
+    {
+        return next_++ % static_cast<unsigned>(loads.size());
+    }
+
+  private:
+    unsigned next_ = 0;
+};
+
+/** Pick the shard with the fewest pinned sessions. */
+class LeastSessionsPlacement : public PlacementPolicy
+{
+  public:
+    const char *name() const override { return "least-sessions"; }
+
+    unsigned
+    place(std::span<const ShardLoad> loads) override
+    {
+        unsigned best = 0;
+        for (unsigned i = 1; i < loads.size(); ++i) {
+            if (loads[i].sessions < loads[best].sessions)
+                best = i;
+        }
+        return best;
+    }
+};
+
+} // namespace rime::service
+
+#endif // RIME_SERVICE_PLACEMENT_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Typed requests and responses of the multi-tenant RIME service.
+ *
+ * A client session submits Request values and receives a future
+ * Response for each.  Requests address memory with the same byte
+ * addresses the RimeLibrary API uses; every address is local to the
+ * shard the session is placed on.
+ *
+ * Statuses distinguish load shedding (Rejected + a RejectReason) from
+ * device outcomes (Empty / VerifyFailed / DataLoss, forwarded from
+ * the fault-tolerant API of the robustness layer) and from scheduling
+ * outcomes (DeadlineExpired, measured against the shard's simulated
+ * clock so expiry is deterministic under the lockstep scheduler).
+ */
+
+#ifndef RIME_SERVICE_REQUEST_HH
+#define RIME_SERVICE_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/key_codec.hh"
+#include "common/types.hh"
+#include "rime/api.hh"
+
+namespace rime::service
+{
+
+/** What a request asks the shard controller to do. */
+enum class RequestKind : std::uint8_t
+{
+    Malloc,     ///< allocate `bytes` of contiguous shard memory
+    Free,       ///< release the allocation at `start`
+    Init,       ///< rime_init [start, end) with `mode` / `wordBits`
+    StoreArray, ///< bulk-store `values` at `start`
+    Min,        ///< next minimum of [start, end)
+    Max,        ///< next maximum of [start, end)
+    TopK,       ///< `count` smallest (or largest) of [start, end)
+    Sort,       ///< every value of [start, end), in order
+    Health,     ///< shard health + allocator occupancy snapshot
+};
+
+/** Human-readable name of a RequestKind. */
+const char *requestKindName(RequestKind kind);
+
+/** Outcome class of a Response. */
+enum class ServiceStatus : std::uint8_t
+{
+    Ok,              ///< the request completed fully
+    Empty,           ///< extraction hit a drained range (items may
+                     ///< hold a partial prefix for TopK/Sort)
+    Rejected,        ///< shed before touching the device; see reject
+    DeadlineExpired, ///< shard sim clock passed request.deadline
+    OutOfMemory,     ///< Malloc found no contiguous extent
+    VerifyFailed,    ///< device retry budget exhausted (transient)
+    DataLoss,        ///< device lost values beyond repair
+    Closed,          ///< session or service shut down first
+};
+
+/** Why a request was shed (status == Rejected). */
+enum class RejectReason : std::uint8_t
+{
+    None,
+    Backpressure,    ///< shard submission queue full
+    QuotaExceeded,   ///< tenant at its in-flight cap
+    Reconfiguration, ///< Init would re-mode a shard other tenants use
+    NotOwner,        ///< address not owned by this session
+};
+
+const char *serviceStatusName(ServiceStatus status);
+const char *rejectReasonName(RejectReason reason);
+
+/** One typed service request. */
+struct Request
+{
+    RequestKind kind = RequestKind::Health;
+    Addr start = 0;
+    Addr end = 0;
+    /** Malloc only: allocation size. */
+    std::uint64_t bytes = 0;
+    /** TopK only: number of values to produce. */
+    std::uint64_t count = 0;
+    /** TopK only: rank from the maximum end instead of the minimum. */
+    bool largest = false;
+    /** Init only. */
+    KeyMode mode = KeyMode::UnsignedFixed;
+    unsigned wordBits = 32;
+    /** StoreArray only (moved into the queue with the request). */
+    std::vector<std::uint64_t> values;
+    /**
+     * Shard sim-tick deadline (0 = none).  Checked when the scheduler
+     * dequeues the request: an expired request never touches the
+     * device.  Simulated ticks, not wall clock, so expiry replays
+     * deterministically.
+     */
+    Tick deadline = 0;
+};
+
+/** Completion of one Request. */
+struct Response
+{
+    ServiceStatus status = ServiceStatus::Closed;
+    RejectReason reject = RejectReason::None;
+    /** Malloc: start address of the allocation. */
+    Addr addr = 0;
+    /** Extractions: produced items in production order. */
+    std::vector<RankedItem> items;
+    /** Shard simulated clock after the request was served. */
+    Tick shardTick = 0;
+    /** Health only. */
+    RimeHealthReport health{};
+    /** Health only: bytes the shard allocator has handed out. */
+    std::uint64_t allocatedBytes = 0;
+    /**
+     * Host nanoseconds the request waited in the submission queue
+     * (wall clock; 0 for rejected requests).
+     */
+    double queueWallNs = 0.0;
+
+    bool ok() const { return status == ServiceStatus::Ok; }
+    explicit operator bool() const { return ok(); }
+};
+
+} // namespace rime::service
+
+#endif // RIME_SERVICE_REQUEST_HH

@@ -1,0 +1,342 @@
+#include "service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace rime::service
+{
+
+// ----------------------------------------------------------------------
+// Session
+// ----------------------------------------------------------------------
+
+Session::Session(ShardController *shard,
+                 std::shared_ptr<SessionState> state,
+                 std::shared_ptr<const bool> alive)
+    : shard_(shard), state_(std::move(state)),
+      serviceAlive_(std::move(alive))
+{
+}
+
+Session::~Session()
+{
+    close();
+}
+
+std::future<Response>
+Session::ready(ServiceStatus status, RejectReason reason)
+{
+    std::promise<Response> promise;
+    Response r;
+    r.status = status;
+    r.reject = reason;
+    promise.set_value(std::move(r));
+    return promise.get_future();
+}
+
+std::future<Response>
+Session::submit(Request req)
+{
+    if (state_->clientClosing.load(std::memory_order_acquire) ||
+        serviceAlive_.expired()) {
+        return ready(ServiceStatus::Closed, RejectReason::None);
+    }
+
+    // Claim an in-flight slot; over quota is shed *here*, before the
+    // request can occupy shard queue space.
+    if (state_->inFlight.fetch_add(1, std::memory_order_acq_rel) >=
+        state_->maxInFlight) {
+        state_->inFlight.fetch_sub(1, std::memory_order_release);
+        shard_->countQuotaReject();
+        return ready(ServiceStatus::Rejected,
+                     RejectReason::QuotaExceeded);
+    }
+
+    SessionState::Pending pending;
+    pending.control = SessionState::Pending::Control::Data;
+    pending.req = std::move(req);
+    pending.session = state_;
+    pending.enqueued = std::chrono::steady_clock::now();
+    auto future = pending.promise.get_future();
+    if (!shard_->submitData(std::move(pending))) {
+        // Queue full: the slot goes back and the caller learns
+        // immediately.  Nothing ever blocks waiting for the device.
+        state_->inFlight.fetch_sub(1, std::memory_order_release);
+        return ready(ServiceStatus::Rejected,
+                     RejectReason::Backpressure);
+    }
+    return future;
+}
+
+std::future<Response>
+Session::malloc(std::uint64_t bytes)
+{
+    Request req;
+    req.kind = RequestKind::Malloc;
+    req.bytes = bytes;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::free(Addr start)
+{
+    Request req;
+    req.kind = RequestKind::Free;
+    req.start = start;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::init(Addr start, Addr end, KeyMode mode, unsigned word_bits)
+{
+    Request req;
+    req.kind = RequestKind::Init;
+    req.start = start;
+    req.end = end;
+    req.mode = mode;
+    req.wordBits = word_bits;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::storeArray(Addr start, std::vector<std::uint64_t> values)
+{
+    Request req;
+    req.kind = RequestKind::StoreArray;
+    req.start = start;
+    req.values = std::move(values);
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::min(Addr start, Addr end, Tick deadline)
+{
+    Request req;
+    req.kind = RequestKind::Min;
+    req.start = start;
+    req.end = end;
+    req.deadline = deadline;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::max(Addr start, Addr end, Tick deadline)
+{
+    Request req;
+    req.kind = RequestKind::Max;
+    req.start = start;
+    req.end = end;
+    req.deadline = deadline;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::topK(Addr start, Addr end, std::uint64_t count, bool largest)
+{
+    Request req;
+    req.kind = RequestKind::TopK;
+    req.start = start;
+    req.end = end;
+    req.count = count;
+    req.largest = largest;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::sort(Addr start, Addr end)
+{
+    Request req;
+    req.kind = RequestKind::Sort;
+    req.start = start;
+    req.end = end;
+    return submit(std::move(req));
+}
+
+std::future<Response>
+Session::health()
+{
+    Request req;
+    req.kind = RequestKind::Health;
+    return submit(std::move(req));
+}
+
+void
+Session::close()
+{
+    if (closed_.exchange(true))
+        return;
+    state_->clientClosing.store(true, std::memory_order_release);
+    if (serviceAlive_.expired())
+        return; // the service already completed everything with Closed
+
+    SessionState::Pending pending;
+    pending.control = SessionState::Pending::Control::Close;
+    pending.session = state_;
+    pending.enqueued = std::chrono::steady_clock::now();
+    auto future = pending.promise.get_future();
+    // The close rides the same FIFO as the data path (so it lands
+    // after everything already queued) but takes an in-flight slot
+    // unconditionally: quota never blocks a goodbye.
+    state_->inFlight.fetch_add(1, std::memory_order_acq_rel);
+    if (!shard_->submitControl(std::move(pending))) {
+        // Shard already stopped; its shutdown path completed or will
+        // complete everything, and the slot accounting died with it.
+        return;
+    }
+    future.wait();
+}
+
+// ----------------------------------------------------------------------
+// RimeService
+// ----------------------------------------------------------------------
+
+RimeService::RimeService(ServiceConfig config)
+    : config_(std::move(config))
+{
+    if (config_.shards == 0)
+        fatal("a RimeService needs at least one shard");
+    if (!config_.placement)
+        config_.placement = std::make_unique<RoundRobinPlacement>();
+    controllers_.reserve(config_.shards);
+    for (unsigned i = 0; i < config_.shards; ++i) {
+        controllers_.push_back(std::make_unique<ShardController>(
+            i, config_.library, config_.scheduler));
+    }
+    if (!config_.scheduler.deterministic)
+        start();
+}
+
+RimeService::~RimeService()
+{
+    shutdown();
+}
+
+void
+RimeService::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    for (auto &shard : controllers_)
+        shard->begin();
+}
+
+void
+RimeService::shutdown()
+{
+    if (stopped_)
+        return;
+    stopped_ = true;
+    // Expire the sessions' liveness token first: submits racing the
+    // shutdown turn into immediate Closed completions.
+    alive_.reset();
+    for (auto &shard : controllers_)
+        shard->stop();
+}
+
+std::vector<ShardLoad>
+RimeService::loads() const
+{
+    std::vector<ShardLoad> loads;
+    loads.reserve(controllers_.size());
+    for (const auto &shard : controllers_) {
+        loads.push_back(ShardLoad{shard->index(), shard->sessionCount(),
+                                  shard->queueDepth()});
+    }
+    return loads;
+}
+
+std::shared_ptr<Session>
+RimeService::openSession(const SessionConfig &cfg)
+{
+    if (stopped_)
+        fatal("openSession on a stopped RimeService");
+    unsigned shard;
+    if (cfg.shard >= 0) {
+        shard = static_cast<unsigned>(cfg.shard);
+        if (shard >= controllers_.size()) {
+            fatal("session pinned to shard %u of a %zu-shard service",
+                  shard, controllers_.size());
+        }
+    } else {
+        shard = config_.placement->place(loads());
+        if (shard >= controllers_.size()) {
+            fatal("placement policy '%s' chose shard %u of %zu",
+                  config_.placement->name(), shard,
+                  controllers_.size());
+        }
+    }
+
+    auto state = std::make_shared<SessionState>();
+    state->id = nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+    state->tenant = cfg.tenant;
+    state->weight = std::max(1u, cfg.weight);
+    state->maxInFlight = std::max(1u, cfg.maxInFlight);
+    state->shard = shard;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.push_back(state);
+    }
+    controllers_[shard]->registerSession(state);
+    return std::shared_ptr<Session>(
+        new Session(controllers_[shard].get(), std::move(state),
+                    alive_));
+}
+
+RimeHealthReport
+RimeService::health()
+{
+    RimeHealthReport aggregate;
+    for (unsigned i = 0; i < controllers_.size(); ++i) {
+        SessionConfig cfg;
+        cfg.tenant = "_health";
+        cfg.shard = static_cast<int>(i);
+        auto probe = openSession(cfg);
+        const Response r = probe->call(Request{});
+        probe->close();
+        if (!r.ok())
+            continue; // shard stopping: report what we can
+        aggregate.counts.degradedUnits += r.health.counts.degradedUnits;
+        aggregate.counts.retiredUnits += r.health.counts.retiredUnits;
+        aggregate.counts.deadUnits += r.health.counts.deadUnits;
+        aggregate.counts.lostValues += r.health.counts.lostValues;
+        aggregate.retiredBytes += r.health.retiredBytes;
+    }
+    return aggregate;
+}
+
+void
+RimeService::collectStats(StatRegistry &out) const
+{
+    std::vector<std::shared_ptr<SessionState>> all;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        all = sessions_;
+    }
+    for (const auto &shard : controllers_) {
+        std::vector<std::shared_ptr<SessionState>> pinned;
+        for (const auto &state : all) {
+            if (state->shard == shard->index())
+                pinned.push_back(state);
+        }
+        shard->collectStats(
+            out, "service.shard." + std::to_string(shard->index()),
+            pinned);
+    }
+}
+
+std::string
+RimeService::statDumpJson(bool include_host) const
+{
+    StatRegistry registry;
+    collectStats(registry);
+    std::ostringstream os;
+    registry.dumpJson(os, include_host);
+    return os.str();
+}
+
+} // namespace rime::service

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The multi-tenant RIME service: a fleet of shard controllers (one
+ * RimeLibrary each, see shard.hh) behind client Session handles.
+ *
+ * Clients open sessions (pinned to a shard by the placement policy or
+ * an explicit pin), submit typed requests and receive a
+ * std::future<Response> per request.  The submit path never blocks on
+ * the device: a full shard queue or an exhausted per-session in-flight
+ * quota completes the future immediately with Rejected and the reason,
+ * so load is shed at the door instead of queueing without bound.
+ *
+ * Determinism: with SchedulerConfig::deterministic set, open every
+ * session, then call start(); the lockstep schedulers then serve the
+ * shards in an order that is a pure function of the per-session
+ * request scripts.  statDumpJson() of such a run is bit-identical
+ * across client-thread counts and RIME_THREADS values.
+ *
+ * Lifetime: sessions must not outlive their service.  The service
+ * destructor stops every shard and completes all outstanding futures
+ * with Closed; a Session::close() after that is a no-op.
+ */
+
+#ifndef RIME_SERVICE_SERVICE_HH
+#define RIME_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stat_registry.hh"
+#include "service/placement.hh"
+#include "service/request.hh"
+#include "service/shard.hh"
+
+namespace rime::service
+{
+
+class RimeService;
+
+/** Per-session client configuration. */
+struct SessionConfig
+{
+    /** Tenant label (stat grouping and tracing). */
+    std::string tenant = "tenant";
+    /** Requests granted per scheduler round (fair-share weight). */
+    unsigned weight = 1;
+    /** In-flight cap; submits beyond it are Rejected/QuotaExceeded. */
+    unsigned maxInFlight = 8;
+    /** Explicit shard pin; negative lets the placement policy pick. */
+    int shard = -1;
+};
+
+/** Client handle of one open session. */
+class Session
+{
+  public:
+    ~Session();
+
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    std::uint64_t id() const { return state_->id; }
+    const std::string &tenant() const { return state_->tenant; }
+    unsigned shard() const { return state_->shard; }
+
+    /**
+     * Submit one request.  Always returns a valid future; shed or
+     * post-close submissions complete immediately (status Rejected or
+     * Closed) without touching the shard queue.
+     */
+    std::future<Response> submit(Request req);
+
+    /** submit + wait: the synchronous convenience form. */
+    Response call(Request req) { return submit(std::move(req)).get(); }
+
+    // Typed conveniences over submit()/call().
+    std::future<Response> malloc(std::uint64_t bytes);
+    std::future<Response> free(Addr start);
+    std::future<Response> init(Addr start, Addr end, KeyMode mode,
+                               unsigned word_bits = 32);
+    std::future<Response> storeArray(Addr start,
+                                     std::vector<std::uint64_t> values);
+    std::future<Response> min(Addr start, Addr end, Tick deadline = 0);
+    std::future<Response> max(Addr start, Addr end, Tick deadline = 0);
+    std::future<Response> topK(Addr start, Addr end,
+                               std::uint64_t count, bool largest = false);
+    std::future<Response> sort(Addr start, Addr end);
+    std::future<Response> health();
+
+    /**
+     * Close the session: waits for the shard to serve the close, which
+     * completes any queued requests with Closed and frees everything
+     * the session still has allocated.  Idempotent; the destructor
+     * closes too.
+     */
+    void close();
+
+  private:
+    friend class RimeService;
+
+    Session(ShardController *shard, std::shared_ptr<SessionState> state,
+            std::shared_ptr<const bool> alive);
+
+    /** An immediately-completed future (rejects, closed session). */
+    static std::future<Response> ready(ServiceStatus status,
+                                       RejectReason reason);
+
+    ShardController *shard_;
+    std::shared_ptr<SessionState> state_;
+    /** Expires when the service is destroyed (late close() no-op). */
+    std::weak_ptr<const bool> serviceAlive_;
+    std::atomic<bool> closed_{false};
+};
+
+/** Service-wide configuration. */
+struct ServiceConfig
+{
+    /** Number of shards; each owns an independent RimeLibrary. */
+    unsigned shards = 1;
+    /** Configuration every shard library is built with. */
+    LibraryConfig library{};
+    SchedulerConfig scheduler{};
+    /** Session placement; defaults to round-robin when null. */
+    std::unique_ptr<PlacementPolicy> placement;
+};
+
+/** The multi-tenant serving layer over a fleet of shard libraries. */
+class RimeService
+{
+  public:
+    explicit RimeService(ServiceConfig config = {});
+    ~RimeService();
+
+    RimeService(const RimeService &) = delete;
+    RimeService &operator=(const RimeService &) = delete;
+
+    unsigned shards() const
+    { return static_cast<unsigned>(controllers_.size()); }
+
+    /** Open a session; never blocks on the schedulers. */
+    std::shared_ptr<Session> openSession(const SessionConfig &cfg = {});
+
+    /**
+     * Release the shard schedulers.  Work-conserving services start at
+     * construction and this is a no-op; deterministic services serve
+     * nothing until start() is called (open all sessions first).
+     */
+    void start();
+
+    /** Stop every shard (tail served, futures completed). Idempotent. */
+    void shutdown();
+
+    /** Load snapshot of every shard (what placement policies see). */
+    std::vector<ShardLoad> loads() const;
+
+    /** Aggregate health over all shards (served via the queues). */
+    RimeHealthReport health();
+
+    /**
+     * Collect the full service stat tree into `out`:
+     * "service.shard.<i>" scheduler stats (plus the shed counters as
+     * "*Host" values), "service.shard.<i>.api|driver|device|chip.<c>"
+     * from each shard library, and "service.tenant.<t>.s<id>" per
+     * session.  Call when quiescent (sessions closed or all clients
+     * idle): the controllers own their stats while serving.
+     */
+    void collectStats(StatRegistry &out) const;
+
+    /** collectStats into a fresh registry, dumped as JSON. */
+    std::string statDumpJson(bool include_host = false) const;
+
+  private:
+    ServiceConfig config_;
+    std::vector<std::unique_ptr<ShardController>> controllers_;
+    std::vector<std::shared_ptr<SessionState>> sessions_;
+    mutable std::mutex sessionsMutex_;
+    std::atomic<std::uint64_t> nextSessionId_{1};
+    bool started_ = false;
+    bool stopped_ = false;
+    /** Destroyed first (declared last): sessions see expiry. */
+    std::shared_ptr<const bool> alive_{std::make_shared<bool>(true)};
+};
+
+} // namespace rime::service
+
+#endif // RIME_SERVICE_SERVICE_HH

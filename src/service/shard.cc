@@ -1,0 +1,642 @@
+#include "shard.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "service/request.hh"
+
+namespace rime::service
+{
+
+namespace
+{
+
+/** Nanoseconds of host wall time elapsed since `start`. */
+double
+hostNsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start).count());
+}
+
+bool
+isExtraction(RequestKind kind)
+{
+    return kind == RequestKind::Min || kind == RequestKind::Max;
+}
+
+ServiceStatus
+fromRimeStatus(RimeStatus status)
+{
+    switch (status) {
+      case RimeStatus::Ok:
+        return ServiceStatus::Ok;
+      case RimeStatus::Empty:
+        return ServiceStatus::Empty;
+      case RimeStatus::VerifyFailed:
+        return ServiceStatus::VerifyFailed;
+      case RimeStatus::DataLoss:
+        return ServiceStatus::DataLoss;
+    }
+    return ServiceStatus::Ok;
+}
+
+} // namespace
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Malloc:
+        return "malloc";
+      case RequestKind::Free:
+        return "free";
+      case RequestKind::Init:
+        return "init";
+      case RequestKind::StoreArray:
+        return "storeArray";
+      case RequestKind::Min:
+        return "min";
+      case RequestKind::Max:
+        return "max";
+      case RequestKind::TopK:
+        return "topK";
+      case RequestKind::Sort:
+        return "sort";
+      case RequestKind::Health:
+        return "health";
+    }
+    return "unknown";
+}
+
+const char *
+serviceStatusName(ServiceStatus status)
+{
+    switch (status) {
+      case ServiceStatus::Ok:
+        return "ok";
+      case ServiceStatus::Empty:
+        return "empty";
+      case ServiceStatus::Rejected:
+        return "rejected";
+      case ServiceStatus::DeadlineExpired:
+        return "deadline-expired";
+      case ServiceStatus::OutOfMemory:
+        return "out-of-memory";
+      case ServiceStatus::VerifyFailed:
+        return "verify-failed";
+      case ServiceStatus::DataLoss:
+        return "data-loss";
+      case ServiceStatus::Closed:
+        return "closed";
+    }
+    return "unknown";
+}
+
+const char *
+rejectReasonName(RejectReason reason)
+{
+    switch (reason) {
+      case RejectReason::None:
+        return "none";
+      case RejectReason::Backpressure:
+        return "backpressure";
+      case RejectReason::QuotaExceeded:
+        return "quota-exceeded";
+      case RejectReason::Reconfiguration:
+        return "reconfiguration";
+      case RejectReason::NotOwner:
+        return "not-owner";
+    }
+    return "unknown";
+}
+
+ShardController::ShardController(unsigned index,
+                                 const LibraryConfig &library,
+                                 const SchedulerConfig &scheduler)
+    : index_(index), config_(scheduler), lib_(library),
+      inbox_(scheduler.queueCapacity),
+      stats_("shard." + std::to_string(index))
+{
+    controller_ = std::thread([this] { controllerLoop(); });
+}
+
+ShardController::~ShardController()
+{
+    stop();
+}
+
+void
+ShardController::begin()
+{
+    {
+        std::lock_guard<std::mutex> lock(beginMutex_);
+        begun_ = true;
+    }
+    beginCv_.notify_all();
+}
+
+void
+ShardController::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(beginMutex_);
+        if (stopped_)
+            return;
+        stopped_ = true;
+        begun_ = true;
+    }
+    beginCv_.notify_all();
+    inbox_.close();
+    if (controller_.joinable())
+        controller_.join();
+}
+
+void
+ShardController::registerSession(std::shared_ptr<SessionState> session)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    sessions_.push_back(std::move(session));
+}
+
+bool
+ShardController::submitData(Pending &&pending)
+{
+    if (!inbox_.tryPush(std::move(pending))) {
+        rejectedBackpressure_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+bool
+ShardController::submitControl(Pending &&pending)
+{
+    return inbox_.pushBlocking(std::move(pending));
+}
+
+std::size_t
+ShardController::sessionCount() const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    std::size_t open = 0;
+    for (const auto &s : sessions_) {
+        if (!s->closed)
+            ++open;
+    }
+    return open;
+}
+
+std::vector<std::shared_ptr<SessionState>>
+ShardController::sessionSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    return sessions_;
+}
+
+void
+ShardController::dropSession(const SessionState &s)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    std::erase_if(sessions_, [&s](const auto &p) { return p.get() == &s; });
+}
+
+void
+ShardController::controllerLoop()
+{
+    {
+        // Deterministic mode holds the controller until start(): the
+        // round composition then depends only on the sessions opened
+        // before the gate, not on open-vs-serve races.
+        std::unique_lock<std::mutex> lock(beginMutex_);
+        beginCv_.wait(lock, [this] { return begun_; });
+    }
+    // The controller owns the shard library from here on; rebinding is
+    // explicit because the service may have touched the library while
+    // constructing it.
+    lib_.rimeBindThread();
+
+    while (true) {
+        drainInbox();
+        if (!anyPendingWork()) {
+            // Idle: block for the next submission (or shutdown).
+            auto next = inbox_.pop();
+            if (!next)
+                break;
+            route(std::move(*next));
+            continue;
+        }
+        if (config_.deterministic)
+            lockstepRound();
+        else
+            sweep();
+    }
+    failAllPending();
+}
+
+void
+ShardController::drainInbox()
+{
+    {
+        std::lock_guard<std::mutex> lock(statsMutex_);
+        stats_.hist("queueDepthHost")
+            .record(static_cast<double>(inbox_.size()));
+    }
+    while (auto pending = inbox_.tryPop())
+        route(std::move(*pending));
+}
+
+void
+ShardController::route(Pending &&pending)
+{
+    SessionState &s = *pending.session;
+    if (s.closed) {
+        // Arrived after the session's Close was served (shutdown
+        // races): nothing can be executed on its behalf anymore.
+        s.inFlight.fetch_sub(1, std::memory_order_release);
+        Response r;
+        r.status = ServiceStatus::Closed;
+        pending.promise.set_value(std::move(r));
+        return;
+    }
+    s.fifo.push_back(std::move(pending));
+}
+
+bool
+ShardController::anyPendingWork() const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (const auto &s : sessions_) {
+        if (!s->closed && !s->fifo.empty())
+            return true;
+    }
+    return false;
+}
+
+bool
+ShardController::waitFor(SessionState &s)
+{
+    while (s.fifo.empty()) {
+        if (s.closed)
+            return false;
+        auto pending = inbox_.pop();
+        if (!pending)
+            return false; // service stopping
+        route(std::move(*pending));
+    }
+    return true;
+}
+
+void
+ShardController::lockstepRound()
+{
+    // Serve the sessions open at the start of the round, in id order.
+    // Each is granted `weight` requests and the round *waits* for them
+    // (a closed-loop client always has one in flight, so the wait is
+    // bounded by the client's own turnaround).
+    auto round = sessionSnapshot();
+    for (const auto &sp : round) {
+        SessionState &s = *sp;
+        if (s.closed)
+            continue;
+        unsigned budget = s.weight;
+        while (budget > 0 && !s.closed) {
+            if (!waitFor(s))
+                break;
+            budget -= std::min(budget, serveHead(s, budget));
+        }
+        if (s.closed)
+            dropSession(s);
+    }
+}
+
+void
+ShardController::sweep()
+{
+    // Work-conserving weighted round-robin: up to `weight` queued
+    // requests per open session, never waiting for an idle one.
+    auto round = sessionSnapshot();
+    for (const auto &sp : round) {
+        SessionState &s = *sp;
+        if (s.closed)
+            continue;
+        unsigned budget = s.weight;
+        while (budget > 0 && !s.closed && !s.fifo.empty())
+            budget -= std::min(budget, serveHead(s, budget));
+        if (s.closed)
+            dropSession(s);
+    }
+}
+
+unsigned
+ShardController::serveHead(SessionState &s, unsigned budget)
+{
+    // One serve step = one critical section against stat collectors:
+    // everything below writes scheduler stats, session stats, or the
+    // shard library's live stat groups.
+    std::lock_guard<std::mutex> stats_lock(statsMutex_);
+    Pending head = std::move(s.fifo.front());
+    s.fifo.pop_front();
+    if (head.control == Pending::Control::Close) {
+        closeSession(s, head);
+        return 1;
+    }
+
+    // Coalesce a run of same-direction extractions on the same range
+    // into one batch: one trace/accounting envelope, back-to-back
+    // device merges.
+    std::vector<Pending> batch;
+    batch.push_back(std::move(head));
+    if (isExtraction(batch.front().req.kind)) {
+        const Request &first = batch.front().req;
+        const std::size_t cap =
+            std::min<std::size_t>(budget, config_.maxBatch);
+        while (batch.size() < cap && !s.fifo.empty()) {
+            const Pending &next = s.fifo.front();
+            if (next.control != Pending::Control::Data ||
+                next.req.kind != first.kind ||
+                next.req.start != first.start ||
+                next.req.end != first.end) {
+                break;
+            }
+            batch.push_back(std::move(s.fifo.front()));
+            s.fifo.pop_front();
+        }
+    }
+
+    TraceSpan span("service", requestKindName(batch.front().req.kind));
+    span.arg("shard", index_);
+    span.arg("session", s.id);
+    span.arg("batch",
+             static_cast<std::uint64_t>(batch.size()));
+    stats_.hist("batchSizeHost")
+        .record(static_cast<double>(batch.size()));
+    for (auto &pending : batch)
+        serveOne(s, pending);
+    return static_cast<unsigned>(batch.size());
+}
+
+void
+ShardController::serveOne(SessionState &s, Pending &pending)
+{
+    const double queue_ns = hostNsSince(pending.enqueued);
+    stats_.hist("queueWallNsHost").record(queue_ns);
+
+    Response r;
+    if (pending.req.deadline != 0 && lib_.now() >= pending.req.deadline) {
+        // Expired against the shard's *simulated* clock: never touches
+        // the device, and replays deterministically under lockstep.
+        r.status = ServiceStatus::DeadlineExpired;
+        stats_.inc("deadlineExpired");
+        s.stats.inc("deadlineExpired");
+    } else {
+        r = execute(s, pending.req);
+    }
+    r.shardTick = lib_.now();
+    r.queueWallNs = queue_ns;
+    stats_.inc("requests");
+    s.stats.inc("requests");
+
+    // Drop the in-flight slot *before* completing the future: a
+    // closed-loop client may resubmit the instant it observes the
+    // completion, and must find its quota slot free.
+    s.inFlight.fetch_sub(1, std::memory_order_release);
+    pending.promise.set_value(std::move(r));
+}
+
+Response
+ShardController::execute(SessionState &s, Request &req)
+{
+    Response r;
+    r.status = ServiceStatus::Ok;
+    switch (req.kind) {
+      case RequestKind::Malloc: {
+        auto addr = lib_.rimeMalloc(req.bytes);
+        if (!addr) {
+            r.status = ServiceStatus::OutOfMemory;
+            break;
+        }
+        r.addr = *addr;
+        s.allocations.insert(*addr);
+        stats_.inc("mallocs");
+        break;
+      }
+      case RequestKind::Free: {
+        if (!s.allocations.count(req.start)) {
+            r.status = ServiceStatus::Rejected;
+            r.reject = RejectReason::NotOwner;
+            stats_.inc("rejectedNotOwner");
+            break;
+        }
+        const std::uint64_t size =
+            lib_.driver().allocationSize(req.start);
+        std::erase_if(s.initedRanges, [&](const auto &range) {
+            return range.first < req.start + size &&
+                req.start < range.second;
+        });
+        lib_.rimeFree(req.start);
+        s.allocations.erase(req.start);
+        stats_.inc("frees");
+        break;
+      }
+      case RequestKind::Init: {
+        const bool reconfigures =
+            lib_.device().wordBits() != req.wordBits ||
+            lib_.device().mode() != req.mode;
+        if (reconfigures && othersHaveInits(s)) {
+            // rimeInit with a new word width or type mode reconfigures
+            // the whole device and discards every live operation --
+            // including other tenants'.  Shed instead of corrupting.
+            r.status = ServiceStatus::Rejected;
+            r.reject = RejectReason::Reconfiguration;
+            stats_.inc("rejectedReconfiguration");
+            break;
+        }
+        if (req.end > req.start && !ownsRange(s, req.start, req.end)) {
+            r.status = ServiceStatus::Rejected;
+            r.reject = RejectReason::NotOwner;
+            stats_.inc("rejectedNotOwner");
+            break;
+        }
+        lib_.rimeInit(req.start, req.end, req.mode, req.wordBits);
+        if (req.end > req.start)
+            s.initedRanges.insert({req.start, req.end});
+        stats_.inc("inits");
+        break;
+      }
+      case RequestKind::StoreArray: {
+        const Addr end = req.start +
+            static_cast<Addr>(req.values.size()) * lib_.wordBytes();
+        if (!ownsRange(s, req.start, end)) {
+            r.status = ServiceStatus::Rejected;
+            r.reject = RejectReason::NotOwner;
+            stats_.inc("rejectedNotOwner");
+            break;
+        }
+        lib_.storeArray(req.start, req.values);
+        stats_.inc("stores");
+        break;
+      }
+      case RequestKind::Min:
+      case RequestKind::Max: {
+        if (!ownsRange(s, req.start, req.end)) {
+            r.status = ServiceStatus::Rejected;
+            r.reject = RejectReason::NotOwner;
+            stats_.inc("rejectedNotOwner");
+            break;
+        }
+        const RimeExtract e = req.kind == RequestKind::Max
+            ? lib_.rimeMaxChecked(req.start, req.end)
+            : lib_.rimeMinChecked(req.start, req.end);
+        r.status = fromRimeStatus(e.status);
+        if (e.ok()) {
+            r.items.push_back(e.item);
+            stats_.inc("extractItems");
+            s.stats.inc("extractItems");
+        }
+        break;
+      }
+      case RequestKind::TopK:
+      case RequestKind::Sort: {
+        if (!ownsRange(s, req.start, req.end)) {
+            r.status = ServiceStatus::Rejected;
+            r.reject = RejectReason::NotOwner;
+            stats_.inc("rejectedNotOwner");
+            break;
+        }
+        const bool largest =
+            req.kind == RequestKind::TopK && req.largest;
+        std::uint64_t count = req.count;
+        if (req.kind == RequestKind::Sort)
+            count = (req.end - req.start) / lib_.wordBytes();
+        r.items.reserve(count);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const RimeExtract e = largest
+                ? lib_.rimeMaxChecked(req.start, req.end)
+                : lib_.rimeMinChecked(req.start, req.end);
+            if (!e.ok()) {
+                // Partial prefix stays in items; the status tells the
+                // client why the stream ended early.
+                r.status = fromRimeStatus(e.status);
+                break;
+            }
+            r.items.push_back(e.item);
+        }
+        stats_.inc("extractItems",
+                   static_cast<double>(r.items.size()));
+        s.stats.inc("extractItems",
+                    static_cast<double>(r.items.size()));
+        break;
+      }
+      case RequestKind::Health: {
+        r.health = lib_.rimeHealth();
+        r.allocatedBytes = lib_.driver().allocatedBytes();
+        break;
+      }
+    }
+    return r;
+}
+
+bool
+ShardController::ownsRange(const SessionState &s, Addr start, Addr end)
+{
+    if (end < start)
+        return false;
+    for (const Addr base : s.allocations) {
+        const std::uint64_t size = lib_.driver().allocationSize(base);
+        if (start >= base && end <= base + size)
+            return true;
+    }
+    return false;
+}
+
+bool
+ShardController::othersHaveInits(const SessionState &s) const
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (const auto &other : sessions_) {
+        if (other.get() != &s && !other->closed &&
+            !other->initedRanges.empty()) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ShardController::closeSession(SessionState &s, Pending &pending)
+{
+    // Everything the session still owns goes back to the allocator
+    // (which retires any operation state on the ranges).
+    for (const Addr base : s.allocations)
+        lib_.rimeFree(base);
+    s.allocations.clear();
+    s.initedRanges.clear();
+    s.closed = true;
+    stats_.inc("closes");
+
+    // Requests the session still had queued behind the close.
+    for (auto &queued : s.fifo) {
+        s.inFlight.fetch_sub(1, std::memory_order_release);
+        Response r;
+        r.status = ServiceStatus::Closed;
+        queued.promise.set_value(std::move(r));
+    }
+    s.fifo.clear();
+
+    Response done;
+    done.status = ServiceStatus::Ok;
+    done.shardTick = lib_.now();
+    s.inFlight.fetch_sub(1, std::memory_order_release);
+    pending.promise.set_value(std::move(done));
+}
+
+void
+ShardController::collectStats(
+    StatRegistry &out, const std::string &base,
+    const std::vector<std::shared_ptr<SessionState>> &sessions) const
+{
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    StatGroup scheduler;
+    scheduler.merge(stats_);
+    // The shed counters are bumped by client threads losing races, so
+    // they are host-scheduling dependent by construction.
+    scheduler.set("rejectedBackpressureHost",
+                  static_cast<double>(rejectedBackpressure()));
+    scheduler.set("rejectedQuotaHost",
+                  static_cast<double>(rejectedQuota()));
+    out.mergeGroup(base, scheduler);
+    out.mergeRegistry(lib_.statRegistry(), base + ".");
+    for (const auto &state : sessions) {
+        out.mergeGroup("service.tenant." + state->tenant + ".s" +
+                           std::to_string(state->id),
+                       state->stats);
+    }
+}
+
+void
+ShardController::failAllPending()
+{
+    // Shutdown: the inbox is closed and drained; complete whatever is
+    // still parked in session FIFOs so no client blocks forever.
+    auto round = sessionSnapshot();
+    for (const auto &sp : round) {
+        for (auto &queued : sp->fifo) {
+            if (queued.control == Pending::Control::Close) {
+                sp->closed = true;
+            }
+            sp->inFlight.fetch_sub(1, std::memory_order_release);
+            Response r;
+            r.status = queued.control == Pending::Control::Close
+                ? ServiceStatus::Ok : ServiceStatus::Closed;
+            queued.promise.set_value(std::move(r));
+        }
+        sp->fifo.clear();
+        sp->closed = true;
+    }
+}
+
+} // namespace rime::service

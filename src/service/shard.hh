@@ -1,0 +1,236 @@
+/**
+ * @file
+ * One shard of the RIME service: a RimeLibrary owned by a dedicated
+ * controller thread that drains a bounded MPSC submission queue.
+ *
+ * The controller thread is the *only* thread that ever touches the
+ * shard's RimeLibrary, so the shard's simulated clock advances only
+ * there (the library's controller-affinity guard enforces this).
+ * Client threads interact exclusively through the queue: tryPush on
+ * the data path (full queue => the caller sheds the request with
+ * Rejected/Backpressure, the device is never blocked), pushBlocking
+ * only for the tiny close control message.
+ *
+ * Scheduling comes in two flavours:
+ *
+ *  - work-conserving (default): deficit weighted round-robin.  Each
+ *    sweep grants every pinned session up to `weight` requests in
+ *    session-id order and serves whatever is queued; nothing ever
+ *    waits for an idle tenant.
+ *
+ *  - deterministic (lockstep): rounds serve exactly the sessions that
+ *    are open, in session-id order, waiting for each session's next
+ *    request (or its close) before moving on.  With closed-loop
+ *    clients this makes the *order* in which requests reach the
+ *    device -- and therefore the simulated clock, every deterministic
+ *    stat, and every extraction latency histogram -- a pure function
+ *    of the session scripts, independent of client thread count and
+ *    of RIME_THREADS.  Reserved for reproducible replay; an idle
+ *    open session stalls the round by design, and a session's clients
+ *    must keep at least `weight` requests in flight (or close the
+ *    session) because a round waits for the session's full budget
+ *    before moving on.
+ *
+ * Consecutive extractions of one session on the same range and
+ * direction are batched: one dequeue/trace/accounting envelope covers
+ * the run, amortizing the per-request overhead over the multi-chip
+ * merge the way the DIMM buffers amortize the scan setup.
+ */
+
+#ifndef RIME_SERVICE_SHARD_HH
+#define RIME_SERVICE_SHARD_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/bounded_queue.hh"
+#include "common/stats.hh"
+#include "rime/api.hh"
+#include "service/request.hh"
+
+namespace rime::service
+{
+
+/** Scheduler tunables of one shard controller. */
+struct SchedulerConfig
+{
+    /** Capacity of the shard's submission queue. */
+    std::size_t queueCapacity = 256;
+    /** Largest run of extractions served as one batch. */
+    unsigned maxBatch = 32;
+    /** Lockstep deterministic scheduling (see file comment). */
+    bool deterministic = false;
+};
+
+/** Server-side state of one session (controller-owned fields). */
+struct SessionState
+{
+    std::uint64_t id = 0;
+    std::string tenant;
+    unsigned weight = 1;
+    unsigned maxInFlight = 8;
+    unsigned shard = 0;
+
+    /** Requests submitted but not yet completed (client + controller). */
+    std::atomic<std::uint32_t> inFlight{0};
+    /** Client called close(); further submits complete Closed. */
+    std::atomic<bool> clientClosing{false};
+
+    // Everything below is touched only by the controller thread.
+    struct Pending;
+    std::deque<Pending> fifo;
+    bool closed = false;
+    /** Allocations owned by the session (freed at close). */
+    std::set<Addr> allocations;
+    /** Ranges the session has rime_init'ed (live operations). */
+    std::set<std::pair<Addr, Addr>> initedRanges;
+    /** Per-tenant counters ("service.tenant.<t>.s<id>" at collect). */
+    StatGroup stats;
+};
+
+/** One queued unit of work. */
+struct SessionState::Pending
+{
+    enum class Control : std::uint8_t { Data, Close };
+
+    Control control = Control::Data;
+    Request req{};
+    std::shared_ptr<SessionState> session;
+    std::promise<Response> promise;
+    std::chrono::steady_clock::time_point enqueued{};
+};
+
+/** A RimeLibrary plus the controller thread serving it. */
+class ShardController
+{
+  public:
+    using Pending = SessionState::Pending;
+
+    ShardController(unsigned index, const LibraryConfig &library,
+                    const SchedulerConfig &scheduler);
+    ~ShardController();
+
+    ShardController(const ShardController &) = delete;
+    ShardController &operator=(const ShardController &) = delete;
+
+    unsigned index() const { return index_; }
+
+    /** Release the controller (deterministic mode waits for this). */
+    void begin();
+
+    /** Close the queue, serve the tail, and join the controller. */
+    void stop();
+
+    /** Pin a session to this shard (called at session open). */
+    void registerSession(std::shared_ptr<SessionState> session);
+
+    /** Data-path submit: false when the queue is full (shed load). */
+    bool submitData(Pending &&pending);
+
+    /** Control-path submit: waits for space; false once stopped. */
+    bool submitControl(Pending &&pending);
+
+    /** Sessions currently pinned (for placement). */
+    std::size_t sessionCount() const;
+
+    /** Requests queued right now (racy snapshot, for placement). */
+    std::size_t queueDepth() const { return inbox_.size(); }
+
+    /** Load-shed counters (client-thread side, hence atomics). */
+    std::uint64_t
+    rejectedBackpressure() const
+    {
+        return rejectedBackpressure_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t
+    rejectedQuota() const
+    {
+        return rejectedQuota_.load(std::memory_order_relaxed);
+    }
+
+    void
+    countQuotaReject()
+    {
+        rejectedQuota_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /**
+     * Merge this shard's whole stat tree into `out`: the scheduler
+     * group at `base` (with the shed counters as "*Host" values), the
+     * shard library's registry under `base` + ".", and one
+     * "service.tenant.<t>.s<id>" group per entry of `sessions` (the
+     * caller passes the sessions pinned here, including closed ones).
+     * Synchronized with the controller's own stat writes, so it is
+     * safe -- if racy in content -- to call mid-serve; quiescent
+     * shards yield exact totals.
+     */
+    void collectStats(
+        StatRegistry &out, const std::string &base,
+        const std::vector<std::shared_ptr<SessionState>> &sessions)
+        const;
+
+  private:
+    void controllerLoop();
+    /** Move queued work into session FIFOs without blocking. */
+    void drainInbox();
+    void route(Pending &&pending);
+    bool anyPendingWork() const;
+    std::vector<std::shared_ptr<SessionState>> sessionSnapshot() const;
+    /** Lockstep: block until `s` has work or is closed/stopped. */
+    bool waitFor(SessionState &s);
+    void lockstepRound();
+    void sweep();
+    /** Serve the FIFO head (plus a compatible batch); returns count. */
+    unsigned serveHead(SessionState &s, unsigned budget);
+    void serveOne(SessionState &s, Pending &pending);
+    Response execute(SessionState &s, Request &req);
+    /** Session owns an allocation fully covering [start, end)? */
+    bool ownsRange(const SessionState &s, Addr start, Addr end);
+    bool othersHaveInits(const SessionState &s) const;
+    void closeSession(SessionState &s, Pending &pending);
+    void dropSession(const SessionState &s);
+    /** Complete every queued request with Closed (shutdown path). */
+    void failAllPending();
+
+    const unsigned index_;
+    const SchedulerConfig config_;
+    RimeLibrary lib_;
+    BoundedQueue<Pending> inbox_;
+
+    mutable std::mutex sessionsMutex_;
+    /** Pinned sessions in id order (ids are assigned ascending). */
+    std::vector<std::shared_ptr<SessionState>> sessions_;
+
+    std::mutex beginMutex_;
+    std::condition_variable beginCv_;
+    bool begun_ = false;
+
+    std::atomic<std::uint64_t> rejectedBackpressure_{0};
+    std::atomic<std::uint64_t> rejectedQuota_{0};
+
+    /**
+     * Orders the controller's stat and library writes against
+     * collectStats readers.  Held by the controller across each serve
+     * step; only stat collection ever contends.  Taken before
+     * sessionsMutex_ when both are needed (never the reverse).
+     */
+    mutable std::mutex statsMutex_;
+    StatGroup stats_;
+    std::thread controller_;
+    bool stopped_ = false;
+};
+
+} // namespace rime::service
+
+#endif // RIME_SERVICE_SHARD_HH

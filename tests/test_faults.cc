@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "rime/api.hh"
+#include "rime/ops.hh"
 #include "rimehw/chip.hh"
 #include "rimehw/faults.hh"
 
@@ -478,4 +479,113 @@ TEST(FaultyApi, StatusNamesAreStable)
     EXPECT_STREQ(rimeStatusName(RimeStatus::VerifyFailed),
                  "verify-failed");
     EXPECT_STREQ(rimeStatusName(RimeStatus::DataLoss), "data-loss");
+}
+
+// ---------------------------------------------------------------------
+// High-level kernels on faulty devices: exact or loud, never silent.
+// ---------------------------------------------------------------------
+
+
+TEST(FaultyKernels, TopKExactAtStuckAt1e4)
+{
+    // rimeTopK over a stuck-at device (rate 1e-4) must match the
+    // std::sort prefix exactly, in both directions, and be
+    // bit-identical between hostThreads 1 and 4.
+    const std::size_t n = 16384;
+    const std::uint64_t count = 256;
+    Rng rng(31000);
+    std::vector<std::uint64_t> keys(n);
+    for (auto &k : keys)
+        k = rng() & 0xFFFFFFFFULL;
+    std::vector<std::uint64_t> expect = keys;
+    std::sort(expect.begin(), expect.end());
+
+    for (const bool largest : {false, true}) {
+        RimeLibrary lib(faultyLibraryConfig(4, 7, 1e-4));
+        const KernelResult r = rimeTopK(lib, keys, count, largest,
+                                        KeyMode::UnsignedFixed);
+        ASSERT_EQ(r.values.size(), count) << "largest=" << largest;
+        for (std::uint64_t i = 0; i < count; ++i) {
+            const std::uint64_t want = largest
+                ? expect[n - 1 - i] : expect[i];
+            ASSERT_EQ(r.values[i], want)
+                << "largest=" << largest << " rank " << i;
+        }
+        EXPECT_EQ(lib.rimeHealth().counts.lostValues, 0u);
+
+        RimeLibrary serial(faultyLibraryConfig(1, 7, 1e-4));
+        const KernelResult s = rimeTopK(serial, keys, count, largest,
+                                        KeyMode::UnsignedFixed);
+        EXPECT_EQ(s.values, r.values);
+        EXPECT_DOUBLE_EQ(s.seconds, r.seconds);
+        EXPECT_DOUBLE_EQ(s.energyPJ, r.energyPJ);
+    }
+}
+
+TEST(FaultyKernels, MergeKExactAtStuckAt1e4)
+{
+    // A 3-way merge on a faulty device equals the sorted concatenation.
+    const std::size_t per = 2048;
+    Rng rng(32000);
+    std::vector<std::vector<std::uint64_t>> sets(3);
+    std::vector<std::uint64_t> expect;
+    for (auto &set : sets) {
+        set.resize(per);
+        for (auto &k : set) {
+            k = rng() & 0xFFFFFFFFULL;
+            expect.push_back(k);
+        }
+    }
+    std::sort(expect.begin(), expect.end());
+
+    RimeLibrary lib(faultyLibraryConfig(4, 13, 1e-4));
+    const KernelResult r =
+        rimeMergeK(lib, sets, KeyMode::UnsignedFixed);
+    ASSERT_EQ(r.values.size(), expect.size());
+    for (std::size_t i = 0; i < expect.size(); ++i)
+        ASSERT_EQ(r.values[i], expect[i]) << "rank " << i;
+    EXPECT_EQ(lib.rimeHealth().counts.lostValues, 0u);
+
+    RimeLibrary serial(faultyLibraryConfig(1, 13, 1e-4));
+    const KernelResult s =
+        rimeMergeK(serial, sets, KeyMode::UnsignedFixed);
+    EXPECT_EQ(s.values, r.values);
+}
+
+TEST(FaultyKernels, BeyondRepairCapacityFailsLoudly)
+{
+    // With faults far past the provisioned spares, the kernels must
+    // refuse with an explicit data-loss error -- not return a stream
+    // with silently wrong or missing values.
+    LibraryConfig cfg = faultyLibraryConfig(2, 4, 0.0);
+    cfg.device.faults.stuckAt1Rate = 0.2;
+    cfg.device.faults.spareRowsPerUnit = 2;
+    cfg.device.faults.spareUnitsPerChip = 1;
+
+    Rng rng(33000);
+    std::vector<std::uint64_t> keys(4096);
+    for (auto &k : keys)
+        k = rng() & 0xFFFFFFFFULL;
+
+    const auto expectDataLossError = [](auto &&run) {
+        try {
+            run();
+            FAIL() << "kernel on a lossy device must throw";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find("data-loss"),
+                      std::string::npos) << err.what();
+        }
+    };
+    expectDataLossError([&] {
+        RimeLibrary lib(cfg);
+        rimeTopK(lib, keys, 64, false, KeyMode::UnsignedFixed);
+    });
+    expectDataLossError([&] {
+        RimeLibrary lib(cfg);
+        const std::vector<std::vector<std::uint64_t>> sets{
+            {keys.begin(), keys.begin() + 2048},
+            {keys.begin() + 2048, keys.end()},
+        };
+        rimeMergeK(lib, sets, KeyMode::UnsignedFixed);
+    });
 }
