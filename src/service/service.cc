@@ -298,6 +298,15 @@ RimeService::health()
         auto probe = openSession(cfg);
         const Response r = probe->call(Request{});
         probe->close();
+        {
+            // Forget the probe's state: periodic health polling must
+            // not grow sessions_ (and collectStats) without bound.
+            // The shard side prunes its own list at close.
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            std::erase_if(sessions_, [&](const auto &p) {
+                return p == probe->state_;
+            });
+        }
         if (!r.ok())
             continue; // shard stopping: report what we can
         aggregate.counts.degradedUnits += r.health.counts.degradedUnits;

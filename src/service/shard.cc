@@ -351,15 +351,19 @@ ShardController::serveHead(SessionState &s, unsigned budget)
     std::vector<Pending> batch;
     batch.push_back(std::move(head));
     if (isExtraction(batch.front().req.kind)) {
-        const Request &first = batch.front().req;
+        // Copy the match key: a reference into `batch` would dangle
+        // once push_back reallocates it.
+        const RequestKind kind = batch.front().req.kind;
+        const Addr start = batch.front().req.start;
+        const Addr end = batch.front().req.end;
         const std::size_t cap =
             std::min<std::size_t>(budget, config_.maxBatch);
         while (batch.size() < cap && !s.fifo.empty()) {
             const Pending &next = s.fifo.front();
             if (next.control != Pending::Control::Data ||
-                next.req.kind != first.kind ||
-                next.req.start != first.start ||
-                next.req.end != first.end) {
+                next.req.kind != kind ||
+                next.req.start != start ||
+                next.req.end != end) {
                 break;
             }
             batch.push_back(std::move(s.fifo.front()));
@@ -509,10 +513,15 @@ ShardController::execute(SessionState &s, Request &req)
         }
         const bool largest =
             req.kind == RequestKind::TopK && req.largest;
+        // The range can never produce more than its word capacity, so
+        // cap the reservation there: `count` is client-supplied and an
+        // absurd TopK ask must not bad_alloc the controller thread.
+        const std::uint64_t capacity =
+            (req.end - req.start) / lib_.wordBytes();
         std::uint64_t count = req.count;
         if (req.kind == RequestKind::Sort)
-            count = (req.end - req.start) / lib_.wordBytes();
-        r.items.reserve(count);
+            count = capacity;
+        r.items.reserve(std::min(count, capacity));
         for (std::uint64_t i = 0; i < count; ++i) {
             const RimeExtract e = largest
                 ? lib_.rimeMaxChecked(req.start, req.end)

@@ -86,11 +86,16 @@ struct SessionState
     std::atomic<std::uint32_t> inFlight{0};
     /** Client called close(); further submits complete Closed. */
     std::atomic<bool> clientClosing{false};
+    /**
+     * Set by the controller once the close is served (or at shard
+     * shutdown).  Atomic because client threads read it too, via
+     * sessionCount() and the placement path.
+     */
+    std::atomic<bool> closed{false};
 
     // Everything below is touched only by the controller thread.
     struct Pending;
     std::deque<Pending> fifo;
-    bool closed = false;
     /** Allocations owned by the session (freed at close). */
     std::set<Addr> allocations;
     /** Ranges the session has rime_init'ed (live operations). */

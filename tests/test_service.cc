@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <limits>
 #include <string>
 #include <thread>
 #include <utility>
@@ -254,6 +255,42 @@ TEST(ServiceBasics, SingleSessionEndToEnd)
     session->close();
     // Closed sessions complete immediately instead of queueing.
     EXPECT_EQ(session->health().get().status, ServiceStatus::Closed);
+}
+
+TEST(ServiceBasics, AbsurdTopKCountDrainsInsteadOfCrashing)
+{
+    // A client-supplied count far beyond the range's capacity must not
+    // take down the controller thread (the reservation is capped at
+    // the range's word capacity); the stream simply drains the range
+    // and ends with Empty.
+    RimeService svc(fastServiceConfig(1));
+    auto session = svc.openSession({.tenant = "greedy"});
+    const auto keys = sessionKeys(9, 64);
+    const auto [start, end] = setupRange(*session, keys);
+
+    std::vector<std::uint64_t> expect = keys;
+    std::sort(expect.begin(), expect.end());
+
+    const Response r = session->topK(
+        start, end, std::numeric_limits<std::uint64_t>::max()).get();
+    EXPECT_EQ(r.status, ServiceStatus::Empty);
+    ASSERT_EQ(r.items.size(), keys.size());
+    for (std::size_t i = 0; i < r.items.size(); ++i)
+        EXPECT_EQ(r.items[i].raw, expect[i]) << "rank " << i;
+    session->close();
+}
+
+TEST(ServiceBasics, HealthProbesLeaveNoSessionsBehind)
+{
+    // Periodic health polling must not accumulate probe sessions: the
+    // load snapshot stays empty and no _health tenant groups pollute
+    // the stat tree.
+    RimeService svc(fastServiceConfig(2));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(svc.health().pristine());
+    for (const ShardLoad &load : svc.loads())
+        EXPECT_EQ(load.sessions, 0u) << "shard " << load.shard;
+    EXPECT_EQ(svc.statDumpJson().find("_health"), std::string::npos);
 }
 
 TEST(ServiceBasics, NamesAreStable)
