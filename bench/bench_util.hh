@@ -9,6 +9,9 @@
  *    0.25 gives a quick smoke run, 4 a higher-fidelity run).
  *  - RIME_STATS: path of the JSON stat dump each bench writes on
  *    exit (default STATS_<bench>.json in the working directory).
+ *  - RIME_SWEEP_THREADS: configurations simulated concurrently by
+ *    the sweep benches (default: hardware concurrency).  Outputs are
+ *    bit-identical for any value (see sweepParallel).
  */
 
 #ifndef RIME_BENCH_BENCH_UTIL_HH
@@ -16,11 +19,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/stat_registry.hh"
 #include "rime/ops.hh"
@@ -128,6 +134,105 @@ rimeSortThroughputMKps(std::uint64_t n, std::uint64_t cap,
     const auto result = rimeSort(lib, raws, KeyMode::UnsignedFixed,
                                  32, /*include_load=*/false);
     return result.throughputKeysPerSec() / 1e6;
+}
+
+/** RIME_SWEEP_THREADS when set (>0), else hardware concurrency. */
+inline unsigned
+sweepThreads()
+{
+    const std::uint64_t v = envU64("RIME_SWEEP_THREADS", 0);
+    if (v > 0)
+        return static_cast<unsigned>(v);
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/**
+ * The pool running bench sweep configurations.  Deliberately separate
+ * from ThreadPool::global(): sweep tasks themselves drive simulations
+ * that may call into the global pool (the bit-level chips' scan
+ * engine), and ThreadPool::run is not reentrant.  Two pools keep the
+ * two levels of parallelism -- across configurations here, within one
+ * chip scan there -- composable.
+ */
+inline ThreadPool &
+sweepPool()
+{
+    static ThreadPool pool(sweepThreads());
+    return pool;
+}
+
+/**
+ * Run fn(0) .. fn(tasks-1) on the sweep pool and return the results
+ * indexed by task.  Tasks must be independent (each builds its own
+ * simulator state); results land in task order regardless of
+ * completion order, so a sweep's output is bit-identical for any
+ * RIME_SWEEP_THREADS.
+ */
+template <typename Fn>
+auto
+sweepParallel(unsigned tasks, Fn &&fn)
+    -> std::vector<decltype(fn(0u))>
+{
+    std::vector<decltype(fn(0u))> results(tasks);
+    sweepPool().run(tasks,
+                    [&](unsigned i) { results[i] = fn(i); });
+    return results;
+}
+
+/**
+ * One sweep configuration's RIME measurement: the throughput plus the
+ * run's stats, captured from the library before it was destroyed.
+ * Captured registries must be published with publishSweepStats (in
+ * task order, on the main thread) rather than by the library
+ * destructor, whose publish order under a parallel sweep would depend
+ * on completion order.
+ */
+struct RimeSweepPoint
+{
+    double mkps = 0.0;
+    std::unique_ptr<StatRegistry> stats;
+};
+
+/**
+ * The sweep-task variant of rimeSortThroughputMKps: identical
+ * simulation, but stats are captured instead of auto-published.
+ */
+inline RimeSweepPoint
+rimeSortThroughputPoint(std::uint64_t n, std::uint64_t cap,
+                        std::uint64_t seed = 99)
+{
+    const std::uint64_t sim = std::min(n, cap);
+    LibraryConfig cfg = tableOneRime();
+    cfg.autoPublishStats = false;
+    RimeSweepPoint point;
+    {
+        RimeLibrary lib(cfg);
+        const auto raws = randomRaws(sim, seed);
+        const auto result = rimeSort(lib, raws,
+                                     KeyMode::UnsignedFixed, 32,
+                                     /*include_load=*/false);
+        point.mkps = result.throughputKeysPerSec() / 1e6;
+        point.stats = std::make_unique<StatRegistry>();
+        point.stats->mergeRegistry(lib.statRegistry());
+    }
+    return point;
+}
+
+/**
+ * Merge captured sweep registries into the process accumulator in
+ * task order.  A capture starts every counter at 0.0 (0.0 + x == x
+ * exactly), so capture-then-merge reproduces the serial sweep's
+ * published values bit for bit.
+ */
+template <typename Points>
+inline void
+publishSweepStats(const Points &points)
+{
+    for (const auto &p : points) {
+        if (p.stats)
+            StatRegistry::process().mergeRegistry(*p.stats);
+    }
 }
 
 /** Print a row of a figure table. */

@@ -34,31 +34,40 @@ main()
         cols.push_back(millions(n) + "M");
     printHeader("R system", cols);
 
-    double min_gain = 1e30;
-    double max_gain = 0.0;
-    for (unsigned r = 1; r <= 5; ++r) {
+    // Each add:remove ratio is an independent simulation (its own
+    // traced-heap sample and its own RIME execution): sweep them in
+    // parallel, capturing each RIME run's stats for ordered publish.
+    struct RatioPoint
+    {
+        BaselineSample s;
+        double rimeMkps = 0.0;
+        std::unique_ptr<StatRegistry> stats;
+    };
+    auto ratio_points = sweepParallel(5u, [&](unsigned i) {
+        const unsigned r = i + 1;
         // Baseline sample: traced heap at the sample buffer size.
         SpqParams params;
         params.initialPackets = sample_initial;
         params.addsPerRemove = r;
         params.removes = sample_removes;
         SampleContext ctx;
-        BaselineSample s;
+        RatioPoint point;
         const auto cpu = spqCpu(params, ctx.sink);
-        ctx.fill(s, cpu.counts.instructions(), sample_removes);
-        s.pattern = memsim::AccessPattern::Random;
-        s.mlp = 2.0; // heap sift chains are mostly dependent
-        s.baseIpc = 1.5;
-        s.logScaling = true;
+        ctx.fill(point.s, cpu.counts.instructions(), sample_removes);
+        point.s.pattern = memsim::AccessPattern::Random;
+        point.s.mlp = 2.0; // heap sift chains are mostly dependent
+        point.s.baseIpc = 1.5;
+        point.s.logScaling = true;
 
         // RIME: actually execute.
         SpqParams rime_params;
         rime_params.initialPackets = rime_initial;
         rime_params.addsPerRemove = r;
         rime_params.removes = rime_removes;
-        double rime_mkps;
         {
-            RimeLibrary lib(tableOneRime());
+            LibraryConfig cfg = tableOneRime();
+            cfg.autoPublishStats = false;
+            RimeLibrary lib(cfg);
             // Exclude the initial buffer fill from the measurement:
             // take the clock after construction-time loads by
             // running the schedule and charging only remove-phase
@@ -67,8 +76,19 @@ main()
             const auto res = spqRime(lib, rime_params);
             const double secs = ticksToSeconds(lib.now() - t0);
             // Subtract the one-time region pre-fill (bulk load).
-            rime_mkps = res.removed / secs / 1e6;
+            point.rimeMkps = res.removed / secs / 1e6;
+            point.stats = std::make_unique<StatRegistry>();
+            point.stats->mergeRegistry(lib.statRegistry());
         }
+        return point;
+    });
+    publishSweepStats(ratio_points);
+
+    double min_gain = 1e30;
+    double max_gain = 0.0;
+    for (unsigned r = 1; r <= 5; ++r) {
+        const BaselineSample &s = ratio_points[r - 1].s;
+        const double rime_mkps = ratio_points[r - 1].rimeMkps;
 
         std::vector<double> ddr_row, hbm_row, rime_row;
         for (const auto n : sizes) {

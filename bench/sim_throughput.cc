@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Simulation-speed bench: how many simulated cache accesses per
+ * second the baseline pipeline sustains, fast path vs the pre-PR
+ * reference path, in one process.
+ *
+ * Two representative access streams are replayed twice each:
+ *
+ *  - "heap": the traced binary heap under priority-queue churn (the
+ *    fig18 baseline sample loop).
+ *  - "sort": the instrumented mergesort address stream (the fig15
+ *    baseline profile loop).
+ *
+ * The reference pipeline is constructed explicitly (slow-mode
+ * Hierarchy + per-access virtual delivery) rather than via
+ * RIME_SLOW_SIM, so both paths run in a single process and their
+ * cache/memory counters can be diffed directly; any mismatch is a
+ * correctness failure and exits nonzero.  Results go to stdout and to
+ * BENCH_simspeed.json (override with RIME_SIMSPEED_JSON).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "bench/bench_util.hh"
+#include "cachesim/hierarchy.hh"
+#include "sort/sorters.hh"
+#include "workloads/traced_heap.hh"
+
+using namespace rime;
+using namespace rime::bench;
+using namespace rime::cachesim;
+
+namespace
+{
+
+/**
+ * The pre-PR delivery path: one virtual AccessSink::access call per
+ * simulated access.  Deliberately does not override drain(), so
+ * batches produced inside library code (runSort) degrade to the
+ * per-record virtual loop of the AccessSink base class.
+ */
+class UnbatchedCacheSink : public sort::AccessSink
+{
+  public:
+    explicit UnbatchedCacheSink(Hierarchy &hierarchy)
+        : hierarchy_(hierarchy)
+    {}
+
+    void
+    access(unsigned core, Addr addr, AccessType type) override
+    {
+        hierarchy_.access(core % hierarchy_.numCores(), addr, type);
+    }
+
+  private:
+    Hierarchy &hierarchy_;
+};
+
+/** One pipeline's measurement. */
+struct PipelineRun
+{
+    double seconds = 0.0;
+    std::uint64_t accesses = 0;
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+
+    double
+    accessesPerSec() const
+    {
+        return seconds > 0.0 ? static_cast<double>(accesses) / seconds
+                             : 0.0;
+    }
+};
+
+std::uint64_t
+hierarchyAccesses(Hierarchy &h)
+{
+    const auto &v = h.stats().values();
+    return static_cast<std::uint64_t>(v.at("loads") + v.at("stores"));
+}
+
+/** Replay the priority-queue churn through one pipeline. */
+PipelineRun
+runHeapStream(bool slow, std::uint64_t initial, std::uint64_t churn)
+{
+    // Same sizing as the fig18 baseline sample: one core, default
+    // Table-I L1/L2.
+    Hierarchy h(1, CacheConfig::l1d(), CacheConfig::l2(), slow);
+    sort::CacheSink sink(h);
+    const auto keys = randomRaws(initial + churn, 4242);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+        // Fast path: all heap accesses go through one shared batch.
+        // Reference path: straight into the sink, one virtual call
+        // per access (the pre-PR pipeline).
+        sort::AccessBatch batch(sink, /*bypass=*/slow);
+        workloads::TracedHeap heap(batch, /*base=*/0);
+        std::uint64_t next = 0;
+        for (std::uint64_t i = 0; i < initial; ++i)
+            heap.push(keys[next++]);
+        for (std::uint64_t i = 0; i < churn; ++i) {
+            heap.push(keys[next++]);
+            heap.pop();
+        }
+        // Batch flushes on scope exit, inside the timed region.
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PipelineRun run;
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.accesses = hierarchyAccesses(h);
+    run.memReads = h.memReads();
+    run.memWrites = h.memWrites();
+    return run;
+}
+
+/** Replay the mergesort address stream through one pipeline. */
+PipelineRun
+runSortStream(bool slow, std::uint64_t n)
+{
+    Hierarchy h(1, CacheConfig::l1d(), CacheConfig::l2(), slow);
+    sort::CacheSink fast_sink(h);
+    UnbatchedCacheSink slow_sink(h);
+    sort::AccessSink &sink =
+        slow ? static_cast<sort::AccessSink &>(slow_sink)
+             : static_cast<sort::AccessSink &>(fast_sink);
+
+    const auto raws = randomRaws(n, 7171);
+    sort::Keys keys(raws.begin(), raws.end());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    runSort(sort::Algorithm::Mergesort, keys, /*base=*/0, sink);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PipelineRun run;
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.accesses = hierarchyAccesses(h);
+    run.memReads = h.memReads();
+    run.memWrites = h.memWrites();
+    return run;
+}
+
+/** Both pipelines over one stream, with the equivalence diff. */
+struct StreamResult
+{
+    const char *name = "";
+    PipelineRun slow;
+    PipelineRun fast;
+    bool match = false;
+
+    double
+    speedup() const
+    {
+        return slow.seconds > 0.0 && fast.seconds > 0.0
+            ? fast.accessesPerSec() / slow.accessesPerSec()
+            : 0.0;
+    }
+};
+
+void
+printStream(const StreamResult &r)
+{
+    std::printf("%-5s %12llu accesses | slow %8.3f s (%9.3f Maps) | "
+                "fast %8.3f s (%9.3f Maps) | speedup %5.2fx | "
+                "counters %s\n",
+                r.name,
+                static_cast<unsigned long long>(r.slow.accesses),
+                r.slow.seconds, r.slow.accessesPerSec() / 1e6,
+                r.fast.seconds, r.fast.accessesPerSec() / 1e6,
+                r.speedup(), r.match ? "match" : "MISMATCH");
+}
+
+void
+writeJson(const std::vector<StreamResult> &streams)
+{
+    const std::string path = envString("RIME_SIMSPEED_JSON")
+        .value_or("BENCH_simspeed.json");
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write %s", path.c_str());
+        return;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        const auto &r = streams[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "  \"%s\": {\n"
+            "    \"accesses\": %llu,\n"
+            "    \"slow_seconds\": %.6f,\n"
+            "    \"fast_seconds\": %.6f,\n"
+            "    \"slow_accesses_per_sec\": %.1f,\n"
+            "    \"fast_accesses_per_sec\": %.1f,\n"
+            "    \"speedup\": %.3f,\n"
+            "    \"counters_match\": %s\n"
+            "  }%s\n",
+            r.name,
+            static_cast<unsigned long long>(r.fast.accesses),
+            r.slow.seconds, r.fast.seconds,
+            r.slow.accessesPerSec(), r.fast.accessesPerSec(),
+            r.speedup(), r.match ? "true" : "false",
+            i + 1 < streams.size() ? "," : "");
+        out << buf;
+    }
+    out << "}\n";
+    std::printf("simspeed: %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("=== Simulation throughput: fast path vs reference "
+                "(simulated accesses/second) ===\n");
+
+    std::vector<StreamResult> streams;
+
+    {
+        StreamResult r;
+        r.name = "heap";
+        const std::uint64_t initial = scaledCap(1 << 17);
+        const std::uint64_t churn = scaledCap(1 << 21);
+        r.slow = runHeapStream(true, initial, churn);
+        r.fast = runHeapStream(false, initial, churn);
+        r.match = r.slow.accesses == r.fast.accesses &&
+            r.slow.memReads == r.fast.memReads &&
+            r.slow.memWrites == r.fast.memWrites;
+        printStream(r);
+        streams.push_back(r);
+    }
+
+    {
+        StreamResult r;
+        r.name = "sort";
+        const std::uint64_t n = scaledCap(1 << 21);
+        r.slow = runSortStream(true, n);
+        r.fast = runSortStream(false, n);
+        r.match = r.slow.accesses == r.fast.accesses &&
+            r.slow.memReads == r.fast.memReads &&
+            r.slow.memWrites == r.fast.memWrites;
+        printStream(r);
+        streams.push_back(r);
+    }
+
+    writeJson(streams);
+
+    for (const auto &r : streams) {
+        if (!r.match) {
+            std::fprintf(stderr,
+                         "FAIL: %s stream counters diverge between "
+                         "fast and reference pipelines\n", r.name);
+            return 1;
+        }
+    }
+    return 0;
+}

@@ -9,6 +9,7 @@
 #define RIME_CACHESIM_CACHE_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/bitops.hh"
@@ -55,8 +56,12 @@ struct CacheResult
     bool hit = false;
     /** A dirty block was evicted and must be written back. */
     bool writeback = false;
+    /** A valid block (dirty or clean) was evicted by the fill. */
+    bool evicted = false;
     /** Block address of the written-back victim (valid iff writeback). */
     Addr writebackAddr = 0;
+    /** Block address of the evicted victim (valid iff evicted). */
+    Addr evictedAddr = 0;
 };
 
 /** One level of set-associative write-back cache. */
@@ -77,10 +82,32 @@ class Cache
         blockBits_ = floorLog2(config.blockBytes);
         setMask_ = numSets_ - 1;
         lines_.resize(blocks);
+        validCount_.assign(numSets_, 0);
     }
+
+    /** Block id (full block id doubles as the tag) of a byte address. */
+    std::uint64_t blockOf(Addr addr) const { return addr >> blockBits_; }
+
+    /** Index of a block's set. */
+    std::uint64_t setOf(std::uint64_t block) const
+    { return block & setMask_; }
 
     /**
      * Access one address.  Allocates on miss; evicts LRU.
+     *
+     * Two lookup implementations exist.  The reference one (used when
+     * the MRU hint is disabled, i.e. under RIME_SLOW_SIM) is the
+     * original linear set scan.  The fast one adds the MRU way hint
+     * for same-block runs, keeps each set's valid lines compacted to
+     * the lowest ways (scans never step over invalid lines -- the
+     * common case in the sparsely filled 16-way L2), and moves the
+     * hit line to way 0 so temporally local streams match on the
+     * first compare.  Both are observationally identical: replacement
+     * is decided by per-line timestamps (unique, so way order never
+     * matters for LRU), the victim among *invalid* ways carries no
+     * content, and all hit/miss/writeback counters and victim
+     * addresses evolve identically -- asserted by the fast-vs-slow
+     * trace replay in tests/test_cache.cc.
      *
      * @param addr   byte address
      * @param write  true for a store
@@ -88,61 +115,37 @@ class Cache
     CacheResult
     access(Addr addr, bool write)
     {
-        const std::uint64_t block = addr >> blockBits_;
-        const std::uint64_t set = block & setMask_;
-        const std::uint64_t tag = block >> 0; // full block id as tag
-        Line *base = &lines_[set * config_.associativity];
-        ++clock_;
-
-        // Hit path.
-        for (unsigned way = 0; way < config_.associativity; ++way) {
-            Line &line = base[way];
-            if (line.valid && line.tag == tag) {
-                line.lastUse = clock_;
-                line.dirty = line.dirty || write;
-                ++hits_;
-                return {true, false, 0};
-            }
-        }
-
-        // Miss: choose victim (invalid first, then LRU).
-        ++misses_;
-        unsigned victim = 0;
-        std::uint64_t oldest = ~0ULL;
-        for (unsigned way = 0; way < config_.associativity; ++way) {
-            Line &line = base[way];
-            if (!line.valid) {
-                victim = way;
-                oldest = 0;
-                break;
-            }
-            if (line.lastUse < oldest) {
-                oldest = line.lastUse;
-                victim = way;
-            }
-        }
-
-        CacheResult result;
-        Line &line = base[victim];
-        if (line.valid && line.dirty) {
-            result.writeback = true;
-            result.writebackAddr = line.tag << blockBits_;
-            ++writebacks_;
-        }
-        line.valid = true;
-        line.dirty = write;
-        line.tag = tag;
-        line.lastUse = clock_;
-        return result;
+        return mruEnabled_ ? accessFast(addr, write)
+                           : accessReference(addr, write);
     }
 
     /** Evict (and report dirtiness of) a block if present. */
     bool
     invalidate(Addr addr)
     {
-        const std::uint64_t block = addr >> blockBits_;
-        const std::uint64_t set = block & setMask_;
-        Line *base = &lines_[set * config_.associativity];
+        const std::uint64_t block = blockOf(addr);
+        Line *base = &lines_[setOf(block) * config_.associativity];
+        if (mruEnabled_) {
+            // Fast-path variant: keep the set compacted by moving
+            // the last valid line into the vacated way.
+            std::uint16_t &vcount = validCount_[setOf(block)];
+            for (unsigned way = 0; way < vcount; ++way) {
+                Line &line = base[way];
+                if (line.tag == block) {
+                    const bool was_dirty = line.dirty;
+                    --vcount;
+                    if (way != vcount)
+                        std::swap(line, base[vcount]);
+                    base[vcount].valid = false;
+                    base[vcount].dirty = false;
+                    if (mru_ >= base &&
+                        mru_ < base + config_.associativity)
+                        mru_ = nullptr;
+                    return was_dirty;
+                }
+            }
+            return false;
+        }
         for (unsigned way = 0; way < config_.associativity; ++way) {
             Line &line = base[way];
             if (line.valid && line.tag == block) {
@@ -155,12 +158,42 @@ class Cache
         return false;
     }
 
+    /** True if the block holding `addr` is resident. */
+    bool
+    contains(Addr addr) const
+    {
+        const std::uint64_t block = blockOf(addr);
+        const Line *base =
+            &lines_[setOf(block) * config_.associativity];
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            if (base[way].valid && base[way].tag == block)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Disable the MRU way hint (the reference mode used to measure
+     * and verify the fast path; results are identical either way).
+     */
+    void
+    setMruHint(bool enabled)
+    {
+        if (enabled && !mruEnabled_)
+            recompact(); // reference-mode fills ignore compaction
+        mruEnabled_ = enabled;
+        if (!enabled)
+            mru_ = nullptr;
+    }
+
     /** Forget all contents and statistics. */
     void
     reset()
     {
         for (auto &line : lines_)
             line = Line();
+        validCount_.assign(numSets_, 0);
+        mru_ = nullptr;
         clock_ = hits_ = misses_ = writebacks_ = 0;
     }
 
@@ -185,6 +218,158 @@ class Cache
         bool dirty = false;
     };
 
+    /** The pre-optimization lookup, kept verbatim for RIME_SLOW_SIM. */
+    CacheResult
+    accessReference(Addr addr, bool write)
+    {
+        const std::uint64_t block = blockOf(addr);
+        const std::uint64_t set = setOf(block);
+        Line *base = &lines_[set * config_.associativity];
+        ++clock_;
+
+        // Hit path.
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            Line &line = base[way];
+            if (line.valid && line.tag == block) {
+                line.lastUse = clock_;
+                line.dirty = line.dirty || write;
+                ++hits_;
+                return {true, false, false, 0, 0};
+            }
+        }
+
+        // Miss: choose victim (invalid first, then LRU).
+        ++misses_;
+        unsigned victim = 0;
+        std::uint64_t oldest = ~0ULL;
+        for (unsigned way = 0; way < config_.associativity; ++way) {
+            Line &line = base[way];
+            if (!line.valid) {
+                victim = way;
+                oldest = 0;
+                break;
+            }
+            if (line.lastUse < oldest) {
+                oldest = line.lastUse;
+                victim = way;
+            }
+        }
+
+        CacheResult result;
+        Line &line = base[victim];
+        if (line.valid) {
+            result.evicted = true;
+            result.evictedAddr = line.tag << blockBits_;
+            if (line.dirty) {
+                result.writeback = true;
+                result.writebackAddr = result.evictedAddr;
+                ++writebacks_;
+            }
+        }
+        line.valid = true;
+        line.dirty = write;
+        line.tag = block;
+        line.lastUse = clock_;
+        return result;
+    }
+
+    /**
+     * MRU-hint + compacted-set lookup.  Valid lines occupy ways
+     * [0, validCount_[set]); a hit (or fill) moves its line to way 0.
+     * Scans therefore touch only valid lines and temporally local
+     * streams match on the first compare.  The LRU decision reads
+     * only timestamps, making the physical way order unobservable.
+     */
+    CacheResult
+    accessFast(Addr addr, bool write)
+    {
+        const std::uint64_t block = blockOf(addr);
+        if (mru_ && mruBlock_ == block) {
+            ++clock_;
+            mru_->lastUse = clock_;
+            mru_->dirty = mru_->dirty || write;
+            ++hits_;
+            return {true, false, false, 0, 0};
+        }
+        const std::uint64_t set = setOf(block);
+        const unsigned assoc = config_.associativity;
+        Line *base = &lines_[set * assoc];
+        std::uint16_t &vcount = validCount_[set];
+        ++clock_;
+
+        // One fused scan over the valid lines: find the block and, in
+        // case it is absent, the LRU victim (oldest timestamp;
+        // timestamps are unique, so the choice matches the reference
+        // scan exactly).
+        unsigned victim = 0;
+        std::uint64_t oldest = ~0ULL;
+        for (unsigned way = 0; way < vcount; ++way) {
+            Line &line = base[way];
+            if (line.tag == block) {
+                if (way != 0)
+                    std::swap(base[0], line);
+                Line &front = base[0];
+                front.lastUse = clock_;
+                front.dirty = front.dirty || write;
+                ++hits_;
+                mru_ = &front;
+                mruBlock_ = block;
+                return {true, false, false, 0, 0};
+            }
+            if (line.lastUse < oldest) {
+                oldest = line.lastUse;
+                victim = way;
+            }
+        }
+        ++misses_;
+
+        CacheResult result;
+        if (vcount < assoc) {
+            // Fill an invalid way (equivalent to the reference scan's
+            // "first invalid": invalid ways carry no content, so the
+            // choice among them is unobservable).
+            victim = vcount++;
+        } else {
+            Line &line = base[victim];
+            result.evicted = true;
+            result.evictedAddr = line.tag << blockBits_;
+            if (line.dirty) {
+                result.writeback = true;
+                result.writebackAddr = result.evictedAddr;
+                ++writebacks_;
+            }
+        }
+        Line &line = base[victim];
+        line.valid = true;
+        line.dirty = write;
+        line.tag = block;
+        line.lastUse = clock_;
+        if (victim != 0)
+            std::swap(base[0], line);
+        mru_ = &base[0];
+        mruBlock_ = block;
+        return result;
+    }
+
+    /** Re-establish the fast path's compaction invariant. */
+    void
+    recompact()
+    {
+        const unsigned assoc = config_.associativity;
+        for (std::uint64_t set = 0; set < numSets_; ++set) {
+            Line *base = &lines_[set * assoc];
+            unsigned front = 0;
+            for (unsigned way = 0; way < assoc; ++way) {
+                if (base[way].valid) {
+                    if (way != front)
+                        std::swap(base[front], base[way]);
+                    ++front;
+                }
+            }
+            validCount_[set] = static_cast<std::uint16_t>(front);
+        }
+    }
+
     CacheConfig config_;
     std::uint64_t numSets_ = 0;
     std::uint64_t setMask_ = 0;
@@ -193,7 +378,14 @@ class Cache
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;
+    /** Line of the most recent hit/fill (null = no valid hint). */
+    Line *mru_ = nullptr;
+    std::uint64_t mruBlock_ = 0;
+    bool mruEnabled_ = true;
     std::vector<Line> lines_;
+    /** Per-set count of valid lines (fast path only: valid lines are
+     *  kept compacted at the set's lowest ways). */
+    std::vector<std::uint16_t> validCount_;
 };
 
 } // namespace rime::cachesim

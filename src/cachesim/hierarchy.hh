@@ -6,6 +6,16 @@
  * cached by another core invalidates the other copy (sufficient for the
  * mostly-private sorting workloads while still charging coherence
  * traffic when sharing happens).
+ *
+ * The coherence lookup is driven by a block-granularity sharing
+ * directory -- a presence summary (one bit per core) maintained on
+ * every L1 fill, eviction and invalidation -- so a store to a block no
+ * other core caches (the overwhelmingly common case for the private
+ * sorting working sets) touches no other core's L1 at all.  Setting
+ * RIME_SLOW_SIM=1 restores the pre-directory reference behaviour
+ * (string-keyed stat lookups and a full O(cores) invalidate broadcast
+ * per store); both paths produce bit-identical counters and dumps,
+ * which the cache tests assert by replaying identical traces.
  */
 
 #ifndef RIME_CACHESIM_HIERARCHY_HH
@@ -13,14 +23,24 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cachesim/cache.hh"
+#include "common/env.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
 namespace rime::cachesim
 {
+
+/** One buffered simulated access (see sort::AccessBatch). */
+struct AccessRecord
+{
+    Addr addr = 0;
+    std::uint16_t core = 0;
+    AccessType type = AccessType::Read;
+};
 
 /**
  * Multi-core cache hierarchy.
@@ -34,16 +54,39 @@ class Hierarchy
   public:
     using MemSink = std::function<void(const MemRequest &)>;
 
+    /**
+     * @param slow_mode  run the pre-optimization reference coherence
+     *                   path (broadcast invalidates, string-keyed
+     *                   stats); defaults to the RIME_SLOW_SIM env knob.
+     */
     Hierarchy(unsigned cores,
               const CacheConfig &l1_config = CacheConfig::l1d(),
-              const CacheConfig &l2_config = CacheConfig::l2())
-        : stats_("cache"), l2_(l2_config)
+              const CacheConfig &l2_config = CacheConfig::l2(),
+              bool slow_mode = slowSimEnabled())
+        : stats_("cache"), l2_(l2_config), slowMode_(slow_mode)
     {
         if (cores == 0)
             fatal("hierarchy needs at least one core");
+        if (cores > 64)
+            fatal("sharing directory supports at most 64 cores");
         l1_.reserve(cores);
         for (unsigned i = 0; i < cores; ++i)
             l1_.push_back(std::make_unique<Cache>(l1_config));
+        // The directory (and the MRU way hint below it) only run on
+        // the fast path; the slow path keeps the original broadcast.
+        useDirectory_ = !slowMode_ && cores > 1;
+        if (slowMode_) {
+            for (auto &l1 : l1_)
+                l1->setMruHint(false);
+            l2_.setMruHint(false);
+        }
+        blockMask_ = ~(static_cast<Addr>(l1_config.blockBytes) - 1);
+        // Resolve the hot-path counter handles once.  Resolution
+        // eagerly creates the keys (at zero) in both modes, so dumps
+        // carry the same key set whether or not events ever fire.
+        loads_ = stats_.counter("loads");
+        stores_ = stats_.counter("stores");
+        coherenceWritebacks_ = stats_.counter("coherenceWritebacks");
     }
 
     /** Register the below-cache request sink. */
@@ -56,25 +99,82 @@ class Hierarchy
         if (core >= l1_.size())
             fatal("access from unknown core %u", core);
         const bool write = type == AccessType::Write;
-        stats_.inc(write ? "stores" : "loads");
+        if (slowMode_) {
+            slowAccess(core, addr, write);
+            return;
+        }
+        if (write)
+            ++stores_;
+        else
+            ++loads_;
 
-        // Simple invalidation-based sharing: a store must invalidate
-        // any other core's copy before the local L1 owns the block.
-        if (write) {
-            for (unsigned c = 0; c < l1_.size(); ++c) {
-                if (c == core)
-                    continue;
-                if (l1_[c]->invalidate(addr))
-                    stats_.inc("coherenceWritebacks");
+        // A store must invalidate any other core's copy before the
+        // local L1 owns the block.  The directory knows exactly which
+        // cores hold it; a private block skips the loop entirely.
+        if (write && useDirectory_) {
+            const Addr block = addr & blockMask_;
+            auto it = directory_.find(block);
+            if (it != directory_.end()) {
+                const std::uint64_t others =
+                    it->second & ~(1ULL << core);
+                if (others)
+                    invalidateSharers(block, others);
             }
         }
 
         const CacheResult l1r = l1_[core]->access(addr, write);
+        if (useDirectory_ && !l1r.hit) {
+            if (l1r.evicted)
+                directoryClear(l1r.evictedAddr, core);
+            directory_[addr & blockMask_] |= 1ULL << core;
+        }
         if (l1r.writeback)
             accessL2(core, l1r.writebackAddr, true);
         if (l1r.hit)
             return;
         accessL2(core, addr, false, write);
+    }
+
+    /**
+     * Bulk delivery of an in-order access run (the AccessBatch flush
+     * path).  Out-of-range cores wrap modulo the core count, as the
+     * per-access CacheSink path does.  Semantically identical to one
+     * access() call per record: the single-core fast loop only
+     * hoists the mode/bounds checks out of the loop and folds the
+     * load/store counter increments into one add per run -- counters
+     * only ever grow by integer-valued steps, so "+k" is
+     * bit-identical to k individual "+1" adds.  Flattened: the L2
+     * leg of the loop is hot enough that its call overhead shows up
+     * in end-to-end simulation throughput.
+     */
+#if defined(__GNUC__)
+    __attribute__((flatten))
+#endif
+    void
+    drain(const AccessRecord *records, std::size_t count)
+    {
+        const unsigned cores = numCores();
+        if (slowMode_ || cores > 1) {
+            for (std::size_t i = 0; i < count; ++i) {
+                const unsigned core = records[i].core;
+                access(core < cores ? core : core % cores,
+                       records[i].addr, records[i].type);
+            }
+            return;
+        }
+        Cache *l1 = l1_[0].get();
+        std::uint64_t loads = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const bool write = records[i].type == AccessType::Write;
+            loads += !write;
+            const CacheResult l1r = l1->access(records[i].addr, write);
+            if (l1r.writeback)
+                accessL2(0, l1r.writebackAddr, true);
+            if (!l1r.hit)
+                accessL2(0, records[i].addr, false, write);
+        }
+        loads_.inc(static_cast<double>(loads));
+        stores_.inc(static_cast<double>(count - loads));
     }
 
     const Cache &l1(unsigned core) const { return *l1_[core]; }
@@ -84,6 +184,21 @@ class Hierarchy
     std::uint64_t memReads() const { return memReads_; }
     std::uint64_t memWrites() const { return memWrites_; }
     std::uint64_t memAccesses() const { return memReads_ + memWrites_; }
+
+    /**
+     * Directory presence mask (bit c set when core c's L1 holds the
+     * block of `addr`).  Always zero when the directory is off (slow
+     * mode or a single core); exposed for consistency tests.
+     */
+    std::uint64_t
+    directorySharers(Addr addr) const
+    {
+        auto it = directory_.find(addr & blockMask_);
+        return it == directory_.end() ? 0 : it->second;
+    }
+
+    /** True when running the RIME_SLOW_SIM reference path. */
+    bool slowMode() const { return slowMode_; }
 
     StatGroup &stats() { return stats_; }
 
@@ -95,10 +210,74 @@ class Hierarchy
             l1->reset();
         l2_.reset();
         stats_.reset();
+        directory_.clear();
         memReads_ = memWrites_ = 0;
     }
 
   private:
+    /**
+     * The pre-directory reference pipeline, kept verbatim (plus the
+     * dirty-victim forwarding fix, which applies to both modes) so
+     * equivalence tests and the sim_throughput bench can diff the two.
+     */
+    void
+    slowAccess(unsigned core, Addr addr, bool write)
+    {
+        stats_.inc(write ? "stores" : "loads");
+
+        if (write) {
+            for (unsigned c = 0; c < l1_.size(); ++c) {
+                if (c == core)
+                    continue;
+                if (l1_[c]->invalidate(addr)) {
+                    stats_.inc("coherenceWritebacks");
+                    accessL2(c, addr & blockMask_, true);
+                }
+            }
+        }
+
+        const CacheResult l1r = l1_[core]->access(addr, write);
+        if (l1r.writeback)
+            accessL2(core, l1r.writebackAddr, true);
+        if (l1r.hit)
+            return;
+        accessL2(core, addr, false, write);
+    }
+
+    /**
+     * Invalidate every sharer in `mask` (ascending core order, the
+     * same order the reference broadcast visits), forwarding dirty
+     * victims to L2 as coherence writebacks.
+     */
+    void
+    invalidateSharers(Addr block, std::uint64_t mask)
+    {
+        auto it = directory_.find(block);
+        for (std::uint64_t m = mask; m; m &= m - 1) {
+            const unsigned c =
+                static_cast<unsigned>(__builtin_ctzll(m));
+            if (l1_[c]->invalidate(block)) {
+                ++coherenceWritebacks_;
+                accessL2(c, block, true);
+            }
+            it->second &= ~(1ULL << c);
+        }
+        if (it->second == 0)
+            directory_.erase(it);
+    }
+
+    /** Clear a core's presence bit for the block of `addr`. */
+    void
+    directoryClear(Addr addr, unsigned core)
+    {
+        auto it = directory_.find(addr & blockMask_);
+        if (it == directory_.end())
+            return;
+        it->second &= ~(1ULL << core);
+        if (it->second == 0)
+            directory_.erase(it);
+    }
+
     void
     accessL2(unsigned core, Addr addr, bool is_writeback,
              bool demand_write = false)
@@ -138,6 +317,14 @@ class Hierarchy
     MemSink sink_;
     std::uint64_t memReads_ = 0;
     std::uint64_t memWrites_ = 0;
+    bool slowMode_ = false;
+    bool useDirectory_ = false;
+    Addr blockMask_ = 0;
+    /** Block address -> per-core L1 presence bits. */
+    std::unordered_map<Addr, std::uint64_t> directory_;
+    StatCounter loads_;
+    StatCounter stores_;
+    StatCounter coherenceWritebacks_;
 };
 
 } // namespace rime::cachesim

@@ -86,6 +86,44 @@ class StatHistogram
     std::map<int, std::uint64_t> buckets_;
 };
 
+/**
+ * A cached handle to one StatGroup counter, resolved once (one map
+ * lookup) and incremented with a plain add afterwards -- the hot-path
+ * alternative to StatGroup::inc's per-event string lookup.  The handle
+ * points into the group's counter map (std::map nodes are stable), so
+ * it stays valid across further insertions, reset() and merge(); only
+ * destroying the group invalidates it.
+ */
+class StatCounter
+{
+  public:
+    StatCounter() = default;
+
+    void inc(double delta = 1.0) { *value_ += delta; }
+
+    StatCounter &
+    operator++()
+    {
+        *value_ += 1.0;
+        return *this;
+    }
+
+    StatCounter &
+    operator+=(double delta)
+    {
+        *value_ += delta;
+        return *this;
+    }
+
+    double value() const { return *value_; }
+
+  private:
+    friend class StatGroup;
+    explicit StatCounter(double *value) : value_(value) {}
+
+    double *value_ = nullptr;
+};
+
 /** A group of named scalar and histogram statistics. */
 class StatGroup
 {
@@ -97,6 +135,18 @@ class StatGroup
     inc(const std::string &stat, double delta = 1.0)
     {
         values_[stat] += delta;
+    }
+
+    /**
+     * Resolve a cached handle to the named counter, creating it at
+     * zero.  Increments through the handle are indistinguishable from
+     * inc() calls on the same name; resolving eagerly means the
+     * counter appears in dumps (at 0) even before its first event.
+     */
+    StatCounter
+    counter(const std::string &stat)
+    {
+        return StatCounter(&values_[stat]);
     }
 
     /** Overwrite the named value. */

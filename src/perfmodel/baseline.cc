@@ -79,7 +79,16 @@ BaselinePerfModel::sortThroughputMKps(const sort::SortModel &sorts,
                                       std::uint64_t n, unsigned cores,
                                       SystemKind system)
 {
-    const auto profile = sorts.profile(algo, n, cores);
+    return sortThroughputMKps(sorts.profile(algo, n, cores), algo, n,
+                              cores, system);
+}
+
+double
+BaselinePerfModel::sortThroughputMKps(const sort::SortProfile &profile,
+                                      sort::Algorithm algo,
+                                      std::uint64_t n, unsigned cores,
+                                      SystemKind system)
+{
     cpusim::WorkloadProfile w;
     w.name = sort::algorithmName(algo);
     w.instructions = profile.instructions;

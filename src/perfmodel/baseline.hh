@@ -111,6 +111,16 @@ class BaselinePerfModel
                               sort::Algorithm algo, std::uint64_t n,
                               unsigned cores, SystemKind system);
 
+    /**
+     * Same, from a precomputed profile.  Profiling (the sampled cache
+     * simulation) dominates the cost and depends only on (algo, n,
+     * cores), so sweeps compute each profile once -- possibly in
+     * parallel -- and price it here for every memory system.
+     */
+    double sortThroughputMKps(const sort::SortProfile &profile,
+                              sort::Algorithm algo, std::uint64_t n,
+                              unsigned cores, SystemKind system);
+
     const cpusim::MulticoreModel &model() const { return model_; }
 
   private:

@@ -42,9 +42,20 @@ rimeStatusName(RimeStatus status)
 RimeLibrary::RimeLibrary(const LibraryConfig &config)
     : deviceConfig_(config.device), device_(config.device),
       driver_(device_.capacityBytes(), config.driver),
+      autoPublishStats_(config.autoPublishStats),
       affinityChecks_(config.affinityChecks)
 {
     wordBytes_ = device_.wordBits() / 8;
+    initCalls_ = apiStats_.counter("initCalls");
+    initTicks_ = apiStats_.counter("initTicks");
+    initWallNs_ = apiStats_.counter("initWallNs");
+    extractCalls_ = apiStats_.counter("extractCalls");
+    extractTicks_ = apiStats_.counter("extractTicks");
+    extractWallNs_ = apiStats_.counter("extractWallNs");
+    bulkStoreCalls_ = apiStats_.counter("bulkStoreCalls");
+    bulkStoreValues_ = apiStats_.counter("bulkStoreValues");
+    bulkStoreTicks_ = apiStats_.counter("bulkStoreTicks");
+    bulkStoreWallNs_ = apiStats_.counter("bulkStoreWallNs");
     // Attach every component's stat group live: the registry always
     // reflects current values, and detaching never copies.
     registry_.attach("api", apiStats_);
@@ -58,7 +69,8 @@ RimeLibrary::RimeLibrary(const LibraryConfig &config)
 
 RimeLibrary::~RimeLibrary()
 {
-    publishStats();
+    if (autoPublishStats_)
+        publishStats();
 }
 
 void
@@ -145,6 +157,7 @@ RimeLibrary::rimeFree(Addr start)
 void
 RimeLibrary::dropOverlappingOps(std::uint64_t begin, std::uint64_t end)
 {
+    lastOp_ = nullptr;
     for (auto it = ops_.begin(); it != ops_.end();) {
         const std::uint64_t ob = std::get<0>(it->first);
         const std::uint64_t oe = std::get<1>(it->first);
@@ -164,6 +177,7 @@ RimeLibrary::rimeInit(Addr start, Addr end, KeyMode mode,
         // Reconfiguration applies to the whole device: concurrent
         // operations must share the word width and type mode.
         ops_.clear();
+        lastOp_ = nullptr;
         device_.configure(word_bits, mode);
         wordBytes_ = word_bits / 8;
     }
@@ -180,9 +194,9 @@ RimeLibrary::rimeInit(Addr start, Addr end, KeyMode mode,
     const auto host_start = std::chrono::steady_clock::now();
     const Tick sim_start = now_;
     now_ += device_.initRange(begin, endIdx, now_);
-    apiStats_.inc("initCalls");
-    apiStats_.inc("initTicks", static_cast<double>(now_ - sim_start));
-    apiStats_.inc("initWallNs", hostNsSince(host_start));
+    ++initCalls_;
+    initTicks_ += static_cast<double>(now_ - sim_start);
+    initWallNs_ += hostNsSince(host_start);
 }
 
 RimeOperation &
@@ -191,11 +205,15 @@ RimeLibrary::operation(Addr start, Addr end, bool find_max)
     const std::uint64_t begin = toIndex(start);
     const std::uint64_t endIdx = toIndex(end);
     const OpKey key{begin, endIdx, find_max};
+    if (lastOp_ && lastOpKey_ == key)
+        return *lastOp_;
     auto it = ops_.find(key);
     if (it == ops_.end()) {
         it = ops_.emplace(key, std::make_unique<RimeOperation>(
             device_, begin, endIdx, find_max, now_)).first;
     }
+    lastOpKey_ = key;
+    lastOp_ = it->second.get();
     return *it->second;
 }
 
@@ -211,15 +229,19 @@ RimeLibrary::extractChecked(Addr start, Addr end, bool find_max)
     RimeOperation &op = operation(start, end, find_max);
     RimeExtract r;
     auto item = op.next(now_);
-    apiStats_.inc("extractCalls");
-    apiStats_.inc("extractTicks", static_cast<double>(now_ - sim_start));
-    apiStats_.inc("extractWallNs", hostNsSince(host_start));
+    ++extractCalls_;
+    extractTicks_ += static_cast<double>(now_ - sim_start);
+    extractWallNs_ += hostNsSince(host_start);
     span.arg("ok", item.has_value());
     if (item) {
         // Per-extraction simulated latency: the per-rimeMin number the
-        // paper's figures are built from.
-        apiStats_.hist("extractLatencyTicks")
-            .record(static_cast<double>(now_ - sim_start));
+        // paper's figures are built from.  The histogram handle is
+        // map-node stable, so caching it once is safe.
+        if (!extractLatencyTicks_)
+            extractLatencyTicks_ =
+                &apiStats_.hist("extractLatencyTicks");
+        extractLatencyTicks_->record(
+            static_cast<double>(now_ - sim_start));
         r.status = RimeStatus::Ok;
         r.item = *item;
         r.item.index *= wordBytes_; // report a byte address
@@ -345,12 +367,10 @@ RimeLibrary::storeArray(Addr start, std::span<const std::uint64_t> raws)
     const Tick sim_start = now_;
     const std::uint64_t begin = toIndex(start);
     now_ += device_.loadValues(begin, raws);
-    apiStats_.inc("bulkStoreCalls");
-    apiStats_.inc("bulkStoreValues",
-                  static_cast<double>(raws.size()));
-    apiStats_.inc("bulkStoreTicks",
-                  static_cast<double>(now_ - sim_start));
-    apiStats_.inc("bulkStoreWallNs", hostNsSince(host_start));
+    ++bulkStoreCalls_;
+    bulkStoreValues_ += static_cast<double>(raws.size());
+    bulkStoreTicks_ += static_cast<double>(now_ - sim_start);
+    bulkStoreWallNs_ += hostNsSince(host_start);
     for (auto &kv : ops_) {
         if (std::get<0>(kv.first) < begin + raws.size() &&
             begin < std::get<1>(kv.first)) {

@@ -54,6 +54,14 @@ struct LibraryConfig
      * for legitimate sequential hand-offs.
      */
     bool affinityChecks = true;
+    /**
+     * Merge this instance's stats into StatRegistry::process() on
+     * destruction.  Parallel bench sweeps turn this off and merge the
+     * captured per-task registries in task order on the main thread,
+     * so the process-wide dump stays byte-identical to a serial sweep
+     * (double summation is order-sensitive).
+     */
+    bool autoPublishStats = true;
 };
 
 /** Outcome of a checked API extraction. */
@@ -229,9 +237,33 @@ class RimeLibrary
     Tick now_ = 0;
     unsigned wordBytes_ = 4;
     std::map<OpKey, std::unique_ptr<RimeOperation>> ops_;
+    /**
+     * The operation resolved by the previous extraction: extraction
+     * loops drain one range, so the lookup is almost always repeated.
+     * Cleared whenever ops_ drops entries (the pointee is owned by
+     * the map via unique_ptr, so insertions never move it).
+     */
+    RimeOperation *lastOp_ = nullptr;
+    OpKey lastOpKey_{};
     StatGroup apiStats_{"api"};
+    // Hot-path counter handles, resolved once in the constructor so
+    // per-extract accounting is plain adds instead of string-keyed
+    // map lookups (dumps are unchanged; see StatCounter).
+    StatCounter initCalls_;
+    StatCounter initTicks_;
+    StatCounter initWallNs_;
+    StatCounter extractCalls_;
+    StatCounter extractTicks_;
+    StatCounter extractWallNs_;
+    StatCounter bulkStoreCalls_;
+    StatCounter bulkStoreValues_;
+    StatCounter bulkStoreTicks_;
+    StatCounter bulkStoreWallNs_;
+    /** Lazily resolved so runs with no extractions dump no histogram. */
+    StatHistogram *extractLatencyTicks_ = nullptr;
     StatRegistry registry_;
     bool published_ = false;
+    const bool autoPublishStats_;
     const bool affinityChecks_;
     /** Thread the library is bound to (default id = unbound). */
     mutable std::atomic<std::thread::id> boundThread_{};

@@ -12,6 +12,9 @@ namespace rime
 RimeDevice::RimeDevice(const DeviceConfig &config)
     : config_(config), stats_("rimedev")
 {
+    hostWrites_ = stats_.counter("hostWrites");
+    hostReads_ = stats_.counter("hostReads");
+    rangeInits_ = stats_.counter("rangeInits");
     const unsigned chips =
         config.channels * config.geometry.chipsPerChannel;
     if (chips == 0)
@@ -80,14 +83,14 @@ RimeDevice::writeValue(std::uint64_t index, std::uint64_t raw)
 {
     const ChipLoc loc = locate(index);
     chips_[loc.chip]->writeValue(loc.local, raw);
-    stats_.inc("hostWrites");
+    ++hostWrites_;
 }
 
 std::uint64_t
 RimeDevice::readValue(std::uint64_t index)
 {
     const ChipLoc loc = locate(index);
-    stats_.inc("hostReads");
+    ++hostReads_;
     return chips_[loc.chip]->readValue(loc.local);
 }
 
@@ -131,7 +134,7 @@ RimeDevice::initRange(std::uint64_t begin, std::uint64_t end, Tick now)
         // Initialization quiesces the chip for the new operation.
         busyUntil_[c] = std::max(busyUntil_[c], now) + latency;
     }
-    stats_.inc("rangeInits");
+    ++rangeInits_;
     return latency;
 }
 

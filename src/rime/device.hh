@@ -169,6 +169,10 @@ class RimeDevice
     std::vector<std::unique_ptr<rimehw::RankBackend>> chips_;
     std::vector<Tick> busyUntil_;
     StatGroup stats_;
+    // Cached handles for the per-value host paths (see StatCounter).
+    StatCounter hostWrites_;
+    StatCounter hostReads_;
+    StatCounter rangeInits_;
 };
 
 } // namespace rime

@@ -13,6 +13,8 @@ RimeOperation::RimeOperation(RimeDevice &device, std::uint64_t begin,
     : device_(device), begin_(begin), end_(end), findMax_(find_max),
       creation_(now), remaining_(end > begin ? end - begin : 0)
 {
+    popWaitTicks_ = device.stats().counter("popWaitTicks");
+    merges_ = device.stats().counter("merges");
     for (unsigned c = 0; c < device.totalChips(); ++c) {
         const LocalRange lr = device.localRange(c, begin, end);
         if (lr.lo >= lr.hi)
@@ -158,8 +160,7 @@ RimeOperation::next(Tick &now)
     if (!winner)
         return std::nullopt;
 
-    device_.stats().inc("popWaitTicks",
-                        static_cast<double>(ready - now));
+    popWaitTicks_ += static_cast<double>(ready - now);
     now = ready + nsToTicks(device_.config().hostMergeNs);
     RankedItem item;
     item.raw = winner->raw;
@@ -190,7 +191,7 @@ RimeOperation::next(Tick &now)
         }
     }
     --remaining_;
-    device_.stats().inc("merges");
+    ++merges_;
     return item;
 }
 

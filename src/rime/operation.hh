@@ -140,6 +140,9 @@ class RimeOperation
     std::uint64_t remaining_;
     std::vector<Stream> streams_;
     rimehw::ScanStatus status_ = rimehw::ScanStatus::Ok;
+    // Per-pop device counters, resolved once (see StatCounter).
+    StatCounter popWaitTicks_;
+    StatCounter merges_;
 };
 
 } // namespace rime

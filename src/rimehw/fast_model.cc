@@ -13,6 +13,15 @@ FastRime::FastRime(const RimeGeometry &geometry,
     : geometry_(geometry), timing_(timing), stats_("rimechip"),
       endurance_(512)
 {
+    rowWrites_ = stats_.counter("rowWrites");
+    rowReads_ = stats_.counter("rowReads");
+    rangeInits_ = stats_.counter("rangeInits");
+    exclusions_ = stats_.counter("exclusions");
+    extractions_ = stats_.counter("extractions");
+    scanSteps_ = stats_.counter("scanSteps");
+    columnSearches_ = stats_.counter("columnSearches");
+    energyPJ_ = stats_.counter("energyPJ");
+    busyTicks_ = stats_.counter("busyTicks");
     configure(32, KeyMode::UnsignedFixed);
 }
 
@@ -25,6 +34,7 @@ FastRime::configure(unsigned k, KeyMode mode)
     k_ = k;
     mode_ = mode;
     ops_.clear();
+    lastOp_ = nullptr;
 }
 
 std::uint64_t
@@ -55,8 +65,8 @@ FastRime::writeValue(std::uint64_t index, std::uint64_t raw)
     const std::uint64_t mask =
         k_ >= 64 ? ~0ULL : ((1ULL << k_) - 1);
     values_[index] = raw & mask;
-    stats_.inc("rowWrites");
-    stats_.inc("energyPJ", timing_.writeEnergy);
+    ++rowWrites_;
+    energyPJ_ += timing_.writeEnergy;
     endurance_.recordWrite(index * ((k_ + 7) / 8), (k_ + 7) / 8);
     applyLiveWrite(index, old_encoded, encoded(index));
     return timing_.tWrite;
@@ -65,8 +75,8 @@ FastRime::writeValue(std::uint64_t index, std::uint64_t raw)
 std::uint64_t
 FastRime::readValue(std::uint64_t index)
 {
-    stats_.inc("rowReads");
-    stats_.inc("energyPJ", timing_.readEnergy);
+    ++rowReads_;
+    energyPJ_ += timing_.readEnergy;
     return index < values_.size() ? values_[index] : 0;
 }
 
@@ -107,6 +117,7 @@ FastRime::applyLiveWrite(std::uint64_t index,
 void
 FastRime::invalidateOverlapping(std::uint64_t begin, std::uint64_t end)
 {
+    lastOp_ = nullptr;
     for (auto it = ops_.begin(); it != ops_.end();) {
         const bool overlaps =
             it->first.first < end && begin < it->first.second;
@@ -123,8 +134,8 @@ FastRime::initRange(std::uint64_t begin, std::uint64_t end)
               static_cast<unsigned long long>(end));
     invalidateOverlapping(begin, end);
     ops_.emplace(RangeKey{begin, end}, OpState{});
-    stats_.inc("rangeInits");
-    stats_.inc("energyPJ", timing_.stepEnergy() * 0.1);
+    ++rangeInits_;
+    energyPJ_ += timing_.stepEnergy() * 0.1;
     return timing_.stepTime();
 }
 
@@ -132,11 +143,15 @@ FastRime::OpState &
 FastRime::op(std::uint64_t begin, std::uint64_t end)
 {
     const RangeKey key{begin, end};
+    if (lastOp_ && lastKey_ == key)
+        return *lastOp_;
     auto it = ops_.find(key);
     if (it == ops_.end())
         it = ops_.emplace(key, OpState{}).first;
     if (!it->second.built)
         buildOrder(key, it->second);
+    lastKey_ = key;
+    lastOp_ = &it->second;
     return it->second;
 }
 
@@ -181,21 +196,44 @@ FastRime::exclude(std::uint64_t begin, std::uint64_t end,
     OpState &state = op(begin, end);
     if (state.excluded[index - begin])
         return;
-    const Entry entry{encoded(index), index};
-    if (auto it = state.overlay.find(entry);
-        it != state.overlay.end()) {
-        state.overlay.erase(it);
-    } else {
-        const auto pos = std::lower_bound(state.order.begin(),
-                                          state.order.end(), entry);
-        if (pos == state.order.end() || *pos != entry)
-            panic("exclude: entry not found");
-        state.taken[static_cast<std::size_t>(
-            pos - state.order.begin())] = 1;
+    // A min extraction's winner is the first untaken vector entry and
+    // a max extraction's sits at the tail, so exclusion of the value
+    // just scanned -- the overwhelmingly common call -- resolves at
+    // the window ends without re-encoding the value or binary
+    // searching.  Matching the index alone is sound: an untaken
+    // vector entry is necessarily the live copy (overwriting a value
+    // marks its vector entry taken before the replacement enters the
+    // overlay), so its encoded key already matches.
+    bool retired = false;
+    if (state.lo < state.hi) {
+        if (!state.taken[state.lo] &&
+            state.order[state.lo].second == index) {
+            state.taken[state.lo] = 1;
+            retired = true;
+        } else if (!state.taken[state.hi - 1] &&
+                   state.order[state.hi - 1].second == index) {
+            state.taken[state.hi - 1] = 1;
+            retired = true;
+        }
+    }
+    if (!retired) {
+        const Entry entry{encoded(index), index};
+        if (auto it = state.overlay.find(entry);
+            it != state.overlay.end()) {
+            state.overlay.erase(it);
+        } else {
+            const auto pos = std::lower_bound(state.order.begin(),
+                                              state.order.end(),
+                                              entry);
+            if (pos == state.order.end() || *pos != entry)
+                panic("exclude: entry not found");
+            state.taken[static_cast<std::size_t>(
+                pos - state.order.begin())] = 1;
+        }
     }
     state.excluded[index - begin] = 1;
     --state.remaining;
-    stats_.inc("exclusions");
+    ++exclusions_;
 }
 
 bool
@@ -216,19 +254,19 @@ FastRime::scanResult(OpState &state, const Entry &winner,
     ExtractResult result;
     result.found = true;
     result.index = winner.second;
-    result.raw = result.index < values_.size()
-        ? values_[result.index] : 0;
+    // decodeKey is the exact inverse of the encoding the entry was
+    // built with, so this equals values_[index] (masked) without the
+    // random read into the value array.
+    result.raw = decodeKey(winner.first, k_, mode_);
     result.steps = steps;
     result.time = steps * timing_.stepTime() + timing_.tRead;
-    stats_.inc("extractions");
-    stats_.inc("scanSteps", steps);
-    stats_.inc("rowReads");
-    stats_.inc("columnSearches",
-               static_cast<double>(steps) *
-               static_cast<double>(state.activeUnits));
-    stats_.inc("energyPJ", steps * timing_.stepEnergy() +
-               timing_.readEnergy);
-    stats_.inc("busyTicks", static_cast<double>(result.time));
+    ++extractions_;
+    scanSteps_ += steps;
+    ++rowReads_;
+    columnSearches_ += static_cast<double>(steps) *
+        static_cast<double>(state.activeUnits);
+    energyPJ_ += steps * timing_.stepEnergy() + timing_.readEnergy;
+    busyTicks_ += static_cast<double>(result.time);
     return result;
 }
 

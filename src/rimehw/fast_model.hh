@@ -111,8 +111,28 @@ class FastRime : public RankBackend
     /** Raw values, grown on demand. */
     std::vector<std::uint64_t> values_;
     std::map<RangeKey, OpState> ops_;
+    /**
+     * Last range op() resolved: extraction loops hit one range with
+     * several lookups per produced value (scan, exclusion check,
+     * exclude), and map nodes are stable, so the previous answer
+     * almost always still holds.  Cleared whenever ops_ shrinks.
+     */
+    OpState *lastOp_ = nullptr;
+    RangeKey lastKey_{};
 
     StatGroup stats_;
+    // Cached handles into stats_: extraction accounting is the
+    // hottest code in the figure benches, and the plain adds keep it
+    // free of per-event string lookups (dumps are unchanged).
+    StatCounter rowWrites_;
+    StatCounter rowReads_;
+    StatCounter rangeInits_;
+    StatCounter exclusions_;
+    StatCounter extractions_;
+    StatCounter scanSteps_;
+    StatCounter columnSearches_;
+    StatCounter energyPJ_;
+    StatCounter busyTicks_;
     EnduranceTracker endurance_;
 };
 

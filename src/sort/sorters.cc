@@ -255,12 +255,16 @@ SortOpCounts
 runSort(Algorithm algo, Keys &keys, Addr base, AccessSink &sink,
         unsigned core, Addr scratch_base)
 {
-    Traced a(std::span<std::uint32_t>(keys), base, &sink, core);
+    // One batch shared by the input and scratch arrays so their
+    // interleaved accesses reach the sink in program order; flushed
+    // by the destructor before the counts return to the caller.
+    AccessBatch batch(sink);
+    Traced a(std::span<std::uint32_t>(keys), base, &batch, core);
     switch (algo) {
       case Algorithm::Mergesort: {
         Keys scratch(keys.size());
         Traced aux(std::span<std::uint32_t>(scratch), scratch_base,
-                   &sink, core);
+                   &batch, core);
         return mergesort(a, aux);
       }
       case Algorithm::Quicksort:
@@ -268,7 +272,7 @@ runSort(Algorithm algo, Keys &keys, Addr base, AccessSink &sink,
       case Algorithm::Radixsort: {
         Keys scratch(keys.size());
         Traced aux(std::span<std::uint32_t>(scratch), scratch_base,
-                   &sink, core);
+                   &batch, core);
         return radixsort(a, aux);
       }
       case Algorithm::Heapsort:

@@ -32,6 +32,16 @@ class TracedArray
         : data_(data), base_(base), sink_(sink), core_(core)
     {}
 
+    /**
+     * Batched variant: accesses go through `batch` (shared with any
+     * other traced structures of the same kernel, preserving their
+     * global interleaving) instead of straight into the sink.
+     */
+    TracedArray(std::span<T> data, Addr base, AccessBatch *batch,
+                unsigned core = 0)
+        : data_(data), base_(base), batch_(batch), core_(core)
+    {}
+
     std::size_t size() const { return data_.size(); }
     Addr base() const { return base_; }
     void setCore(unsigned core) { core_ = core; }
@@ -39,14 +49,24 @@ class TracedArray
     T
     get(std::size_t i) const
     {
-        sink_->access(core_, base_ + i * sizeof(T), AccessType::Read);
+        if (batch_)
+            batch_->access(core_, base_ + i * sizeof(T),
+                           AccessType::Read);
+        else
+            sink_->access(core_, base_ + i * sizeof(T),
+                          AccessType::Read);
         return data_[i];
     }
 
     void
     set(std::size_t i, T value)
     {
-        sink_->access(core_, base_ + i * sizeof(T), AccessType::Write);
+        if (batch_)
+            batch_->access(core_, base_ + i * sizeof(T),
+                           AccessType::Write);
+        else
+            sink_->access(core_, base_ + i * sizeof(T),
+                          AccessType::Write);
         data_[i] = value;
     }
 
@@ -56,7 +76,8 @@ class TracedArray
   private:
     std::span<T> data_;
     Addr base_;
-    AccessSink *sink_;
+    AccessSink *sink_ = nullptr;
+    AccessBatch *batch_ = nullptr;
     unsigned core_;
 };
 

@@ -42,7 +42,7 @@ template <typename Push, typename Pop>
 AStarResult
 astarLoop(const GridMap &grid, std::uint32_t start,
           std::uint32_t goal, PqWorkloadCounts &counts, Push &&push,
-          Pop &&pop, sort::AccessSink *sink)
+          Pop &&pop, sort::AccessBatch *batch)
 {
     AStarResult result;
     std::vector<float> g(grid.passable.size(), inf);
@@ -59,8 +59,8 @@ astarLoop(const GridMap &grid, std::uint32_t start,
             break;
         ++counts.pops;
         const std::uint32_t u = entry->second;
-        if (sink)
-            sink->access(0, gBase + u * 4ULL, AccessType::Read);
+        if (batch)
+            batch->access(0, gBase + u * 4ULL, AccessType::Read);
         if (closed[u])
             continue; // stale open-list entry
         closed[u] = 1;
@@ -83,19 +83,19 @@ astarLoop(const GridMap &grid, std::uint32_t start,
             const auto v = grid.cellId(
                 static_cast<std::uint32_t>(nx),
                 static_cast<std::uint32_t>(ny));
-            if (sink)
-                sink->access(0, gridBase + v, AccessType::Read);
+            if (batch)
+                batch->access(0, gridBase + v, AccessType::Read);
             ++counts.edgeScans;
             if (!grid.passable[v] || closed[v])
                 continue;
             const float cand = g[u] + 1.0f;
-            if (sink)
-                sink->access(0, gBase + v * 4ULL, AccessType::Read);
+            if (batch)
+                batch->access(0, gBase + v * 4ULL, AccessType::Read);
             if (cand < g[v]) {
                 g[v] = cand;
-                if (sink)
-                    sink->access(0, gBase + v * 4ULL,
-                                 AccessType::Write);
+                if (batch)
+                    batch->access(0, gBase + v * 4ULL,
+                                  AccessType::Write);
                 push(cand + manhattan(grid, v, goal), v);
                 ++counts.pushes;
             }
@@ -131,7 +131,8 @@ astarCpu(const GridMap &grid, std::uint32_t start, std::uint32_t goal,
          sort::AccessSink &sink)
 {
     PqWorkloadCounts counts;
-    TracedHeap heap(sink, heapBase);
+    sort::AccessBatch batch(sink);
+    TracedHeap heap(batch, heapBase);
     auto result = astarLoop(
         grid, start, goal, counts,
         [&](float f, std::uint32_t cell) {
@@ -144,7 +145,7 @@ astarCpu(const GridMap &grid, std::uint32_t start, std::uint32_t goal,
             return std::make_pair(0.0f, static_cast<std::uint32_t>(
                 *packed & 0xFFFFFFFFULL));
         },
-        &sink);
+        &batch);
     counts.heapComparisons = heap.comparisons();
     counts.heapMoves = heap.moves();
     result.counts = counts;

@@ -18,8 +18,8 @@ constexpr Addr ufBase = 0x70000000;
 class UnionFind
 {
   public:
-    UnionFind(std::uint32_t n, sort::AccessSink *sink)
-        : parent_(n), sink_(sink)
+    UnionFind(std::uint32_t n, sort::AccessBatch *batch)
+        : parent_(n), batch_(batch)
     {
         std::iota(parent_.begin(), parent_.end(), 0);
     }
@@ -57,22 +57,22 @@ class UnionFind
     void
     touch(std::uint32_t idx, AccessType type)
     {
-        if (sink_)
-            sink_->access(0, ufBase + idx * 4ULL, type);
+        if (batch_)
+            batch_->access(0, ufBase + idx * 4ULL, type);
     }
 
     std::vector<std::uint32_t> parent_;
-    sort::AccessSink *sink_;
+    sort::AccessBatch *batch_;
 };
 
 /** Consume edges in weight order and build the MST. */
 template <typename NextEdge>
 MstResult
-kruskalLoop(const Graph &graph, sort::AccessSink *sink,
+kruskalLoop(const Graph &graph, sort::AccessBatch *batch,
             NextEdge &&next_edge)
 {
     MstResult result;
-    UnionFind uf(graph.vertices, sink);
+    UnionFind uf(graph.vertices, batch);
     const std::uint32_t target =
         graph.vertices > 0 ? graph.vertices - 1 : 0;
     while (result.edgesUsed < target) {
@@ -94,21 +94,24 @@ kruskalLoop(const Graph &graph, sort::AccessSink *sink,
 MstResult
 kruskalCpu(const Graph &graph, sort::AccessSink &sink)
 {
-    // Pack (encoded weight, edge id) and sort.
+    // Pack (encoded weight, edge id) and sort.  One batch carries
+    // the packing stores, the sort and the union-find traffic so the
+    // kernel's global access order survives batching.
+    sort::AccessBatch batch(sink);
     std::vector<std::uint64_t> packed(graph.edges.size());
     for (std::size_t i = 0; i < packed.size(); ++i) {
         const std::uint64_t enc = encodeKey(
             floatToRaw(graph.edges[i].weight), 32, KeyMode::Float);
         packed[i] = (enc << 32) | i;
-        sink.access(0, edgeSortBase + i * 8, AccessType::Write);
+        batch.access(0, edgeSortBase + i * 8, AccessType::Write);
     }
-    const auto ops = tracedQuicksort64(packed, edgeSortBase, sink);
+    const auto ops = tracedQuicksort64(packed, edgeSortBase, batch);
 
     std::size_t cursor = 0;
-    auto result = kruskalLoop(graph, &sink, [&]() {
+    auto result = kruskalLoop(graph, &batch, [&]() {
         if (cursor >= packed.size())
             return std::optional<std::uint64_t>{};
-        sink.access(0, edgeSortBase + cursor * 8, AccessType::Read);
+        batch.access(0, edgeSortBase + cursor * 8, AccessType::Read);
         return std::optional<std::uint64_t>{
             packed[cursor++] & 0xFFFFFFFFULL};
     });

@@ -59,16 +59,17 @@ GroupByResult
 groupByCpu(const std::vector<Record> &table, sort::AccessSink &sink)
 {
     GroupByResult result;
+    sort::AccessBatch batch(sink);
     std::vector<std::uint64_t> packed(table.size());
     for (std::size_t i = 0; i < table.size(); ++i) {
-        sink.access(0, tableBase + i * 8, AccessType::Read);
+        batch.access(0, tableBase + i * 8, AccessType::Read);
         packed[i] = packRecord(table[i]);
-        sink.access(0, tableBase + i * 8, AccessType::Write);
+        batch.access(0, tableBase + i * 8, AccessType::Write);
     }
-    const auto ops = tracedQuicksort64(packed, tableBase, sink);
+    const auto ops = tracedQuicksort64(packed, tableBase, batch);
     GroupAggregator agg;
     for (std::size_t i = 0; i < packed.size(); ++i) {
-        sink.access(0, tableBase + i * 8, AccessType::Read);
+        batch.access(0, tableBase + i * 8, AccessType::Read);
         agg.feed(packed[i], result.groups);
     }
     result.counts.heapComparisons = ops.comparisons;
@@ -105,16 +106,17 @@ mergeJoinCpu(const std::vector<std::uint32_t> &a,
              sort::AccessSink &sink)
 {
     MergeJoinResult result;
+    sort::AccessBatch batch(sink);
     std::vector<std::uint64_t> sa(a.begin(), a.end());
     std::vector<std::uint64_t> sb(b.begin(), b.end());
-    const auto ops_a = tracedQuicksort64(sa, joinABase, sink);
-    const auto ops_b = tracedQuicksort64(sb, joinBBase, sink);
+    const auto ops_a = tracedQuicksort64(sa, joinABase, batch);
+    const auto ops_b = tracedQuicksort64(sb, joinBBase, batch);
 
     std::size_t i = 0;
     std::size_t j = 0;
     while (i < sa.size() && j < sb.size()) {
-        sink.access(0, joinABase + i * 8, AccessType::Read);
-        sink.access(0, joinBBase + j * 8, AccessType::Read);
+        batch.access(0, joinABase + i * 8, AccessType::Read);
+        batch.access(0, joinBBase + j * 8, AccessType::Read);
         ++result.counts.edgeScans;
         if (sa[i] < sb[j]) {
             ++i;

@@ -45,10 +45,10 @@ packedKey(std::uint64_t packed)
 
 /** Traced read of one CSR adjacency entry. */
 void
-touchEdge(sort::AccessSink &sink, std::uint32_t edge_slot)
+touchEdge(sort::AccessBatch &batch, std::uint32_t edge_slot)
 {
-    sink.access(0, adjBase + edge_slot * 4ULL, AccessType::Read);
-    sink.access(0, weightBase + edge_slot * 4ULL, AccessType::Read);
+    batch.access(0, adjBase + edge_slot * 4ULL, AccessType::Read);
+    batch.access(0, weightBase + edge_slot * 4ULL, AccessType::Read);
 }
 
 } // namespace
@@ -62,9 +62,12 @@ dijkstraCpu(const Graph &graph, std::uint32_t source,
     if (graph.vertices == 0)
         return result;
 
-    TracedHeap heap(sink, heapBase);
+    // One batch for the heap and the direct dist/CSR accesses so the
+    // kernel's global access order survives batching.
+    sort::AccessBatch batch(sink);
+    TracedHeap heap(batch, heapBase);
     result.dist[source] = 0.0f;
-    sink.access(0, distBase + source * 4ULL, AccessType::Write);
+    batch.access(0, distBase + source * 4ULL, AccessType::Write);
     heap.push(packKey(0.0f, source));
     ++result.counts.pushes;
 
@@ -73,21 +76,21 @@ dijkstraCpu(const Graph &graph, std::uint32_t source,
         ++result.counts.pops;
         const std::uint32_t u = packedNode(*packed);
         const float du = packedKey(*packed);
-        sink.access(0, distBase + u * 4ULL, AccessType::Read);
+        batch.access(0, distBase + u * 4ULL, AccessType::Read);
         if (du > result.dist[u])
             continue; // stale (lazy deletion)
-        sink.access(0, rowBase + u * 4ULL, AccessType::Read);
+        batch.access(0, rowBase + u * 4ULL, AccessType::Read);
         for (std::uint32_t e = graph.rowPtr[u];
              e < graph.rowPtr[u + 1]; ++e) {
-            touchEdge(sink, e);
+            touchEdge(batch, e);
             ++result.counts.edgeScans;
             const std::uint32_t v = graph.adjVertex[e];
             const float cand = du + graph.adjWeight[e];
-            sink.access(0, distBase + v * 4ULL, AccessType::Read);
+            batch.access(0, distBase + v * 4ULL, AccessType::Read);
             if (cand < result.dist[v]) {
                 result.dist[v] = cand;
-                sink.access(0, distBase + v * 4ULL,
-                            AccessType::Write);
+                batch.access(0, distBase + v * 4ULL,
+                             AccessType::Write);
                 heap.push(packKey(cand, v));
                 ++result.counts.pushes;
             }
@@ -156,7 +159,7 @@ template <typename Push, typename Pop>
 MstResult
 primLoop(const Graph &graph, std::vector<float> &key,
          PqWorkloadCounts &counts, Push &&push, Pop &&pop,
-         sort::AccessSink *sink)
+         sort::AccessBatch *batch)
 {
     MstResult result;
     if (graph.vertices == 0)
@@ -173,30 +176,30 @@ primLoop(const Graph &graph, std::vector<float> &key,
             break;
         ++counts.pops;
         const auto [w, u] = *entry;
-        if (sink)
-            sink->access(0, distBase + u * 4ULL, AccessType::Read);
+        if (batch)
+            batch->access(0, distBase + u * 4ULL, AccessType::Read);
         if (inMst[u])
             continue; // stale
         inMst[u] = 1;
         result.totalWeight += w;
         ++result.edgesUsed;
-        if (sink)
-            sink->access(0, rowBase + u * 4ULL, AccessType::Read);
+        if (batch)
+            batch->access(0, rowBase + u * 4ULL, AccessType::Read);
         for (std::uint32_t e = graph.rowPtr[u];
              e < graph.rowPtr[u + 1]; ++e) {
-            if (sink)
-                touchEdge(*sink, e);
+            if (batch)
+                touchEdge(*batch, e);
             ++counts.edgeScans;
             const std::uint32_t v = graph.adjVertex[e];
             const float wv = graph.adjWeight[e];
-            if (sink)
-                sink->access(0, distBase + v * 4ULL,
-                             AccessType::Read);
+            if (batch)
+                batch->access(0, distBase + v * 4ULL,
+                              AccessType::Read);
             if (!inMst[v] && wv < key[v]) {
                 key[v] = wv;
-                if (sink)
-                    sink->access(0, distBase + v * 4ULL,
-                                 AccessType::Write);
+                if (batch)
+                    batch->access(0, distBase + v * 4ULL,
+                                  AccessType::Write);
                 push(wv, v);
                 ++counts.pushes;
             }
@@ -215,7 +218,8 @@ primCpu(const Graph &graph, sort::AccessSink &sink)
 {
     PqWorkloadCounts counts;
     std::vector<float> key;
-    TracedHeap heap(sink, heapBase);
+    sort::AccessBatch batch(sink);
+    TracedHeap heap(batch, heapBase);
     auto result = primLoop(
         graph, key, counts,
         [&](float w, std::uint32_t v) { heap.push(packKey(w, v)); },
@@ -226,7 +230,7 @@ primCpu(const Graph &graph, sort::AccessSink &sink)
             return std::make_pair(packedKey(*packed),
                                   packedNode(*packed));
         },
-        &sink);
+        &batch);
     counts.heapComparisons = heap.comparisons();
     counts.heapMoves = heap.moves();
     result.counts = counts;

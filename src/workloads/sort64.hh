@@ -110,8 +110,26 @@ tracedQuicksort64(std::vector<std::uint64_t> &keys, Addr base,
 {
     Sort64Counts ops;
     if (keys.size() > 1) {
+        sort::AccessBatch batch(sink);
         detail::Traced64 a(std::span<std::uint64_t>(keys), base,
-                           &sink, core);
+                           &batch, core);
+        detail::quicksort64Rec(a, 0, keys.size(), ops);
+    }
+    return ops;
+}
+
+/**
+ * Batched variant: accesses join the caller's batch so the sort's
+ * stream keeps its place in the kernel's global access order.
+ */
+inline Sort64Counts
+tracedQuicksort64(std::vector<std::uint64_t> &keys, Addr base,
+                  sort::AccessBatch &batch, unsigned core = 0)
+{
+    Sort64Counts ops;
+    if (keys.size() > 1) {
+        detail::Traced64 a(std::span<std::uint64_t>(keys), base,
+                           &batch, core);
         detail::quicksort64Rec(a, 0, keys.size(), ops);
     }
     return ops;

@@ -45,7 +45,8 @@ spqLoop(const SpqParams &params, Push &&push, Pop &&pop)
 SpqResult
 spqCpu(const SpqParams &params, sort::AccessSink &sink)
 {
-    TracedHeap heap(sink, heapBase);
+    sort::AccessBatch batch(sink);
+    TracedHeap heap(batch, heapBase);
     std::uint64_t pushes = 0;
     auto result = spqLoop(
         params,

@@ -29,7 +29,16 @@ class TracedHeap
      * @param core issuing core
      */
     TracedHeap(sort::AccessSink &sink, Addr base, unsigned core = 0)
-        : sink_(sink), base_(base), core_(core)
+        : sink_(&sink), base_(base), core_(core)
+    {}
+
+    /**
+     * Batched variant: accesses go through `batch` (shared with the
+     * kernel's other traced structures so the global access order is
+     * preserved) instead of straight into the sink.
+     */
+    TracedHeap(sort::AccessBatch &batch, Addr base, unsigned core = 0)
+        : batch_(&batch), base_(base), core_(core)
     {}
 
     std::size_t size() const { return data_.size(); }
@@ -96,19 +105,26 @@ class TracedHeap
     std::uint64_t
     load(std::size_t i)
     {
-        sink_.access(core_, base_ + i * 8, AccessType::Read);
+        if (batch_)
+            batch_->access(core_, base_ + i * 8, AccessType::Read);
+        else
+            sink_->access(core_, base_ + i * 8, AccessType::Read);
         return data_[i];
     }
 
     void
     store(std::size_t i, std::uint64_t value)
     {
-        sink_.access(core_, base_ + i * 8, AccessType::Write);
+        if (batch_)
+            batch_->access(core_, base_ + i * 8, AccessType::Write);
+        else
+            sink_->access(core_, base_ + i * 8, AccessType::Write);
         data_[i] = value;
         ++moves_;
     }
 
-    sort::AccessSink &sink_;
+    sort::AccessSink *sink_ = nullptr;
+    sort::AccessBatch *batch_ = nullptr;
     Addr base_;
     unsigned core_;
     std::vector<std::uint64_t> data_;

@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cachesim/cache.hh"
 #include "cachesim/hierarchy.hh"
 #include "common/rng.hh"
+#include "sort/access_sink.hh"
 
 using namespace rime;
 using namespace rime::cachesim;
@@ -129,6 +132,179 @@ TEST(Hierarchy, CrossCoreWriteInvalidates)
     const auto before = h.l1(0).misses();
     h.access(0, 0, AccessType::Read);
     EXPECT_EQ(h.l1(0).misses(), before + 1);
+}
+
+TEST(Hierarchy, DirectoryTracksPrivateBlocks)
+{
+    // A store to a block no other core caches must not disturb the
+    // other cores' L1s: the directory knows the block is private.
+    Hierarchy h(2, {1024, 2, 64, 2}, {8192, 4, 64, 15},
+                /*slow_mode=*/false);
+    h.access(0, 0, AccessType::Read);
+    EXPECT_EQ(h.directorySharers(0), 0b01u);
+    h.access(1, 4096, AccessType::Read); // unrelated block on core 1
+    const auto core1_misses = h.l1(1).misses();
+    h.access(0, 0, AccessType::Write); // private: no invalidations
+    EXPECT_EQ(h.directorySharers(0), 0b01u);
+    h.access(1, 4096, AccessType::Read); // line survived the store
+    EXPECT_EQ(h.l1(1).misses(), core1_misses);
+    EXPECT_EQ(h.stats().values().at("coherenceWritebacks"), 0.0);
+}
+
+TEST(Hierarchy, DirectoryTracksSharedStoreInvalidation)
+{
+    Hierarchy h(2, {1024, 2, 64, 2}, {8192, 4, 64, 15},
+                /*slow_mode=*/false);
+    h.access(0, 0, AccessType::Read);
+    h.access(1, 32, AccessType::Read); // same 64B block
+    EXPECT_EQ(h.directorySharers(0), 0b11u);
+    h.access(1, 0, AccessType::Write); // must drop core 0's copy
+    EXPECT_EQ(h.directorySharers(0), 0b10u);
+    const auto before = h.l1(0).misses();
+    h.access(0, 0, AccessType::Read);
+    EXPECT_EQ(h.l1(0).misses(), before + 1);
+    EXPECT_EQ(h.directorySharers(0), 0b11u);
+}
+
+TEST(Hierarchy, DirectoryConsistentAfterEvictions)
+{
+    // Cycle more blocks than a tiny L1 holds, then check the
+    // directory's presence bits against ground truth: exactly the
+    // blocks still resident (those the core re-hits) keep their bit.
+    Hierarchy h(2, {128, 1, 64, 2}, {8192, 4, 64, 15},
+                /*slow_mode=*/false);
+    const std::uint64_t blocks = 16;
+    for (std::uint64_t i = 0; i < blocks; ++i)
+        h.access(0, i * 64, AccessType::Read);
+    for (std::uint64_t i = 0; i < blocks; ++i) {
+        const auto misses = h.l1(0).misses();
+        h.access(0, i * 64, AccessType::Read);
+        const bool resident = h.l1(0).misses() == misses;
+        if (resident) {
+            EXPECT_EQ(h.directorySharers(i * 64) & 0b01u, 0b01u)
+                << "resident block " << i << " lost its presence bit";
+        }
+        // A probe that missed re-fills the block, so its bit must be
+        // set now in either case.
+        EXPECT_EQ(h.directorySharers(i * 64) & 0b01u, 0b01u);
+    }
+    // Untouched address space carries no stale entries.
+    EXPECT_EQ(h.directorySharers(1 << 20), 0u);
+}
+
+/**
+ * The dirty-forwarding fix: invalidating a *dirty* remote line must
+ * push the data down (a coherence writeback), not silently drop it.
+ * The tiny L2 guarantees the victim's block has already left L2, so a
+ * dropped writeback would be visible as missing memory traffic.
+ */
+static std::uint64_t
+dirtyForwardMemWrites(bool slow_mode)
+{
+    Hierarchy h(2, {1024, 2, 64, 2}, {128, 1, 64, 15}, slow_mode);
+    h.access(0, 0, AccessType::Write); // dirty in core 0's L1
+    // Push block 0 out of the 2-set L2 (set 0 conflicts).
+    h.access(1, 128, AccessType::Read);
+    h.access(1, 256, AccessType::Read);
+    const auto writes_before = h.memWrites();
+    h.access(1, 0, AccessType::Write); // invalidates core 0's dirty copy
+    EXPECT_EQ(h.stats().values().at("coherenceWritebacks"), 1.0);
+    return h.memWrites() - writes_before;
+}
+
+TEST(Hierarchy, DirtyVictimForwardedOnInvalidate)
+{
+    // The forwarded data must reach memory (L2 already evicted the
+    // block, so the coherence writeback falls through) -- in both the
+    // directory path and the reference broadcast path.
+    EXPECT_GE(dirtyForwardMemWrites(false), 1u);
+    EXPECT_GE(dirtyForwardMemWrites(true), 1u);
+}
+
+TEST(Hierarchy, FastMatchesSlowOnRandomTrace)
+{
+    // The directory + MRU-hint fast path must be observationally
+    // identical to the RIME_SLOW_SIM reference path: same per-core
+    // cache counters, same below-cache traffic, same stat values.
+    const unsigned cores = 3;
+    const CacheConfig l1{512, 2, 64, 2};
+    const CacheConfig l2{2048, 4, 64, 15};
+    Hierarchy fast(cores, l1, l2, /*slow_mode=*/false);
+    Hierarchy slow(cores, l1, l2, /*slow_mode=*/true);
+    EXPECT_FALSE(fast.slowMode());
+    EXPECT_TRUE(slow.slowMode());
+
+    Rng rng(1234);
+    // Small footprint so shared dirty blocks and evictions are common.
+    const std::uint64_t span = 64 * 64;
+    for (unsigned i = 0; i < 50000; ++i) {
+        const unsigned core = static_cast<unsigned>(rng.below(cores));
+        const Addr addr = rng.below(span) & ~7ULL;
+        const AccessType type = rng.below(3) == 0 ? AccessType::Write
+                                                  : AccessType::Read;
+        fast.access(core, addr, type);
+        slow.access(core, addr, type);
+    }
+    EXPECT_EQ(fast.memReads(), slow.memReads());
+    EXPECT_EQ(fast.memWrites(), slow.memWrites());
+    for (unsigned c = 0; c < cores; ++c) {
+        EXPECT_EQ(fast.l1(c).hits(), slow.l1(c).hits());
+        EXPECT_EQ(fast.l1(c).misses(), slow.l1(c).misses());
+        EXPECT_EQ(fast.l1(c).writebacks(), slow.l1(c).writebacks());
+    }
+    EXPECT_EQ(fast.l2().hits(), slow.l2().hits());
+    EXPECT_EQ(fast.l2().misses(), slow.l2().misses());
+    EXPECT_EQ(fast.l2().writebacks(), slow.l2().writebacks());
+    EXPECT_EQ(fast.stats().values(), slow.stats().values());
+}
+
+TEST(Hierarchy, BatchedDeliveryMatchesUnbatched)
+{
+    // AccessBatch must preserve the exact access order, so a batched
+    // and an unbatched replay of one trace end with identical
+    // hit/miss/writeback and memory counters.
+    const unsigned cores = 2;
+    const CacheConfig l1{512, 2, 64, 2};
+    const CacheConfig l2{2048, 4, 64, 15};
+    Hierarchy direct_h(cores, l1, l2, /*slow_mode=*/false);
+    Hierarchy batched_h(cores, l1, l2, /*slow_mode=*/false);
+    sort::CacheSink direct_sink(direct_h);
+    sort::CacheSink batched_sink(batched_h);
+
+    Rng rng(77);
+    struct Rec
+    {
+        unsigned core;
+        Addr addr;
+        AccessType type;
+    };
+    std::vector<Rec> trace;
+    for (unsigned i = 0; i < 20000; ++i)
+        trace.push_back({static_cast<unsigned>(rng.below(cores)),
+                         rng.below(4096) * 8,
+                         rng.below(2) ? AccessType::Write
+                                      : AccessType::Read});
+
+    for (const auto &r : trace)
+        direct_sink.access(r.core, r.addr, r.type);
+    {
+        sort::AccessBatch batch(batched_sink, /*bypass=*/false);
+        for (const auto &r : trace)
+            batch.access(r.core, r.addr, r.type);
+        // Destructor flushes the tail.
+    }
+
+    EXPECT_EQ(direct_h.memReads(), batched_h.memReads());
+    EXPECT_EQ(direct_h.memWrites(), batched_h.memWrites());
+    for (unsigned c = 0; c < cores; ++c) {
+        EXPECT_EQ(direct_h.l1(c).hits(), batched_h.l1(c).hits());
+        EXPECT_EQ(direct_h.l1(c).misses(), batched_h.l1(c).misses());
+        EXPECT_EQ(direct_h.l1(c).writebacks(),
+                  batched_h.l1(c).writebacks());
+    }
+    EXPECT_EQ(direct_h.l2().hits(), batched_h.l2().hits());
+    EXPECT_EQ(direct_h.l2().misses(), batched_h.l2().misses());
+    EXPECT_EQ(direct_h.stats().values(), batched_h.stats().values());
 }
 
 TEST(Hierarchy, CacheResidentReuseVsStreaming)
