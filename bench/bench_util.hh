@@ -22,6 +22,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/env.hh"
@@ -30,9 +31,110 @@
 #include "common/rng.hh"
 #include "common/stat_registry.hh"
 #include "rime/ops.hh"
+#include "rimehw/kernels.hh"
 
 namespace rime::bench
 {
+
+/**
+ * Ordered writer for the machine-readable BENCH_*.json artifacts.
+ * Every emitted object leads with the same provenance stamp -- the
+ * bench name, the dispatched kernel ISA (scalar/avx2/neon), and the
+ * RIME_SIMD / RIME_THREADS knob values -- so a result file always
+ * records which code path and configuration produced it.
+ */
+class BenchJson
+{
+  public:
+    explicit BenchJson(const std::string &bench)
+    {
+        field("bench", bench);
+        field("isa", rimehw::kernels::isaName());
+        field("rime_simd", rimehw::kernels::envModeName());
+        field("rime_threads", static_cast<std::uint64_t>(
+            ThreadPool::configuredThreads()));
+    }
+
+    BenchJson &
+    field(const std::string &name, const std::string &value)
+    {
+        return raw(name, "\"" + value + "\"");
+    }
+
+    BenchJson &
+    field(const std::string &name, const char *value)
+    {
+        return field(name, std::string(value));
+    }
+
+    BenchJson &
+    field(const std::string &name, bool value)
+    {
+        return raw(name, value ? "true" : "false");
+    }
+
+    BenchJson &
+    field(const std::string &name, double value)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%g", value);
+        return raw(name, buf);
+    }
+
+    BenchJson &
+    field(const std::string &name, std::uint64_t value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(value));
+        return raw(name, buf);
+    }
+
+    BenchJson &
+    field(const std::string &name, unsigned value)
+    {
+        return field(name, static_cast<std::uint64_t>(value));
+    }
+
+    BenchJson &
+    field(const std::string &name, int value)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%d", value);
+        return raw(name, buf);
+    }
+
+    /** Attach a pre-rendered JSON value (nested array/object). */
+    BenchJson &
+    raw(const std::string &name, std::string json)
+    {
+        fields_.emplace_back(name, std::move(json));
+        return *this;
+    }
+
+    /** Write the object to `path`; logs and returns false on error. */
+    bool
+    write(const std::string &path) const
+    {
+        std::ofstream out(path);
+        if (!out) {
+            warn("cannot write %s", path.c_str());
+            return false;
+        }
+        out << "{\n";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            out << "  \"" << fields_[i].first << "\": "
+                << fields_[i].second
+                << (i + 1 < fields_.size() ? "," : "") << "\n";
+        }
+        out << "}\n";
+        std::printf("wrote %s\n", path.c_str());
+        return true;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> fields_;
+};
 
 /** RIME_BENCH_SCALE (default 1.0); garbage aborts, <= 0 warns. */
 inline double

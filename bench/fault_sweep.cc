@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -129,32 +130,33 @@ main()
     }
 
     const double base = points.front().wallMs;
-    std::ofstream json("BENCH_faults.json");
-    json << "{\n  \"bench\": \"fault_sweep\",\n"
-         << "  \"keys\": " << n << ",\n"
-         << "  \"extractions\": " << extractions << ",\n"
-         << "  \"points\": [\n";
+    std::ostringstream arr;
+    arr << "[\n";
     for (std::size_t i = 0; i < points.size(); ++i) {
         const SweepPoint &p = points[i];
-        json << "    {\"stuck_at_rate\": " << p.rate
-             << ", \"status\": \"" << p.status << "\""
-             << ", \"exact\": " << (p.exact ? "true" : "false")
-             << ", \"extracted\": " << p.extracted
-             << ", \"wall_ms\": " << p.wallMs
-             << ", \"overhead_vs_clean\": "
-             << (base > 0 ? p.wallMs / base : 0.0)
-             << ", \"sim_seconds\": " << p.simSeconds
-             << ", \"row_remaps\": " << p.remaps
-             << ", \"write_errors\": " << p.writeErrors
-             << ", \"unit_retires\": " << p.retires
-             << ", \"unit_deaths\": " << p.deaths
-             << ", \"lost_values\": " << p.lost
-             << ", \"verify_mismatches\": " << p.verifyMismatches
-             << ", \"retired_bytes\": " << p.retiredBytes << "}"
-             << (i + 1 < points.size() ? "," : "") << "\n";
+        arr << "    {\"stuck_at_rate\": " << p.rate
+            << ", \"status\": \"" << p.status << "\""
+            << ", \"exact\": " << (p.exact ? "true" : "false")
+            << ", \"extracted\": " << p.extracted
+            << ", \"wall_ms\": " << p.wallMs
+            << ", \"overhead_vs_clean\": "
+            << (base > 0 ? p.wallMs / base : 0.0)
+            << ", \"sim_seconds\": " << p.simSeconds
+            << ", \"row_remaps\": " << p.remaps
+            << ", \"write_errors\": " << p.writeErrors
+            << ", \"unit_retires\": " << p.retires
+            << ", \"unit_deaths\": " << p.deaths
+            << ", \"lost_values\": " << p.lost
+            << ", \"verify_mismatches\": " << p.verifyMismatches
+            << ", \"retired_bytes\": " << p.retiredBytes << "}"
+            << (i + 1 < points.size() ? "," : "") << "\n";
     }
-    json << "  ]\n}\n";
-    std::printf("wrote BENCH_faults.json\n");
+    arr << "  ]";
+    BenchJson("fault_sweep")
+        .field("keys", n)
+        .field("extractions", extractions)
+        .raw("points", arr.str())
+        .write("BENCH_faults.json");
     writeStatsJson("faults");
     return 0;
 }

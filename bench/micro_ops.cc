@@ -7,11 +7,13 @@
  * the models fast enough for paper-scale sweeps.
  *
  * Before the registered benchmarks run, a self-timing pass measures
- * host wall-clock of the bit-level scan at a >=1M-key range, serial
- * (threads=1) vs parallel (RIME_THREADS / hardware width), verifies
- * the results are bit-identical, and writes the machine-readable
- * BENCH_scan.json next to the binary.  RIME_BENCH_KEYS overrides the
- * key count.
+ * host wall-clock of the bit-level scan at a >=1M-key range: scalar
+ * kernels vs SIMD kernels at one thread (the in-process RIME_SIMD
+ * A/B), then serial vs parallel (RIME_THREADS / hardware width)
+ * under the env-dispatched kernels.  Every variant must produce a
+ * bit-identical extraction or the bench aborts; the measurements go
+ * to the machine-readable BENCH_scan.json next to the binary.
+ * RIME_BENCH_KEYS overrides the key count.
  */
 
 #include <benchmark/benchmark.h>
@@ -21,6 +23,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "bench/bench_util.hh"
 #include "cachesim/hierarchy.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
@@ -31,6 +34,7 @@
 #include "rime/driver.hh"
 #include "rimehw/chip.hh"
 #include "rimehw/fast_model.hh"
+#include "rimehw/kernels.hh"
 
 using namespace rime;
 using namespace rime::rimehw;
@@ -183,13 +187,19 @@ BM_BitLevelExtractParallel(benchmark::State &state)
 BENCHMARK(BM_BitLevelExtractParallel)->Arg(2)->Arg(4);
 
 /**
- * Wall-clock self-timing of the bit-level scan, serial vs parallel,
- * at a paper-scale key count; emits BENCH_scan.json.
+ * Wall-clock self-timing of the bit-level scan -- scalar vs SIMD
+ * kernels, then serial vs parallel -- at a paper-scale key count;
+ * emits BENCH_scan.json.  The scan work performed (and therefore
+ * the deterministic stat dump) is identical for every RIME_SIMD and
+ * RIME_THREADS setting: both kernel modes are always timed (forced
+ * via kernels::setMode), and only the env-dispatched mode's numbers
+ * are reported under the legacy serial/parallel fields.
  */
 void
 runScanSelfTiming()
 {
     using Clock = std::chrono::steady_clock;
+    namespace kernels = rime::rimehw::kernels;
     // Strict parse: a garbled RIME_BENCH_KEYS aborts instead of
     // silently timing the default size.  0 keeps the default too.
     std::uint64_t keys = envU64("RIME_BENCH_KEYS", 1ULL << 20);
@@ -212,57 +222,77 @@ runScanSelfTiming()
     chip.initRange(0, keys);
 
     // scan() is pure, so repeated scans perform identical work; one
-    // untimed warm-up populates the lazily allocated units.
-    ExtractResult serial_r = chip.scan(0, keys, false);
-    const auto t0 = Clock::now();
-    for (int i = 0; i < scans; ++i)
-        serial_r = chip.scan(0, keys, false);
-    const auto t1 = Clock::now();
+    // untimed warm-up per variant populates lazily allocated state.
+    const auto timeScans = [&](ExtractResult &out) {
+        out = chip.scan(0, keys, false);
+        const auto t0 = Clock::now();
+        for (int i = 0; i < scans; ++i)
+            out = chip.scan(0, keys, false);
+        const auto t1 = Clock::now();
+        return std::chrono::duration<double, std::milli>(
+            t1 - t0).count() / scans;
+    };
+    const auto same = [](const ExtractResult &a,
+                         const ExtractResult &b) {
+        return a.found == b.found && a.raw == b.raw &&
+            a.index == b.index && a.steps == b.steps &&
+            a.time == b.time;
+    };
 
+    // The in-process RIME_SIMD A/B: force each kernel mode in turn.
+    // On a host without SIMD kernels both passes run scalar and the
+    // speedup reports ~1.
+    ExtractResult scalar_r, simd_r, parallel_r;
+    kernels::setMode(kernels::Mode::Scalar);
+    const double scalar_ms = timeScans(scalar_r);
+    kernels::setMode(kernels::Mode::Simd);
+    const double simd_ms = timeScans(simd_r);
+    if (!same(scalar_r, simd_r))
+        fatal("SIMD scan diverged from the scalar reference scan");
+
+    // Serial vs parallel under the env-dispatched kernels.
+    kernels::setMode(kernels::envMode());
+    const double serial_ms =
+        kernels::simdEnabled() ? simd_ms : scalar_ms;
     chip.setHostThreads(parallel_threads);
-    ExtractResult parallel_r = chip.scan(0, keys, false);
-    const auto t2 = Clock::now();
-    for (int i = 0; i < scans; ++i)
-        parallel_r = chip.scan(0, keys, false);
-    const auto t3 = Clock::now();
-
-    if (parallel_r.index != serial_r.index ||
-        parallel_r.raw != serial_r.raw ||
-        parallel_r.steps != serial_r.steps)
+    const double parallel_ms = timeScans(parallel_r);
+    if (!same(scalar_r, parallel_r))
         fatal("parallel scan diverged from the serial scan");
 
-    const auto ms = [](Clock::duration d) {
-        return std::chrono::duration<double, std::milli>(d).count();
-    };
-    const double serial_ms = ms(t1 - t0) / scans;
-    const double parallel_ms = ms(t3 - t2) / scans;
-    const double simulated_ns = ticksToNs(serial_r.time);
+    const double simulated_ns = ticksToNs(scalar_r.time);
+    const double simd_speedup =
+        simd_ms > 0.0 ? scalar_ms / simd_ms : 0.0;
 
     std::printf("scan self-timing: %llu keys, k=%u: host %.3f ms "
-                "serial vs %.3f ms at %u threads (%.2fx), simulated "
-                "%.1f ns/scan\n",
-                static_cast<unsigned long long>(keys), k, serial_ms,
-                parallel_ms, parallel_threads,
+                "scalar vs %.3f ms %s (%.2fx); %.3f ms serial vs "
+                "%.3f ms at %u threads (%.2fx); simulated %.1f "
+                "ns/scan\n",
+                static_cast<unsigned long long>(keys), k, scalar_ms,
+                simd_ms, kernels::availableIsaName(), simd_speedup,
+                serial_ms, parallel_ms, parallel_threads,
                 serial_ms / parallel_ms, simulated_ns);
 
-    std::ofstream json("BENCH_scan.json");
-    json << "{\n"
-         << "  \"bench\": \"scan\",\n"
-         << "  \"keys\": " << keys << ",\n"
-         << "  \"word_bits\": " << k << ",\n"
-         << "  \"scans_timed\": " << scans << ",\n"
-         << "  \"scan_steps\": " << serial_r.steps << ",\n"
-         << "  \"serial_host_ms_per_scan\": " << serial_ms << ",\n"
-         << "  \"parallel_host_ms_per_scan\": " << parallel_ms
-         << ",\n"
-         << "  \"parallel_threads\": " << parallel_threads << ",\n"
-         << "  \"speedup\": " << serial_ms / parallel_ms << ",\n"
-         << "  \"simulated_ns_per_scan\": " << simulated_ns << "\n"
-         << "}\n";
+    bench::BenchJson json("scan");
+    json.field("keys", keys)
+        .field("word_bits", k)
+        .field("scans_timed", scans)
+        .field("scan_steps", static_cast<std::uint64_t>(
+            scalar_r.steps))
+        .field("scalar_host_ms_per_scan", scalar_ms)
+        .field("simd_host_ms_per_scan", simd_ms)
+        .field("simd_isa", kernels::availableIsaName())
+        .field("simd_speedup", simd_speedup)
+        .field("serial_host_ms_per_scan", serial_ms)
+        .field("parallel_host_ms_per_scan", parallel_ms)
+        .field("parallel_threads", parallel_threads)
+        .field("speedup", parallel_ms > 0.0
+            ? serial_ms / parallel_ms : 0.0)
+        .field("simulated_ns_per_scan", simulated_ns)
+        .write("BENCH_scan.json");
 
     // Deterministic chip-stat dump: identical scan work for any
-    // thread count must produce a bit-identical file (CI diffs the
-    // RIME_THREADS=1 and =4 dumps).
+    // thread count or kernel mode must produce a bit-identical file
+    // (CI diffs the dumps across RIME_THREADS and RIME_SIMD).
     const std::string stats_path =
         envString("RIME_STATS").value_or("STATS_scan.json");
     StatRegistry::process().mergeGroup("chip", chip.stats());

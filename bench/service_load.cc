@@ -35,6 +35,7 @@
 #include <deque>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -287,35 +288,36 @@ main()
                 speedup >= 1.5 ? "(>= 1.5x target)"
                                : "(BELOW 1.5x target)");
 
-    std::ofstream json("BENCH_service.json");
-    json << "{\n  \"bench\": \"service_load\",\n"
-         << "  \"keys_per_session\": " << kKeysPerSession << ",\n"
-         << "  \"topk\": " << kTopK << ",\n"
-         << "  \"window\": " << kWindow << ",\n"
-         << "  \"epochs\": " << epochs << ",\n"
-         << "  \"cells\": [\n";
+    std::ostringstream arr;
+    arr << "[\n";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const Cell &c = cells[i];
-        json << "    {\"shards\": " << c.shards
-             << ", \"tenants\": " << c.tenants
-             << ", \"queue_capacity\": " << c.queueCapacity
-             << ", \"sim_seconds\": " << c.simSeconds
-             << ", \"wall_ms\": " << c.wallMs
-             << ", \"items\": " << c.items
-             << ", \"served\": " << c.served
-             << ", \"rejected\": " << c.rejected
-             << ", \"throughput_mkeys\": " << c.throughputMKps
-             << ", \"reject_rate\": " << c.rejectRate
-             << ", \"queue_p50_us\": " << c.p50Us
-             << ", \"queue_p99_us\": " << c.p99Us << "}"
-             << (i + 1 < cells.size() ? "," : "") << "\n";
+        arr << "    {\"shards\": " << c.shards
+            << ", \"tenants\": " << c.tenants
+            << ", \"queue_capacity\": " << c.queueCapacity
+            << ", \"sim_seconds\": " << c.simSeconds
+            << ", \"wall_ms\": " << c.wallMs
+            << ", \"items\": " << c.items
+            << ", \"served\": " << c.served
+            << ", \"rejected\": " << c.rejected
+            << ", \"throughput_mkeys\": " << c.throughputMKps
+            << ", \"reject_rate\": " << c.rejectRate
+            << ", \"queue_p50_us\": " << c.p50Us
+            << ", \"queue_p99_us\": " << c.p99Us << "}"
+            << (i + 1 < cells.size() ? "," : "") << "\n";
     }
-    json << "  ],\n"
-         << "  \"speedup_2shards\": " << speedup << ",\n"
-         << "  \"speedup_target\": 1.5,\n"
-         << "  \"speedup_ok\": "
-         << (speedup >= 1.5 ? "true" : "false") << "\n}\n";
-    std::printf("wrote BENCH_service.json\n");
+    arr << "  ]";
+    BenchJson("service_load")
+        .field("keys_per_session",
+               static_cast<std::uint64_t>(kKeysPerSession))
+        .field("topk", static_cast<std::uint64_t>(kTopK))
+        .field("window", static_cast<std::uint64_t>(kWindow))
+        .field("epochs", static_cast<std::uint64_t>(epochs))
+        .raw("cells", arr.str())
+        .field("speedup_2shards", speedup)
+        .field("speedup_target", 1.5)
+        .field("speedup_ok", speedup >= 1.5)
+        .write("BENCH_service.json");
     writeStatsJson("service");
     return 0;
 }

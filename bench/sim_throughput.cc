@@ -1,30 +1,38 @@
 /**
  * @file
- * Simulation-speed bench: how many simulated cache accesses per
- * second the baseline pipeline sustains, fast path vs the pre-PR
- * reference path, in one process.
+ * Simulation-speed bench: how many simulated events per second the
+ * simulator sustains, fast path vs the pre-PR reference path, in one
+ * process.
  *
- * Two representative access streams are replayed twice each:
+ * Three representative streams are replayed twice each:
  *
  *  - "heap": the traced binary heap under priority-queue churn (the
  *    fig18 baseline sample loop).
  *  - "sort": the instrumented mergesort address stream (the fig15
  *    baseline profile loop).
+ *  - "scan": bit-level RIME extraction (the sort kernel itself),
+ *    scalar kernels vs the dispatched SIMD kernels (kernels.hh).
  *
- * The reference pipeline is constructed explicitly (slow-mode
- * Hierarchy + per-access virtual delivery) rather than via
- * RIME_SLOW_SIM, so both paths run in a single process and their
- * cache/memory counters can be diffed directly; any mismatch is a
- * correctness failure and exits nonzero.  Results go to stdout and to
- * BENCH_simspeed.json (override with RIME_SIMSPEED_JSON).
+ * Each reference pipeline is constructed explicitly (slow-mode
+ * Hierarchy + per-access virtual delivery; kernels forced scalar via
+ * kernels::setMode) rather than via RIME_SLOW_SIM / RIME_SIMD, so
+ * both paths run in a single process and their counters can be
+ * diffed directly; any mismatch -- cache/memory counters for the
+ * baseline streams, extracted sequences and chip stat counters for
+ * the scan stream -- is a correctness failure and exits nonzero.
+ * Results go to stdout and to BENCH_simspeed.json (override with
+ * RIME_SIMSPEED_JSON).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "bench/bench_util.hh"
 #include "cachesim/hierarchy.hh"
+#include "rimehw/chip.hh"
+#include "rimehw/kernels.hh"
 #include "sort/sorters.hh"
 #include "workloads/traced_heap.hh"
 
@@ -65,6 +73,10 @@ struct PipelineRun
     std::uint64_t accesses = 0;
     std::uint64_t memReads = 0;
     std::uint64_t memWrites = 0;
+    /** Scan stream only: hash of the extracted (raw, index) pairs. */
+    std::uint64_t checksum = 0;
+    /** Scan stream only: sum of the deterministic chip counters. */
+    std::uint64_t statEvents = 0;
 
     double
     accessesPerSec() const
@@ -73,6 +85,17 @@ struct PipelineRun
                              : 0.0;
     }
 };
+
+/** Fast and reference runs agree on every deterministic counter. */
+bool
+countersMatch(const PipelineRun &slow, const PipelineRun &fast)
+{
+    return slow.accesses == fast.accesses &&
+        slow.memReads == fast.memReads &&
+        slow.memWrites == fast.memWrites &&
+        slow.checksum == fast.checksum &&
+        slow.statEvents == fast.statEvents;
+}
 
 std::uint64_t
 hierarchyAccesses(Hierarchy &h)
@@ -143,6 +166,50 @@ runSortStream(bool slow, std::uint64_t n)
     return run;
 }
 
+/**
+ * Replay bit-level RIME extractions with the kernel layer forced
+ * scalar (the reference path) or SIMD.  Extracted values and the
+ * deterministic chip stat counters are folded into the run so the
+ * caller can diff the two paths exactly.
+ */
+PipelineRun
+runScanStream(bool scalar, std::uint64_t n, std::uint64_t extractions)
+{
+    namespace kernels = rimehw::kernels;
+    kernels::setMode(scalar ? kernels::Mode::Scalar
+                            : kernels::Mode::Simd);
+    rimehw::RimeChip chip(rimehw::RimeGeometry{},
+                          rimehw::RimeTimingParams{}, 1);
+    chip.configure(32, KeyMode::UnsignedFixed);
+    const auto raws = randomRaws(n, 1313);
+    for (std::uint64_t i = 0; i < n; ++i)
+        chip.writeValue(i, raws[i]);
+    chip.initRange(0, n);
+
+    std::uint64_t checksum = 0xcbf29ce484222325ULL;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < extractions; ++i) {
+        const auto r = chip.extract(0, n, false);
+        if (!r.found)
+            fatal("scan stream exhausted the range early");
+        checksum = (checksum ^ r.raw) * 0x100000001B3ULL;
+        checksum = (checksum ^ r.index) * 0x100000001B3ULL;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    kernels::setMode(kernels::envMode());
+
+    PipelineRun run;
+    run.seconds = std::chrono::duration<double>(t1 - t0).count();
+    run.accesses = extractions;
+    run.checksum = checksum;
+    const auto &stats = chip.stats();
+    run.statEvents = static_cast<std::uint64_t>(
+        stats.get("columnSearches") + stats.get("scanSteps") +
+        stats.get("extractions") + stats.get("rowReads") +
+        stats.get("exclusions"));
+    return run;
+}
+
 /** Both pipelines over one stream, with the equivalence diff. */
 struct StreamResult
 {
@@ -178,18 +245,12 @@ writeJson(const std::vector<StreamResult> &streams)
 {
     const std::string path = envString("RIME_SIMSPEED_JSON")
         .value_or("BENCH_simspeed.json");
-    std::ofstream out(path);
-    if (!out) {
-        warn("cannot write %s", path.c_str());
-        return;
-    }
-    out << "{\n";
-    for (std::size_t i = 0; i < streams.size(); ++i) {
-        const auto &r = streams[i];
+    BenchJson json("simspeed");
+    for (const auto &r : streams) {
         char buf[512];
         std::snprintf(
             buf, sizeof(buf),
-            "  \"%s\": {\n"
+            "{\n"
             "    \"accesses\": %llu,\n"
             "    \"slow_seconds\": %.6f,\n"
             "    \"fast_seconds\": %.6f,\n"
@@ -197,17 +258,14 @@ writeJson(const std::vector<StreamResult> &streams)
             "    \"fast_accesses_per_sec\": %.1f,\n"
             "    \"speedup\": %.3f,\n"
             "    \"counters_match\": %s\n"
-            "  }%s\n",
-            r.name,
+            "  }",
             static_cast<unsigned long long>(r.fast.accesses),
             r.slow.seconds, r.fast.seconds,
             r.slow.accessesPerSec(), r.fast.accessesPerSec(),
-            r.speedup(), r.match ? "true" : "false",
-            i + 1 < streams.size() ? "," : "");
-        out << buf;
+            r.speedup(), r.match ? "true" : "false");
+        json.raw(r.name, buf);
     }
-    out << "}\n";
-    std::printf("simspeed: %s\n", path.c_str());
+    json.write(path);
 }
 
 } // namespace
@@ -228,9 +286,7 @@ main()
         const std::uint64_t churn = scaledCap(1 << 21);
         r.slow = runHeapStream(true, initial, churn);
         r.fast = runHeapStream(false, initial, churn);
-        r.match = r.slow.accesses == r.fast.accesses &&
-            r.slow.memReads == r.fast.memReads &&
-            r.slow.memWrites == r.fast.memWrites;
+        r.match = countersMatch(r.slow, r.fast);
         printStream(r);
         streams.push_back(r);
     }
@@ -241,9 +297,20 @@ main()
         const std::uint64_t n = scaledCap(1 << 21);
         r.slow = runSortStream(true, n);
         r.fast = runSortStream(false, n);
-        r.match = r.slow.accesses == r.fast.accesses &&
-            r.slow.memReads == r.fast.memReads &&
-            r.slow.memWrites == r.fast.memWrites;
+        r.match = countersMatch(r.slow, r.fast);
+        printStream(r);
+        streams.push_back(r);
+    }
+
+    {
+        StreamResult r;
+        r.name = "scan";
+        const std::uint64_t n = scaledCap(1 << 17);
+        const std::uint64_t extractions =
+            std::min(n, std::max<std::uint64_t>(256, n >> 6));
+        r.slow = runScanStream(true, n, extractions);
+        r.fast = runScanStream(false, n, extractions);
+        r.match = countersMatch(r.slow, r.fast);
         printStream(r);
         streams.push_back(r);
     }

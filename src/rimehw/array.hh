@@ -8,6 +8,11 @@
  * Storage is column-major so a column search is a handful of word-wide
  * AND operations against the select vector -- exactly the data-parallel
  * structure of the physical selectline sensing.
+ *
+ * Column words are 64-byte aligned (one 512-row column is exactly one
+ * cache line), and with a SIMD kernel table dispatched the column
+ * search runs vectorized (kernels.hh); the original scalar word loop
+ * stays inline as the RIME_SIMD=0 reference path.
  */
 
 #ifndef RIME_RIMEHW_ARRAY_HH
@@ -19,6 +24,7 @@
 #include "common/logging.hh"
 #include "rimehw/bitvector.hh"
 #include "rimehw/faults.hh"
+#include "rimehw/kernels.hh"
 
 namespace rime::rimehw
 {
@@ -169,6 +175,79 @@ class RramArray
     columnSearchInto(unsigned col, bool search_bit,
                      const BitVector &select, BitVector &match) const
     {
+        const std::uint64_t *col_words = &columns_[colBase(col)];
+        if (kernels::simdEnabled()) {
+            // Gather the per-word disturb masks (zero-cost when no
+            // fault model is attached) so the kernel operates on
+            // plain arrays; bounded stack scratch, no allocation.
+            const std::uint64_t *disturb = nullptr;
+            std::uint64_t dbuf[kMaxKernelWords];
+            if (faults_) {
+                if (wordsPerCol_ > kMaxKernelWords)
+                    return columnSearchRef(col, search_bit,
+                                           select, match);
+                const std::uint64_t epoch = faults_->epoch();
+                for (unsigned w = 0; w < wordsPerCol_; ++w)
+                    dbuf[w] = faults_->disturbWord(arrayId_, col, w,
+                                                   epoch);
+                disturb = dbuf;
+            }
+            const auto sig = kernels::active().columnSearch(
+                col_words, disturb, select.words(), match.words(),
+                wordsPerCol_, search_bit);
+            return {sig.anyMatch, sig.anyMismatch};
+        }
+        return columnSearchRef(col, search_bit, select, match);
+    }
+
+    /**
+     * Signals-only probe (the SIMD fast path): compute the wired-OR
+     * signals without writing a match vector.  Only valid when no
+     * fault model is attached -- the match must be recomputable from
+     * the stored column at commit time (commitSearch) -- so this
+     * returns false when the caller must use columnSearchInto.
+     */
+    bool
+    probeSignals(unsigned col, bool search_bit,
+                 const BitVector &select,
+                 ColumnSearchSignals &out) const
+    {
+        if (!kernels::simdEnabled() || faults_)
+            return false;
+        const auto sig = kernels::active().searchSignals(
+            &columns_[colBase(col)], select.words(), wordsPerCol_,
+            search_bit);
+        out.anyMatch = sig.anyMatch;
+        out.anyMismatch = sig.anyMismatch;
+        return true;
+    }
+
+    /**
+     * Fused commit for a probeSignals probe: select &= ~match with
+     * the match recomputed from the stored column, returning the
+     * surviving count.  Caller guarantees select is unchanged since
+     * the probe and no fault model is attached; the result is
+     * bit-identical to select.andNotCount(match) on the match the
+     * probe would have recorded.
+     */
+    unsigned
+    commitSearch(unsigned col, bool search_bit,
+                 BitVector &select) const
+    {
+        return kernels::active().commitSearch(
+            select.words(), &columns_[colBase(col)], wordsPerCol_,
+            search_bit);
+    }
+
+  private:
+    /** Tallest array the stack disturb-gather buffer covers. */
+    static constexpr unsigned kMaxKernelWords = 16;
+
+    /** The scalar reference column search (the pre-SIMD loop). */
+    ColumnSearchSignals
+    columnSearchRef(unsigned col, bool search_bit,
+                    const BitVector &select, BitVector &match) const
+    {
         ColumnSearchSignals signals;
         const std::uint64_t *col_words = &columns_[colBase(col)];
         std::uint64_t any_match = 0;
@@ -210,7 +289,8 @@ class RramArray
     unsigned rows_;
     unsigned cols_;
     unsigned wordsPerCol_;
-    std::vector<std::uint64_t> columns_;
+    /** Column-major cell storage, 64-byte aligned (kernel operand). */
+    WordVector columns_;
     /** Fault oracle (nullptr on a perfect array). */
     const FaultModel *faults_ = nullptr;
     std::uint64_t arrayId_ = 0;

@@ -2,6 +2,13 @@
  * @file
  * A fixed-width packed bit vector used for select vectors, match
  * vectors, and exclusion flags in the bit-level RIME array model.
+ *
+ * Word storage is 64-byte aligned (kernels.hh WordVector) so the
+ * bulk operations can run on the dispatched SIMD kernel table.  Each
+ * bulk op keeps its original scalar loop inline as the reference
+ * path: with RIME_SIMD=0 (kernels::simdEnabled() false) exactly the
+ * pre-SIMD code executes, which is what the scalar/SIMD A/B gates in
+ * the benches and CI compare against.
  */
 
 #ifndef RIME_RIMEHW_BITVECTOR_HH
@@ -9,9 +16,9 @@
 
 #include <bit>
 #include <cstdint>
-#include <vector>
 
 #include "common/logging.hh"
+#include "rimehw/kernels.hh"
 
 namespace rime::rimehw
 {
@@ -27,6 +34,10 @@ class BitVector
     unsigned size() const { return nbits_; }
     unsigned numWords() const
     { return static_cast<unsigned>(words_.size()); }
+
+    /** Raw word storage (64-byte aligned; kernel operand). */
+    const std::uint64_t *words() const { return words_.data(); }
+    std::uint64_t *words() { return words_.data(); }
 
     bool
     test(unsigned pos) const
@@ -47,6 +58,10 @@ class BitVector
     void
     setRange(unsigned begin, unsigned end)
     {
+        if (kernels::simdEnabled()) {
+            rangeOp(begin, end, true);
+            return;
+        }
         applyRange(begin, end, [](std::uint64_t &w, std::uint64_t m) {
             w |= m;
         });
@@ -56,6 +71,10 @@ class BitVector
     void
     clearRange(unsigned begin, unsigned end)
     {
+        if (kernels::simdEnabled()) {
+            rangeOp(begin, end, false);
+            return;
+        }
         applyRange(begin, end, [](std::uint64_t &w, std::uint64_t m) {
             w &= ~m;
         });
@@ -64,6 +83,10 @@ class BitVector
     void
     clearAll()
     {
+        if (kernels::simdEnabled()) {
+            kernels::active().fill(words_.data(), 0, numWords());
+            return;
+        }
         for (auto &w : words_)
             w = 0;
     }
@@ -71,6 +94,11 @@ class BitVector
     void
     setAll()
     {
+        if (kernels::simdEnabled()) {
+            kernels::active().fill(words_.data(), ~0ULL, numWords());
+            trim();
+            return;
+        }
         for (auto &w : words_)
             w = ~0ULL;
         trim();
@@ -80,6 +108,9 @@ class BitVector
     unsigned
     count() const
     {
+        if (kernels::simdEnabled())
+            return kernels::active().popcount(words_.data(),
+                                              numWords());
         unsigned n = 0;
         for (auto w : words_)
             n += static_cast<unsigned>(std::popcount(w));
@@ -114,6 +145,12 @@ class BitVector
     BitVector &
     operator&=(const BitVector &other)
     {
+        if (kernels::simdEnabled()) {
+            kernels::active().andWords(words_.data(),
+                                       other.words_.data(),
+                                       numWords());
+            return *this;
+        }
         for (unsigned i = 0; i < words_.size(); ++i)
             words_[i] &= other.words_[i];
         return *this;
@@ -122,6 +159,12 @@ class BitVector
     BitVector &
     operator|=(const BitVector &other)
     {
+        if (kernels::simdEnabled()) {
+            kernels::active().orWords(words_.data(),
+                                      other.words_.data(),
+                                      numWords());
+            return *this;
+        }
         for (unsigned i = 0; i < words_.size(); ++i)
             words_[i] |= other.words_[i];
         return *this;
@@ -131,6 +174,12 @@ class BitVector
     BitVector &
     andNot(const BitVector &other)
     {
+        if (kernels::simdEnabled()) {
+            kernels::active().andNot(words_.data(),
+                                     other.words_.data(),
+                                     numWords());
+            return *this;
+        }
         for (unsigned i = 0; i < words_.size(); ++i)
             words_[i] &= ~other.words_[i];
         return *this;
@@ -143,6 +192,9 @@ class BitVector
     unsigned
     andNotCount(const BitVector &other)
     {
+        if (kernels::simdEnabled())
+            return kernels::active().andNotCount(
+                words_.data(), other.words_.data(), numWords());
         unsigned n = 0;
         for (unsigned i = 0; i < words_.size(); ++i) {
             words_[i] &= ~other.words_[i];
@@ -158,6 +210,10 @@ class BitVector
     unsigned
     assignAndNotCount(const BitVector &base, const BitVector &mask)
     {
+        if (kernels::simdEnabled())
+            return kernels::active().assignAndNotCount(
+                words_.data(), base.words_.data(),
+                mask.words_.data(), numWords());
         unsigned n = 0;
         for (unsigned i = 0; i < words_.size(); ++i) {
             words_[i] = base.words_[i] & ~mask.words_[i];
@@ -198,6 +254,39 @@ class BitVector
         op(words_[last], tail);
     }
 
+    /**
+     * Kernel-backed range set/clear: masked edits of the boundary
+     * words, a vector fill of the full words between them.  Produces
+     * exactly the words applyRange produces.
+     */
+    void
+    rangeOp(unsigned begin, unsigned end, bool value)
+    {
+        if (begin >= end)
+            return;
+        const unsigned first = begin >> 6;
+        const unsigned last = (end - 1) >> 6;
+        const std::uint64_t head = ~0ULL << (begin & 63);
+        const std::uint64_t tail =
+            ~0ULL >> (63 - ((end - 1) & 63));
+        const auto edit = [value](std::uint64_t &w, std::uint64_t m) {
+            if (value)
+                w |= m;
+            else
+                w &= ~m;
+        };
+        if (first == last) {
+            edit(words_[first], head & tail);
+            return;
+        }
+        edit(words_[first], head);
+        if (last > first + 1)
+            kernels::active().fill(words_.data() + first + 1,
+                                   value ? ~0ULL : 0,
+                                   last - first - 1);
+        edit(words_[last], tail);
+    }
+
     /** Zero any bits beyond nbits_ in the last word. */
     void
     trim()
@@ -208,7 +297,7 @@ class BitVector
     }
 
     unsigned nbits_;
-    std::vector<std::uint64_t> words_;
+    WordVector words_;
 };
 
 } // namespace rime::rimehw

@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/trace.hh"
+#include "rimehw/kernels.hh"
 
 namespace rime::rimehw
 {
@@ -17,6 +18,17 @@ RimeChip::RimeChip(const RimeGeometry &geometry,
     : geometry_(geometry), timing_(timing), faultParams_(faults),
       stats_("rimechip"), endurance_(512)
 {
+    // Resolve the hot-path counter handles once; hot loops then
+    // increment through pointers instead of per-event map lookups.
+    rowReads_ = stats_.counter("rowReads");
+    rowWrites_ = stats_.counter("rowWrites");
+    energyPJ_ = stats_.counter("energyPJ");
+    columnSearches_ = stats_.counter("columnSearches");
+    scanSteps_ = stats_.counter("scanSteps");
+    extractions_ = stats_.counter("extractions");
+    exclusions_ = stats_.counter("exclusions");
+    busyTicks_ = stats_.counter("busyTicks");
+    scanWallNs_ = stats_.counter("scanWallNs");
     if (faultParams_.injecting())
         faults_ = std::make_unique<FaultModel>(faultParams_);
     arrays_.resize(std::size_t(geometry_.banksPerChip) *
@@ -141,8 +153,8 @@ RimeChip::raiseHealth(std::uint64_t logical_unit, UnitHealth to)
 void
 RimeChip::chargeRead()
 {
-    stats_.inc("rowReads");
-    stats_.inc("energyPJ", timing_.readEnergy);
+    ++rowReads_;
+    energyPJ_ += timing_.readEnergy;
 }
 
 bool
@@ -180,8 +192,8 @@ RimeChip::writeRowRepair(std::uint64_t logical_unit, ArrayUnit &au,
     unsigned attempts = 0;
     for (;;) {
         if (!first || charge_first) {
-            stats_.inc("rowWrites");
-            stats_.inc("energyPJ", timing_.writeEnergy);
+            ++rowWrites_;
+            energyPJ_ += timing_.writeEnergy;
         }
         first = false;
         ++attempts;
@@ -293,8 +305,8 @@ RimeChip::writeValue(std::uint64_t index, std::uint64_t raw)
     const std::uint64_t rows = rowsPerUnit();
     const std::uint64_t unit_id = index / rows;
     const unsigned row = static_cast<unsigned>(index % rows);
-    stats_.inc("rowWrites");
-    stats_.inc("energyPJ", timing_.writeEnergy);
+    ++rowWrites_;
+    energyPJ_ += timing_.writeEnergy;
     endurance_.recordWrite(index * ((k_ + 7) / 8), (k_ + 7) / 8);
     if (!faults_) {
         unit(unit_id).writeValue(row, raw);
@@ -328,8 +340,8 @@ RimeChip::readValue(std::uint64_t index)
         stableRead(au, au.physicalRow(row), value);
         return value;
     }
-    stats_.inc("rowReads");
-    stats_.inc("energyPJ", timing_.readEnergy);
+    ++rowReads_;
+    energyPJ_ += timing_.readEnergy;
     return unit(unit_id).readValue(row);
 }
 
@@ -364,7 +376,7 @@ RimeChip::initRange(std::uint64_t begin, std::uint64_t end)
     stats_.inc("rangeInits");
     // Select-vector initialization propagates begin/end down the
     // H-tree and latches the per-row select bits: one tree traversal.
-    stats_.inc("energyPJ", timing_.stepEnergy() * 0.1);
+    energyPJ_ += timing_.stepEnergy() * 0.1;
     return timing_.stepTime();
 }
 
@@ -428,7 +440,7 @@ RimeChip::exclude(std::uint64_t begin, std::uint64_t end,
     const std::uint64_t unit_id = index / rows;
     const unsigned row = static_cast<unsigned>(index % rows);
     logicalUnit(unit_id).exclude(row);
-    stats_.inc("exclusions");
+    ++exclusions_;
 }
 
 bool
@@ -458,6 +470,14 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
     ThreadPool &pool = ThreadPool::global();
     Tracer &tracer = Tracer::global();
     const unsigned shards = shardCount();
+    // With SIMD dispatched and no fault model, probes are pure
+    // signal reductions (no recorded match vector) and commits
+    // recompute the match from the stored column.  Probing can then
+    // stop the moment a shard's wired-OR signals both saturate --
+    // further probes only OR in more -- which skips most of the
+    // probe pass on split-heavy steps.  The recorded-match path
+    // cannot early-exit: its commit consumes the probe's output.
+    const bool fused = kernels::simdEnabled() && !faults_;
     bool negatives_present = false;
     if (survivors > 1 || !timing_.earlyTermination) {
         for (unsigned s = 0; s < k_; ++s) {
@@ -480,6 +500,8 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
                                 activeUnits_[i]->probe(s, search_bit);
                             m = m || probe.anyMatch;
                             mm = mm || probe.anyMismatch;
+                            if (fused && m && mm)
+                                break;
                         }
                         shardScratch_[shard].anyMatch = m;
                         shardScratch_[shard].anyMismatch = mm;
@@ -505,8 +527,17 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
                     [&](std::size_t lo, std::size_t hi,
                         unsigned shard) {
                         std::uint64_t n = 0;
-                        for (std::size_t i = lo; i < hi; ++i)
-                            n += activeUnits_[i]->commitAndCount(true);
+                        if (fused) {
+                            for (std::size_t i = lo; i < hi; ++i) {
+                                n += activeUnits_[i]
+                                    ->commitFusedAndCount(s,
+                                                          search_bit);
+                            }
+                        } else {
+                            for (std::size_t i = lo; i < hi; ++i)
+                                n += activeUnits_[i]
+                                    ->commitAndCount(true);
+                        }
                         shardScratch_[shard].survivors = n;
                     });
                 survivors = 0;
@@ -532,8 +563,6 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
             if (any_mismatch != search_bit)
                 att.trajectory |= 1ULL << s;
             ++att.steps;
-            stats_.inc("columnSearches",
-                       static_cast<double>(activeUnits_.size()));
             if (pos == k_ - 1) {
                 // Sign-step outcome tells the controller whether the
                 // survivors are negative (drives later polarity).
@@ -544,6 +573,13 @@ RimeChip::runScanSteps(bool find_max, std::uint64_t survivors)
                 break;
         }
     }
+
+    // One batched add per walk: every step searched one column in
+    // every active unit, and k adds of `size` equal one add of
+    // `k*size` exactly in double (integer counts), so the dumped
+    // totals are unchanged.
+    columnSearches_ += static_cast<double>(att.steps) *
+        static_cast<double>(activeUnits_.size());
 
     // Priority-encode the winner: lowest unit, then lowest row.
     for (std::size_t i = 0; i < activeUnits_.size(); ++i) {
@@ -568,9 +604,9 @@ RimeChip::scan(std::uint64_t begin, std::uint64_t end, bool find_max)
     const auto host_end = std::chrono::steady_clock::now();
     // Host-side wall time: excluded from deterministic JSON stat
     // dumps by the *WallNs naming convention (see isWallClockStat).
-    stats_.inc("scanWallNs", static_cast<double>(
+    scanWallNs_ += static_cast<double>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
-            host_end - host_start).count()));
+            host_end - host_start).count());
     if (result.found) {
         stats_.hist("scanStepsPerExtract")
             .record(static_cast<double>(result.steps));
@@ -631,12 +667,12 @@ RimeChip::scanImpl(std::uint64_t begin, std::uint64_t end, bool find_max)
             geometry_.arrayRows + att.physRow;
         result.steps = att.steps;
         result.time = att.steps * timing_.stepTime() + timing_.tRead;
-        stats_.inc("extractions");
-        stats_.inc("scanSteps", att.steps);
-        stats_.inc("rowReads");
-        stats_.inc("energyPJ", att.steps * timing_.stepEnergy() +
-                   timing_.readEnergy);
-        stats_.inc("busyTicks", static_cast<double>(result.time));
+        ++extractions_;
+        scanSteps_ += att.steps;
+        ++rowReads_;
+        energyPJ_ += att.steps * timing_.stepEnergy() +
+            timing_.readEnergy;
+        busyTicks_ += static_cast<double>(result.time);
         return result;
     }
 
@@ -674,10 +710,10 @@ RimeChip::scanImpl(std::uint64_t begin, std::uint64_t end, bool find_max)
         result.steps = total_steps;
         result.time = total_steps * timing_.stepTime() + timing_.tRead;
         result.status = ScanStatus::Ok;
-        stats_.inc("extractions");
-        stats_.inc("scanSteps", total_steps);
-        stats_.inc("energyPJ", total_steps * timing_.stepEnergy());
-        stats_.inc("busyTicks", static_cast<double>(result.time));
+        ++extractions_;
+        scanSteps_ += total_steps;
+        energyPJ_ += total_steps * timing_.stepEnergy();
+        busyTicks_ += static_cast<double>(result.time);
         return result;
     };
 

@@ -245,6 +245,22 @@ class RimeChip : public RankBackend
     std::vector<std::pair<std::uint64_t, std::uint64_t>> deadExtents_;
 
     StatGroup stats_;
+    /**
+     * Cached handles to the hot-path counters (resolved once in the
+     * constructor): the scan and write paths increment through these
+     * instead of paying a string-keyed map lookup per event.  Eager
+     * resolution creates the keys at zero, so dump key sets do not
+     * depend on which events occurred.
+     */
+    StatCounter rowReads_;
+    StatCounter rowWrites_;
+    StatCounter energyPJ_;
+    StatCounter columnSearches_;
+    StatCounter scanSteps_;
+    StatCounter extractions_;
+    StatCounter exclusions_;
+    StatCounter busyTicks_;
+    StatCounter scanWallNs_;
     EnduranceTracker endurance_;
 };
 

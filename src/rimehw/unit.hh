@@ -23,6 +23,7 @@
 #define RIME_RIMEHW_UNIT_HH
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
 
@@ -278,21 +279,33 @@ class ArrayUnit
         // zero, so a stale lastMatch_ cannot resurrect rows.)
         if (survivors_ == 0)
             return {};
-        return array_->columnSearchInto(slot_ * k_ + step_from_msb,
-                                        search_bit, select_,
+        const unsigned col = slot_ * k_ + step_from_msb;
+        ColumnSearchSignals sig;
+        if (array_->probeSignals(col, search_bit, select_, sig)) {
+            // Fast path: the match vector is not materialized; a
+            // committing step recomputes it from the stored column
+            // (bit-identical -- see kernels.hh commitSearch).
+            lastProbeCol_ = col;
+            lastProbeBit_ = search_bit;
+            lastProbeFused_ = true;
+            return sig;
+        }
+        lastProbeFused_ = false;
+        return array_->columnSearchInto(col, search_bit, select_,
                                         lastMatch_);
     }
 
     /**
      * Apply the controller's global exclusion decision: when asserted,
      * the match vector is loaded into the select latches (turning 1s
-     * into 0s for the matched rows).
+     * into 0s for the matched rows).  Keeps the survivors_ cache
+     * current so survivorCount() stays O(1) on either commit path.
      */
     void
     commit(bool global_exclude)
     {
-        if (global_exclude)
-            select_.andNot(lastMatch_);
+        if (global_exclude && survivors_ != 0)
+            applyCommit();
     }
 
     /**
@@ -303,12 +316,42 @@ class ArrayUnit
     commitAndCount(bool global_exclude)
     {
         if (global_exclude && survivors_ != 0)
-            survivors_ = select_.andNotCount(lastMatch_);
+            applyCommit();
         return survivors_;
     }
 
-    /** Rows still selected. */
-    unsigned survivorCount() const { return select_.count(); }
+    /**
+     * Fused commit for the chip's SIMD scan loop: recompute the match
+     * vector from the stored column and apply it, independent of any
+     * per-unit probe state.  Only valid when the controller
+     * established that this step's probes all took (or could have
+     * taken) the signals-only path -- SIMD dispatched and no fault
+     * model -- which also lets the probe loop early-exit once the
+     * wired-OR signals saturate without leaving stale state behind.
+     * Bit-identical to commitAndCount(true) after a recorded probe.
+     */
+    unsigned
+    commitFusedAndCount(unsigned step_from_msb, bool search_bit)
+    {
+        if (survivors_ != 0) {
+            survivors_ = array_->commitSearch(
+                slot_ * k_ + step_from_msb, search_bit, select_);
+        }
+        return survivors_;
+    }
+
+    /**
+     * Rows still selected.  Served from the survivors_ cache the
+     * extraction path already maintains (beginExtraction, commit,
+     * commitAndCount all mutate select_ through counting ops), so
+     * callers don't pay an O(words) popcount pass per query.
+     */
+    unsigned
+    survivorCount() const
+    {
+        assert(survivors_ == select_.count());
+        return survivors_;
+    }
 
     /** Lowest selected physical row (priority encoding), rows() when
      *  none. */
@@ -328,6 +371,16 @@ class ArrayUnit
     const BitVector &select() const { return select_; }
 
   private:
+    /** The commit body shared by commit() and commitAndCount(). */
+    void
+    applyCommit()
+    {
+        survivors_ = lastProbeFused_
+            ? array_->commitSearch(lastProbeCol_, lastProbeBit_,
+                                   select_)
+            : select_.andNotCount(lastMatch_);
+    }
+
     RramArray *array_;
     unsigned slot_;
     unsigned k_;
@@ -350,12 +403,23 @@ class ArrayUnit
     bool remapped_ = false;
     bool faulty_ = false;
     /**
-     * Select-latch population, maintained by the fused extraction
-     * path (beginExtraction / commitAndCount) so drained units
-     * short-circuit their probes.  The legacy probe/commit pair used
-     * by the unit tests does not depend on it.
+     * Select-latch population cache: every mutation of select_ flows
+     * through a fused counting op (beginExtraction, commit,
+     * commitAndCount), so this is always popcount(select_).  Lets
+     * drained units short-circuit their probes and survivorCount()
+     * answer in O(1).
      */
     unsigned survivors_ = 0;
+    /**
+     * Column and polarity of the last probe, and whether it took the
+     * signals-only fast path (match vector not materialized).  A
+     * committing step then recomputes the match from the stored
+     * column (applyCommit); the fault path records lastMatch_ and
+     * clears the flag.
+     */
+    unsigned lastProbeCol_ = 0;
+    bool lastProbeBit_ = false;
+    bool lastProbeFused_ = false;
 };
 
 } // namespace rime::rimehw
