@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Durability and failover cost of the serving layer: what the
+ * write-ahead journal adds to the serve path, what snapshots buy at
+ * recovery time, and how disruptive a live shard drain is.
+ *
+ * Four experiments, emitted as BENCH_recovery.json:
+ *
+ *  - journal_overhead: a closed synchronous extraction loop against
+ *    one shard with the journal off / on / on+fsync.  Wall-clock ops
+ *    per second per mode; the off/on ratio is the serve-path cost of
+ *    an append, the fsync column the power-fail-durability premium.
+ *  - snapshot_sweep: the same loop under snapshot intervals
+ *    {0, 64, 256, 1024}: wall time, final journal size, snapshots
+ *    written.
+ *  - recovery: time to construct a recovered service over a K-op
+ *    journal in Replay mode (re-execute history, bit-identical
+ *    stats) vs Snapshot mode (load state + replay the suffix).
+ *  - failover: a client thread keeps one session saturated with
+ *    synchronous extractions while the main thread drains its shard;
+ *    reports the served/rejected split around the migration (the
+ *    acceptance gate wants the reject rate under 1%).
+ *
+ * The journal/snapshot configuration of every experiment is stamped
+ * into the JSON row by row (and the RIME_JOURNAL_DIR /
+ * RIME_RECOVERY_MODE environment defaults at top level), so a result
+ * file always records the durability knobs that produced it.
+ * RIME_BENCH_SCALE scales the op counts as usual.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <stdlib.h>
+
+#include "bench/bench_util.hh"
+#include "common/logging.hh"
+#include "service/journal.hh"
+#include "service/service.hh"
+
+using namespace rime;
+using namespace rime::bench;
+using namespace rime::service;
+
+namespace
+{
+
+constexpr std::uint64_t kKeysPerRange = 4096;
+constexpr std::uint64_t kRangeBytes =
+    kKeysPerRange * sizeof(std::uint32_t);
+
+double
+wallMs(std::chrono::steady_clock::time_point begin,
+       std::chrono::steady_clock::time_point end)
+{
+    return std::chrono::duration<double, std::milli>(end - begin)
+        .count();
+}
+
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/rime_bench_recovery_XXXXXX";
+    const char *dir = ::mkdtemp(tmpl);
+    if (dir == nullptr)
+        fatal("mkdtemp failed for the recovery bench");
+    return dir;
+}
+
+struct ScopedDir
+{
+    std::string path = makeTempDir();
+    ~ScopedDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+};
+
+ServiceConfig
+serviceConfig(const std::string &dir, std::uint64_t snapshot_interval,
+              bool fsync, RecoveryMode mode, unsigned shards = 1)
+{
+    ServiceConfig cfg;
+    cfg.shards = shards;
+    cfg.durability.dir = dir;
+    cfg.durability.snapshotIntervalOps = snapshot_interval;
+    cfg.durability.fsyncEveryAppend = fsync;
+    cfg.durability.recoveryMode = mode;
+    return cfg;
+}
+
+/** One synchronous extraction; re-arms the range when it drains. */
+void
+extractOrRearm(Session &s, Addr base)
+{
+    const Response r = s.min(base, base + kRangeBytes).get();
+    if (r.status == ServiceStatus::Empty) {
+        (void)s.init(base, base + kRangeBytes, KeyMode::UnsignedFixed)
+            .get();
+    }
+}
+
+/**
+ * The closed loop every experiment runs: set up one range, then
+ * `ops` synchronous Min requests (re-initing on drain).  Returns
+ * wall milliseconds of the extraction loop only.
+ */
+double
+runLoop(RimeService &svc, std::uint64_t ops)
+{
+    auto s = svc.openSession({"bench", 1, 8, 0});
+    const Addr base = s->malloc(kRangeBytes).get().addr;
+    (void)s->storeArray(base, randomRaws(kKeysPerRange, 7)).get();
+    (void)s->init(base, base + kRangeBytes, KeyMode::UnsignedFixed)
+        .get();
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < ops; ++i)
+        extractOrRearm(*s, base);
+    const auto end = std::chrono::steady_clock::now();
+    s->close();
+    return wallMs(begin, end);
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::error_code ec;
+    const auto n = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t
+snapshotMarks(const std::string &journal)
+{
+    std::uint64_t n = 0;
+    for (const auto &rec : readJournal(journal).records)
+        n += rec.kind == JournalRecordKind::SnapshotMark ? 1 : 0;
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t ops = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(2000 * benchScale()), 200);
+    BenchJson json("recovery_load");
+    const DurabilityConfig env = DurabilityConfig::fromEnv();
+    json.field("env_journal_dir",
+               env.dir.empty() ? "(unset)" : env.dir);
+    json.field("env_recovery_mode", recoveryModeName(env.recoveryMode));
+    json.field("env_journal_fsync", env.fsyncEveryAppend);
+    json.field("ops_per_cell", ops);
+    json.field("keys_per_range", kKeysPerRange);
+
+    // ------------------------------------------------------------------
+    // Journal overhead: off / append / append+fsync.
+    // ------------------------------------------------------------------
+    std::printf("journal overhead (%llu ops)\n",
+                static_cast<unsigned long long>(ops));
+    printHeader("mode", {"wall ms", "ops/s"});
+    std::ostringstream overhead;
+    overhead << "[";
+    const char *modes[] = {"off", "journal", "journal+fsync"};
+    for (unsigned m = 0; m < 3; ++m) {
+        ScopedDir dir;
+        double ms = 0.0;
+        if (m == 0) {
+            RimeService svc{ServiceConfig{}};
+            ms = runLoop(svc, ops);
+        } else {
+            RimeService svc(
+                serviceConfig(dir.path, 0, m == 2, RecoveryMode::Replay));
+            ms = runLoop(svc, ops);
+        }
+        const double per_sec = ops / (ms / 1e3);
+        printRow(modes[m], {ms, per_sec});
+        overhead << (m ? "," : "") << "\n    {\"mode\": \""
+                 << modes[m] << "\", \"journal\": "
+                 << (m > 0 ? "true" : "false")
+                 << ", \"fsync\": " << (m == 2 ? "true" : "false")
+                 << ", \"wall_ms\": " << ms
+                 << ", \"ops_per_sec\": " << per_sec << "}";
+    }
+    overhead << "\n  ]";
+    json.raw("journal_overhead", overhead.str());
+
+    // ------------------------------------------------------------------
+    // Snapshot cadence: serve-path cost and journal growth.
+    // ------------------------------------------------------------------
+    std::printf("\nsnapshot interval sweep\n");
+    printHeader("interval", {"wall ms", "journal KB", "snapshots"});
+    std::ostringstream sweep;
+    sweep << "[";
+    const std::uint64_t intervals[] = {0, 64, 256, 1024};
+    bool first = true;
+    for (const std::uint64_t interval : intervals) {
+        ScopedDir dir;
+        double ms = 0.0;
+        {
+            RimeService svc(serviceConfig(dir.path, interval, false,
+                                          RecoveryMode::Snapshot));
+            ms = runLoop(svc, ops);
+        }
+        const std::string journal = dir.path + "/shard0.journal";
+        const std::uint64_t bytes = fileBytes(journal);
+        const std::uint64_t snaps = snapshotMarks(journal);
+        printRow(std::to_string(interval),
+                 {ms, bytes / 1024.0, static_cast<double>(snaps)});
+        sweep << (first ? "" : ",") << "\n    {\"interval\": "
+              << interval << ", \"wall_ms\": " << ms
+              << ", \"journal_bytes\": " << bytes
+              << ", \"snapshots\": " << snaps << "}";
+        first = false;
+    }
+    sweep << "\n  ]";
+    json.raw("snapshot_sweep", sweep.str());
+
+    // ------------------------------------------------------------------
+    // Recovery time: replay the history vs load snapshot + suffix.
+    // ------------------------------------------------------------------
+    std::printf("\nrecovery time (%llu-op journal)\n",
+                static_cast<unsigned long long>(ops));
+    printHeader("mode", {"recover ms"});
+    std::ostringstream recovery;
+    recovery << "[";
+    const struct
+    {
+        const char *label;
+        std::uint64_t interval;
+        RecoveryMode mode;
+    } rec_cells[] = {
+        {"replay", 0, RecoveryMode::Replay},
+        {"snapshot", 256, RecoveryMode::Snapshot},
+    };
+    first = true;
+    for (const auto &cell : rec_cells) {
+        ScopedDir dir;
+        {
+            RimeService svc(serviceConfig(dir.path, cell.interval,
+                                          false, cell.mode));
+            (void)runLoop(svc, ops);
+            // Leave the session closed but the journal populated.
+        }
+        const auto begin = std::chrono::steady_clock::now();
+        RimeService recovered(serviceConfig(dir.path, cell.interval,
+                                            false, cell.mode));
+        const double ms = wallMs(begin,
+                                 std::chrono::steady_clock::now());
+        printRow(cell.label, {ms});
+        recovery << (first ? "" : ",") << "\n    {\"mode\": \""
+                 << cell.label << "\", \"snapshot_interval\": "
+                 << cell.interval << ", \"journaled_ops\": " << ops
+                 << ", \"recover_ms\": " << ms << "}";
+        first = false;
+    }
+    recovery << "\n  ]";
+    json.raw("recovery", recovery.str());
+
+    // ------------------------------------------------------------------
+    // Failover disruption: drain under load, count the shed requests.
+    // ------------------------------------------------------------------
+    std::printf("\nfailover under load\n");
+    std::uint64_t served = 0, rejected = 0;
+    unsigned moved = 0;
+    {
+        ScopedDir dir;
+        RimeService svc(serviceConfig(dir.path, 0, false,
+                                      RecoveryMode::Replay, 2));
+        auto s = svc.openSession({"bench", 1, 8, 0});
+        const Addr base = s->malloc(kRangeBytes).get().addr;
+        (void)s->storeArray(base, randomRaws(kKeysPerRange, 8)).get();
+        (void)s->init(base, base + kRangeBytes, KeyMode::UnsignedFixed)
+            .get();
+        std::atomic<bool> stop{false};
+        std::thread client([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                const Response r =
+                    s->min(base, base + kRangeBytes).get();
+                if (r.status == ServiceStatus::Rejected)
+                    ++rejected;
+                else
+                    ++served;
+                if (r.status == ServiceStatus::Empty) {
+                    (void)s->init(base, base + kRangeBytes,
+                                  KeyMode::UnsignedFixed)
+                        .get();
+                }
+            }
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        moved = svc.drainShard(0);
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        stop.store(true, std::memory_order_release);
+        client.join();
+        s->close();
+    }
+    const double reject_rate = served + rejected
+        ? static_cast<double>(rejected) /
+            static_cast<double>(served + rejected)
+        : 0.0;
+    std::printf("served %llu  rejected %llu  reject rate %.4f%%  "
+                "sessions moved %u\n",
+                static_cast<unsigned long long>(served),
+                static_cast<unsigned long long>(rejected),
+                100.0 * reject_rate, moved);
+    {
+        std::ostringstream failover;
+        failover << "{\"served\": " << served << ", \"rejected\": "
+                 << rejected << ", \"reject_rate\": " << reject_rate
+                 << ", \"sessions_moved\": " << moved << "}";
+        json.raw("failover", failover.str());
+    }
+
+    json.write("BENCH_recovery.json");
+    writeStatsJson("recovery_load");
+    return 0;
+}

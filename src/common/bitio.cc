@@ -1,0 +1,260 @@
+#include "bitio.hh"
+
+#include <array>
+
+namespace rime
+{
+
+namespace
+{
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    std::uint32_t c = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+// ----------------------------------------------------------------------
+// BitWriter
+// ----------------------------------------------------------------------
+
+void
+BitWriter::put(std::uint64_t value, unsigned width)
+{
+    if (width == 0 || width > 64) {
+        ok_ = false;
+        return;
+    }
+    if (width < 64)
+        value &= (1ULL << width) - 1;
+    unsigned left = width;
+    while (left > 0) {
+        if (spare_ == 0) {
+            bytes_.push_back(0);
+            spare_ = 8;
+        }
+        const unsigned take = left < spare_ ? left : spare_;
+        const unsigned shift = 8 - spare_;
+        bytes_.back() |= static_cast<std::uint8_t>(
+            (value & ((take >= 64 ? 0 : (1ULL << take)) - 1)) << shift);
+        value >>= take;
+        spare_ -= take;
+        left -= take;
+    }
+}
+
+void
+BitWriter::putVarint(std::uint64_t v)
+{
+    do {
+        std::uint8_t byte = v & 0x7F;
+        v >>= 7;
+        if (v != 0)
+            byte |= 0x80;
+        put(byte, 8);
+    } while (v != 0);
+}
+
+void
+BitWriter::putBytes(const std::uint8_t *data, std::size_t size)
+{
+    putVarint(size);
+    align();
+    bytes_.insert(bytes_.end(), data, data + size);
+}
+
+void
+BitWriter::putString(const std::string &s)
+{
+    putBytes(reinterpret_cast<const std::uint8_t *>(s.data()),
+             s.size());
+}
+
+void
+BitWriter::align()
+{
+    spare_ = 0;
+}
+
+// ----------------------------------------------------------------------
+// BitReader
+// ----------------------------------------------------------------------
+
+std::uint64_t
+BitReader::get(unsigned width)
+{
+    if (!ok_)
+        return 0; // latched: a failed stream never yields values again
+    if (width == 0 || width > 64) {
+        ok_ = false;
+        return 0;
+    }
+    if (bit_ + width > size_ * 8) {
+        // Truncated input: latch the error, consume nothing.
+        ok_ = false;
+        bit_ = size_ * 8;
+        return 0;
+    }
+    std::uint64_t value = 0;
+    unsigned got = 0;
+    while (got < width) {
+        const std::size_t byte = bit_ / 8;
+        const unsigned offset = static_cast<unsigned>(bit_ % 8);
+        const unsigned avail = 8 - offset;
+        const unsigned take =
+            (width - got) < avail ? (width - got) : avail;
+        const std::uint64_t chunk =
+            (static_cast<std::uint64_t>(data_[byte]) >> offset) &
+            ((1ULL << take) - 1);
+        value |= chunk << got;
+        got += take;
+        bit_ += take;
+    }
+    return value;
+}
+
+std::uint64_t
+BitReader::getVarint()
+{
+    std::uint64_t value = 0;
+    unsigned shift = 0;
+    for (int i = 0; i < 10; ++i) {
+        const std::uint64_t byte = get(8);
+        if (!ok_)
+            return 0;
+        value |= (byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+    }
+    ok_ = false; // over-long encoding
+    return 0;
+}
+
+std::vector<std::uint8_t>
+BitReader::getBytes()
+{
+    const std::uint64_t size = getVarint();
+    align();
+    if (!ok_ || size > bitsLeft() / 8) {
+        ok_ = false;
+        return {};
+    }
+    const std::size_t start = bit_ / 8;
+    bit_ += size * 8;
+    return std::vector<std::uint8_t>(data_ + start,
+                                     data_ + start + size);
+}
+
+std::string
+BitReader::getString()
+{
+    const auto bytes = getBytes();
+    return std::string(bytes.begin(), bytes.end());
+}
+
+void
+BitReader::align()
+{
+    bit_ = (bit_ + 7) / 8 * 8;
+    if (bit_ > size_ * 8)
+        bit_ = size_ * 8;
+}
+
+// ----------------------------------------------------------------------
+// Framing
+// ----------------------------------------------------------------------
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::End:
+        return "end";
+      case FrameStatus::Truncated:
+        return "truncated";
+      case FrameStatus::Corrupt:
+        return "corrupt";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+void
+putLE32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+    out.push_back(static_cast<std::uint8_t>(v >> 16));
+    out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+std::uint32_t
+getLE32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+        (static_cast<std::uint32_t>(p[1]) << 8) |
+        (static_cast<std::uint32_t>(p[2]) << 16) |
+        (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+/** Frames larger than this are treated as corruption, not data. */
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+} // namespace
+
+void
+appendFrame(std::vector<std::uint8_t> &out,
+            const std::vector<std::uint8_t> &payload)
+{
+    putLE32(out, static_cast<std::uint32_t>(payload.size()));
+    putLE32(out, crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+}
+
+FrameStatus
+readFrame(const std::uint8_t *data, std::size_t size,
+          std::size_t &offset, std::vector<std::uint8_t> &payload)
+{
+    if (offset >= size)
+        return FrameStatus::End;
+    if (size - offset < 8)
+        return FrameStatus::Truncated;
+    const std::uint32_t len = getLE32(data + offset);
+    const std::uint32_t want_crc = getLE32(data + offset + 4);
+    if (len > kMaxFrameBytes)
+        return FrameStatus::Corrupt;
+    if (size - offset - 8 < len)
+        return FrameStatus::Truncated;
+    const std::uint8_t *body = data + offset + 8;
+    if (crc32(body, len) != want_crc)
+        return FrameStatus::Corrupt;
+    payload.assign(body, body + len);
+    offset += 8 + static_cast<std::size_t>(len);
+    return FrameStatus::Ok;
+}
+
+} // namespace rime

@@ -113,7 +113,13 @@ emitNode(std::ostream &os, const PathNode &node, unsigned depth,
             emitIndent(os, depth + 1);
             os << "}";
         }
-        if (!node.group->histograms().empty()) {
+        bool any_hist = false;
+        for (const auto &kv : node.group->histograms()) {
+            if (!include_wall_clock && isHostDependentStat(kv.first))
+                continue;
+            any_hist = true;
+        }
+        if (any_hist) {
             separator();
             os << "\"hists\": {";
             bool first_hist = true;

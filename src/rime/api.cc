@@ -131,6 +131,32 @@ RimeLibrary::refreshRetiredExtents()
     }
 }
 
+std::uint64_t
+RimeLibrary::peekWord(Addr addr)
+{
+    return device_.peekValue(toIndex(addr));
+}
+
+void
+RimeLibrary::pokeWord(Addr addr, std::uint64_t raw)
+{
+    device_.pokeValue(toIndex(addr), raw);
+}
+
+void
+RimeLibrary::restoreConfigure(KeyMode mode, unsigned word_bits)
+{
+    checkAffinity("restoreConfigure");
+    if (word_bits % 8 != 0 || word_bits == 0 || word_bits > 64)
+        fatal("unsupported word width %u", word_bits);
+    if (device_.wordBits() != word_bits || device_.mode() != mode) {
+        ops_.clear();
+        lastOp_ = nullptr;
+        device_.configure(word_bits, mode);
+        wordBytes_ = word_bits / 8;
+    }
+}
+
 std::optional<Addr>
 RimeLibrary::rimeMalloc(std::uint64_t bytes)
 {

@@ -187,6 +187,31 @@ class RimeLibrary
     void storeArray(Addr start, std::span<const std::uint64_t> raws);
 
     // ------------------------------------------------------------------
+    // State dump / restore hooks (serving-layer snapshots).
+    // ------------------------------------------------------------------
+
+    /**
+     * Stored word at a byte address with no clock, stat, or
+     * sense-path side effects: the snapshot writer reads live session
+     * values through this without perturbing the deterministic
+     * simulation state.
+     */
+    std::uint64_t peekWord(Addr addr);
+
+    /** Install a word with no clock/stat/wear side effects. */
+    void pokeWord(Addr addr, std::uint64_t raw);
+
+    /**
+     * Set the device word width and type mode without initializing
+     * any range: snapshot restore configures the device first, pokes
+     * the dumped values, then re-runs rimeInit per recorded range.
+     */
+    void restoreConfigure(KeyMode mode, unsigned word_bits);
+
+    /** Restore the simulated clock to a snapshot's value. */
+    void restoreClock(Tick t) { now_ = t; }
+
+    // ------------------------------------------------------------------
     // Simulation accounting.
     // ------------------------------------------------------------------
 

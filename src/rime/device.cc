@@ -94,6 +94,20 @@ RimeDevice::readValue(std::uint64_t index)
     return chips_[loc.chip]->readValue(loc.local);
 }
 
+std::uint64_t
+RimeDevice::peekValue(std::uint64_t index)
+{
+    const ChipLoc loc = locate(index);
+    return chips_[loc.chip]->peekValue(loc.local);
+}
+
+void
+RimeDevice::pokeValue(std::uint64_t index, std::uint64_t raw)
+{
+    const ChipLoc loc = locate(index);
+    chips_[loc.chip]->pokeValue(loc.local, raw);
+}
+
 Tick
 RimeDevice::loadValues(std::uint64_t start_index,
                        std::span<const std::uint64_t> raws)

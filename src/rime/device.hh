@@ -127,6 +127,12 @@ class RimeDevice
     /** Read one stored value (normal read). */
     std::uint64_t readValue(std::uint64_t index);
 
+    /** Stored value, no stats/energy/disturb (state-dump path). */
+    std::uint64_t peekValue(std::uint64_t index);
+
+    /** Install a value, no stats/energy/wear (restore path). */
+    void pokeValue(std::uint64_t index, std::uint64_t raw);
+
     /**
      * Bulk-load values [start_index, start_index + n): returns the
      * elapsed time, bounded by channel store bandwidth and by the

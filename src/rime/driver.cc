@@ -261,4 +261,77 @@ RimeDriver::allocationSize(Addr addr) const
     return it == allocations_.end() ? 0 : it->second;
 }
 
+namespace
+{
+
+void
+dumpExtentMap(BitWriter &out,
+              const std::map<Addr, std::uint64_t> &extents)
+{
+    out.putVarint(extents.size());
+    for (const auto &[addr, size] : extents) {
+        out.putVarint(addr);
+        out.putVarint(size);
+    }
+}
+
+bool
+restoreExtentMap(BitReader &in, std::map<Addr, std::uint64_t> &extents)
+{
+    extents.clear();
+    const std::uint64_t n = in.getVarint();
+    for (std::uint64_t i = 0; i < n && in.ok(); ++i) {
+        const Addr addr = in.getVarint();
+        extents[addr] = in.getVarint();
+    }
+    return in.ok();
+}
+
+} // namespace
+
+void
+RimeDriver::dumpState(BitWriter &out) const
+{
+    out.putVarint(regionBytes_);
+    out.putVarint(reservedBytes_);
+    out.putVarint(allocatedBytes_);
+    out.putVarint(retiredBytes_);
+    dumpExtentMap(out, freeList_);
+    dumpExtentMap(out, allocations_);
+    dumpExtentMap(out, retired_);
+    out.putVarint(freed_.size());
+    for (Addr addr : freed_)
+        out.putVarint(addr);
+}
+
+bool
+RimeDriver::restoreState(BitReader &in)
+{
+    const std::uint64_t region = in.getVarint();
+    if (!in.ok() || region != regionBytes_)
+        return false;
+    RimeDriver fresh(regionBytes_, params_);
+    fresh.reservedBytes_ = in.getVarint();
+    fresh.allocatedBytes_ = in.getVarint();
+    fresh.retiredBytes_ = in.getVarint();
+    if (!restoreExtentMap(in, fresh.freeList_) ||
+        !restoreExtentMap(in, fresh.allocations_) ||
+        !restoreExtentMap(in, fresh.retired_))
+        return false;
+    fresh.freed_.clear();
+    const std::uint64_t n_freed = in.getVarint();
+    for (std::uint64_t i = 0; i < n_freed && in.ok(); ++i)
+        fresh.freed_.insert(in.getVarint());
+    if (!in.ok())
+        return false;
+    reservedBytes_ = fresh.reservedBytes_;
+    allocatedBytes_ = fresh.allocatedBytes_;
+    retiredBytes_ = fresh.retiredBytes_;
+    freeList_ = std::move(fresh.freeList_);
+    allocations_ = std::move(fresh.allocations_);
+    retired_ = std::move(fresh.retired_);
+    freed_ = std::move(fresh.freed_);
+    return true;
+}
+
 } // namespace rime

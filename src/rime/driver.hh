@@ -19,6 +19,7 @@
 #include <optional>
 #include <set>
 
+#include "common/bitio.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -89,6 +90,21 @@ class RimeDriver
     /** Allocator counters and extent-size distributions. */
     const StatGroup &stats() const { return stats_; }
     StatGroup &stats() { return stats_; }
+
+    /**
+     * Serialize the exact allocator state -- reservation counters,
+     * free list, live allocations, retired extents, and the
+     * double-free diagnostic set -- for a service snapshot.  Stats
+     * are not included (snapshot recovery documents stat reset).
+     */
+    void dumpState(BitWriter &out) const;
+
+    /**
+     * Replace the allocator state with a dump.  Returns false (state
+     * untouched) when the reader errors or the dump's region size
+     * does not match this driver's.
+     */
+    bool restoreState(BitReader &in);
 
   private:
     void grow(std::uint64_t min_bytes);

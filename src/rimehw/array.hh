@@ -122,6 +122,21 @@ class RramArray
     }
 
     /**
+     * Stored bits of one row, bypassing the sense-path disturb
+     * overlay: the snapshot/state-dump path reads cell state, not a
+     * sense, so a transiently disturbed epoch cannot leak a flipped
+     * bit into a dump.
+     */
+    std::uint64_t
+    peekRowBits(unsigned row, unsigned col_begin, unsigned k) const
+    {
+        std::uint64_t value = 0;
+        for (unsigned i = 0; i < k; ++i)
+            value = (value << 1) | (cell(row, col_begin + i) ? 1 : 0);
+        return value;
+    }
+
+    /**
      * Read back a k-bit value through the sense path: the stored bits
      * of one row, transiently disturbed per the fault model's current
      * epoch.

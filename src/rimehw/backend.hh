@@ -95,6 +95,22 @@ class RankBackend
     virtual std::uint64_t readValue(std::uint64_t index) = 0;
 
     /**
+     * Read a stored value without charging stats, energy, or wear --
+     * the snapshot/state-dump path.  Observes row remaps but skips
+     * the read-disturb machinery (a dump must not advance the sensing
+     * epoch or perturb any counter).
+     */
+    virtual std::uint64_t peekValue(std::uint64_t index) = 0;
+
+    /**
+     * Store a raw value without charging stats, energy, or wear --
+     * the snapshot-restore path.  Only valid on a quiescent chip (no
+     * active operation ranges); restore installs values first and
+     * re-initializes ranges afterwards.
+     */
+    virtual void pokeValue(std::uint64_t index, std::uint64_t raw) = 0;
+
+    /**
      * Initialize indices [begin, end) for a new rank/sort/merge
      * operation: clears the exclusion flags of the range (Figure 11's
      * select-vector initialization).  Ranges of concurrently active

@@ -345,6 +345,27 @@ RimeChip::readValue(std::uint64_t index)
     return unit(unit_id).readValue(row);
 }
 
+std::uint64_t
+RimeChip::peekValue(std::uint64_t index)
+{
+    const std::uint64_t rows = rowsPerUnit();
+    const std::uint64_t unit_id = index / rows;
+    const unsigned row = static_cast<unsigned>(index % rows);
+    return logicalUnit(unit_id).peekValue(row);
+}
+
+void
+RimeChip::pokeValue(std::uint64_t index, std::uint64_t raw)
+{
+    if (index >= valueCapacity())
+        fatal("value index %llu beyond chip capacity",
+              static_cast<unsigned long long>(index));
+    const std::uint64_t rows = rowsPerUnit();
+    const std::uint64_t unit_id = index / rows;
+    const unsigned row = static_cast<unsigned>(index % rows);
+    logicalUnit(unit_id).pokeValue(row, raw);
+}
+
 Tick
 RimeChip::initRange(std::uint64_t begin, std::uint64_t end)
 {

@@ -88,6 +88,12 @@ class RimeChip : public RankBackend
     /** Read a stored value (a row read; no wear). */
     std::uint64_t readValue(std::uint64_t index) override;
 
+    /** Stored value, no stats/energy/disturb (state-dump path). */
+    std::uint64_t peekValue(std::uint64_t index) override;
+
+    /** Install a value, no stats/energy/wear (restore path). */
+    void pokeValue(std::uint64_t index, std::uint64_t raw) override;
+
     /**
      * Start a new operation on value indices [begin, end): clears the
      * range's exclusion flags (paper Figure 11).

@@ -80,6 +80,25 @@ FastRime::readValue(std::uint64_t index)
     return index < values_.size() ? values_[index] : 0;
 }
 
+std::uint64_t
+FastRime::peekValue(std::uint64_t index)
+{
+    return index < values_.size() ? values_[index] : 0;
+}
+
+void
+FastRime::pokeValue(std::uint64_t index, std::uint64_t raw)
+{
+    if (index >= valueCapacity())
+        fatal("value index %llu beyond chip capacity",
+              static_cast<unsigned long long>(index));
+    if (index >= values_.size())
+        values_.resize(index + 1, 0);
+    const std::uint64_t mask =
+        k_ >= 64 ? ~0ULL : ((1ULL << k_) - 1);
+    values_[index] = raw & mask;
+}
+
 void
 FastRime::applyLiveWrite(std::uint64_t index,
                          std::uint64_t old_encoded,

@@ -54,6 +54,8 @@ class FastRime : public RankBackend
     std::uint64_t valueCapacity() const override;
     Tick writeValue(std::uint64_t index, std::uint64_t raw) override;
     std::uint64_t readValue(std::uint64_t index) override;
+    std::uint64_t peekValue(std::uint64_t index) override;
+    void pokeValue(std::uint64_t index, std::uint64_t raw) override;
     Tick initRange(std::uint64_t begin, std::uint64_t end) override;
     ExtractResult scan(std::uint64_t begin, std::uint64_t end,
                        bool find_max = false) override;

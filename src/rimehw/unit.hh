@@ -73,6 +73,27 @@ class ArrayUnit
         return readPhysical(physicalRow(row));
     }
 
+    /**
+     * Stored value at a logical row, bypassing the sense-path disturb
+     * overlay (snapshot/state-dump path).
+     */
+    std::uint64_t
+    peekValue(unsigned row) const
+    {
+        return array_->peekRowBits(physicalRow(row), slot_ * k_, k_);
+    }
+
+    /**
+     * Install a value at a logical row without wear accounting
+     * (snapshot-restore path).  Stuck cells keep their stuck state,
+     * exactly as a hardware rewrite would.
+     */
+    void
+    pokeValue(unsigned row, std::uint64_t raw)
+    {
+        array_->writeRowBits(physicalRow(row), slot_ * k_, k_, raw);
+    }
+
     /** Store at a physical row (repair path: spares, migration). */
     void
     writePhysical(unsigned phys, std::uint64_t raw,

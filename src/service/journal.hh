@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Crash-safe serving: the per-shard write-ahead journal and the
+ * snapshot/session-image record formats.
+ *
+ * Every mutating request a shard controller serves is appended to the
+ * shard's journal *after* it executed but *before* its future is
+ * completed, so the committed set (what a client has observed) is
+ * always a subset of the journaled set.  Records ride the framed,
+ * checksummed format of common/bitio.hh: a SIGKILL mid-append leaves
+ * at most one torn tail frame, which recovery detects (Truncated /
+ * Corrupt) and drops -- the torn record was never acknowledged, so no
+ * committed operation is lost.
+ *
+ * Two recovery modes exist:
+ *
+ *  - Replay (default): re-execute the whole journal from genesis
+ *    through the normal serve path.  Because the simulator is
+ *    deterministic, this reproduces the shard's simulated clock,
+ *    every deterministic stat, and all session state bit-identically
+ *    to an uninterrupted run.
+ *
+ *  - Snapshot: load the latest snapshot (exact driver-allocator dump,
+ *    raw stored values, range state and extraction progress) and
+ *    replay only the journal suffix behind it.  Recovers the same
+ *    logical state in O(state + suffix) instead of O(history); the
+ *    shard's *stats* restart from the snapshot point, which is the
+ *    documented trade (see DESIGN.md "Durability & failover").
+ *
+ * The same session-image encoding backs shard failover: a draining
+ * shard serializes each live session to an image and the service
+ * installs it on a healthy peer (journaled on both sides, so a crash
+ * during the hand-off recovers consistently).
+ *
+ * Deterministic chaos hooks: RIME_CRASH_POINT=<name>:<n> raises
+ * SIGKILL at the n-th hit of a named kill point (journal-append,
+ * journal-flush, snapshot-begin, snapshot-written, snapshot-done) and
+ * RIME_CRASH_AT_SEQ=<n> kills at journal sequence n, so the recovery
+ * tests can park a crash at any journal/snapshot boundary.
+ */
+
+#ifndef RIME_SERVICE_JOURNAL_HH
+#define RIME_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bitio.hh"
+#include "common/types.hh"
+#include "service/request.hh"
+
+namespace rime::service
+{
+
+/** How a restarted service rebuilds shard state. */
+enum class RecoveryMode : std::uint8_t
+{
+    /** Re-execute the whole journal (bit-identical stats/clock). */
+    Replay,
+    /** Load the latest snapshot + replay the journal suffix. */
+    Snapshot,
+};
+
+const char *recoveryModeName(RecoveryMode mode);
+
+/** Durability knobs of a RimeService (all have env fallbacks). */
+struct DurabilityConfig
+{
+    /** Journal directory; empty disables journaling entirely. */
+    std::string dir;
+    /** Journaled ops between automatic snapshots (0 = never). */
+    std::uint64_t snapshotIntervalOps = 0;
+    RecoveryMode recoveryMode = RecoveryMode::Replay;
+    /** fsync() every append: power-fail durability, not just -9. */
+    bool fsyncEveryAppend = false;
+
+    bool enabled() const { return !dir.empty(); }
+
+    /**
+     * Read RIME_JOURNAL_DIR, RIME_SNAPSHOT_INTERVAL,
+     * RIME_RECOVERY_MODE (replay|snapshot), RIME_JOURNAL_FSYNC.
+     */
+    static DurabilityConfig fromEnv();
+};
+
+/** Discriminator of one journal frame's payload. */
+enum class JournalRecordKind : std::uint8_t
+{
+    SessionOpen,  ///< session metadata (journaled at its first op)
+    Op,           ///< one served data request + its outcome
+    SessionClose, ///< close served: allocations freed, state dropped
+    Migrated,     ///< session drained away to a peer shard
+    Install,      ///< session image installed from a draining peer
+    SnapshotMark, ///< a snapshot covering ops <= seq was committed
+};
+
+/** One decoded journal record (the union of all kinds). */
+struct JournalRecord
+{
+    JournalRecordKind kind = JournalRecordKind::Op;
+    /** Shard-local, strictly increasing sequence number. */
+    std::uint64_t seq = 0;
+    std::uint64_t sessionId = 0;
+
+    // SessionOpen
+    std::string tenant;
+    unsigned weight = 1;
+    unsigned maxInFlight = 8;
+
+    // Op
+    Request req;
+    ServiceStatus status = ServiceStatus::Ok;
+    /** Malloc outcome: the address handed to the client. */
+    Addr resultAddr = 0;
+
+    // Migrated / Install: the encoded SessionImage being handed off.
+    std::vector<std::uint8_t> image;
+};
+
+/** Encode one record as a journal frame payload. */
+std::vector<std::uint8_t> encodeRecord(const JournalRecord &record);
+
+/** Decode a frame payload; false (and `out` unspecified) on error. */
+bool decodeRecord(const std::vector<std::uint8_t> &payload,
+                  JournalRecord &out);
+
+/**
+ * Serializable state of one session: everything a peer shard (or a
+ * restarted controller) needs to continue serving it.  All addresses
+ * are client-visible; `localAddr` carries the shard-local translation
+ * installed by a previous migration (== addr when never migrated).
+ */
+struct SessionImage
+{
+    struct Allocation
+    {
+        Addr addr = 0;      ///< client-visible base
+        Addr localAddr = 0; ///< shard-local base backing it
+        std::uint64_t bytes = 0;
+        /** Raw stored words of the extent (peeked, side-effect-free). */
+        std::vector<std::uint64_t> values;
+    };
+
+    /** Successful extractions consumed from one inited range. */
+    struct Progress
+    {
+        Addr start = 0; ///< client-visible
+        Addr end = 0;
+        bool findMax = false;
+        std::uint64_t items = 0;
+    };
+
+    std::uint64_t id = 0;
+    std::string tenant;
+    unsigned weight = 1;
+    unsigned maxInFlight = 8;
+    bool closed = false;
+    /** Word size the values were peeked at (device word bytes). */
+    unsigned wordBytes = 4;
+    /** Key mode the ranges were inited with (device-wide). */
+    KeyMode mode = KeyMode::UnsignedFixed;
+    /** Alias offset for post-migration allocations (determinism). */
+    std::uint64_t nextAliasOffset = 0;
+    std::vector<Allocation> allocations;
+    /** Client-visible inited ranges, re-init'ed at restore. */
+    std::vector<std::pair<Addr, Addr>> initedRanges;
+    std::vector<Progress> progress;
+};
+
+std::vector<std::uint8_t> encodeSessionImage(const SessionImage &image);
+bool decodeSessionImage(const std::vector<std::uint8_t> &payload,
+                        SessionImage &out);
+
+/**
+ * Append-only journal file handle.  Controller-thread-only: appends
+ * happen inside the serve path, between execute and the promise.
+ * Each append is one write() of a complete frame, so a kill between
+ * appends loses nothing and a kill mid-append leaves a detectable
+ * torn tail.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Open (create or append).  fatal() on an unwritable path. */
+    void open(const std::string &path, bool fsync_every_append);
+
+    bool active() const { return fd_ >= 0; }
+
+    /** Frame + append one record payload; hits the crash points. */
+    void append(std::uint64_t seq,
+                const std::vector<std::uint8_t> &payload);
+
+    void close();
+
+  private:
+    int fd_ = -1;
+    bool fsync_ = false;
+};
+
+/** Result of scanning a journal file. */
+struct JournalScan
+{
+    std::vector<JournalRecord> records;
+    /**
+     * How the file ended: End for a clean tail, Truncated/Corrupt
+     * when a torn or damaged tail frame was dropped (expected after
+     * a crash mid-append; everything before it is intact).
+     */
+    FrameStatus tail = FrameStatus::End;
+    /** Highest sequence number seen (0 when empty). */
+    std::uint64_t lastSeq = 0;
+    /**
+     * Byte length of the intact prefix.  Recovery truncates the file
+     * here when the tail was torn, so later appends stay readable.
+     */
+    std::size_t cleanBytes = 0;
+};
+
+/**
+ * Read every intact record of a journal file.  A missing file yields
+ * an empty scan; an undecodable record payload stops the scan there
+ * (treated like a torn tail).
+ */
+JournalScan readJournal(const std::string &path);
+
+/** On-disk snapshot of one shard (see shard.cc writeSnapshot). */
+struct ShardSnapshot
+{
+    /** Journal sequence the snapshot covers (ops <= seq included). */
+    std::uint64_t seq = 0;
+    /** Simulated clock at the snapshot point. */
+    Tick tick = 0;
+    /** Device word width / key mode at the snapshot point. */
+    unsigned wordBits = 32;
+    KeyMode mode = KeyMode::UnsignedFixed;
+    /** Exact driver-allocator dump (RimeDriver::dumpState). */
+    std::vector<std::uint8_t> driverState;
+    std::vector<SessionImage> sessions;
+};
+
+/**
+ * Serialize and atomically publish a snapshot (write to `path`.tmp,
+ * fsync, rename).  Hits the snapshot-* crash points.
+ */
+void writeSnapshotFile(const std::string &path,
+                       const ShardSnapshot &snapshot);
+
+/** Load a snapshot; false when missing, torn, or corrupt. */
+bool readSnapshotFile(const std::string &path, ShardSnapshot &out);
+
+/**
+ * Deterministic kill point: when RIME_CRASH_POINT=<name>:<n> matches
+ * `name` and this is its n-th hit (1-based, process-wide), raise
+ * SIGKILL.  No-op otherwise.
+ */
+void crashPoint(const char *name);
+
+/** RIME_CRASH_AT_SEQ=<n>: SIGKILL when journal seq `seq` commits. */
+void crashAtSeq(std::uint64_t seq);
+
+} // namespace rime::service
+
+#endif // RIME_SERVICE_JOURNAL_HH

@@ -28,6 +28,8 @@ struct ShardLoad
     std::size_t sessions = 0;
     /** Requests queued in the shard's submission queue (racy). */
     std::size_t queueDepth = 0;
+    /** Shard is evacuating (health-driven failover): never place. */
+    bool draining = false;
 };
 
 /** Picks the shard a new session is pinned to. */
@@ -49,6 +51,14 @@ class RoundRobinPlacement : public PlacementPolicy
     unsigned
     place(std::span<const ShardLoad> loads) override
     {
+        // Skip draining shards; fall back to the raw pick when every
+        // shard is evacuating (the caller has no better option).
+        for (std::size_t i = 0; i < loads.size(); ++i) {
+            const unsigned pick =
+                next_++ % static_cast<unsigned>(loads.size());
+            if (!loads[pick].draining)
+                return pick;
+        }
         return next_++ % static_cast<unsigned>(loads.size());
     }
 
@@ -66,11 +76,16 @@ class LeastSessionsPlacement : public PlacementPolicy
     place(std::span<const ShardLoad> loads) override
     {
         unsigned best = 0;
-        for (unsigned i = 1; i < loads.size(); ++i) {
-            if (loads[i].sessions < loads[best].sessions)
+        bool have = false;
+        for (unsigned i = 0; i < loads.size(); ++i) {
+            if (loads[i].draining)
+                continue;
+            if (!have || loads[i].sessions < loads[best].sessions) {
                 best = i;
+                have = true;
+            }
         }
-        return best;
+        return best; // 0 when every shard drains: caller's fallback
     }
 };
 

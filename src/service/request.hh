@@ -66,6 +66,7 @@ enum class RejectReason : std::uint8_t
     QuotaExceeded,   ///< tenant at its in-flight cap
     Reconfiguration, ///< Init would re-mode a shard other tenants use
     NotOwner,        ///< address not owned by this session
+    Draining,        ///< session mid-migration; retry after failover
 };
 
 const char *serviceStatusName(ServiceStatus status);
@@ -117,6 +118,11 @@ struct Response
      * (wall clock; 0 for rejected requests).
      */
     double queueWallNs = 0.0;
+    /**
+     * Drain control only: the serialized SessionImage the service
+     * installs on the session's new shard (see journal.hh).
+     */
+    std::vector<std::uint8_t> image;
 
     bool ok() const { return status == ServiceStatus::Ok; }
     explicit operator bool() const { return ok(); }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/logging.hh"
@@ -14,12 +16,25 @@ namespace rime::service
 // Session
 // ----------------------------------------------------------------------
 
-Session::Session(ShardController *shard,
-                 std::shared_ptr<SessionState> state,
+Session::Session(std::shared_ptr<SessionState> state,
                  std::shared_ptr<const bool> alive)
-    : shard_(shard), state_(std::move(state)),
-      serviceAlive_(std::move(alive))
+    : state_(std::move(state)), serviceAlive_(std::move(alive))
 {
+}
+
+ShardController *
+Session::controller() const
+{
+    // Bounded park: a failover usually re-homes a session in well
+    // under this, and a submit that overruns it is shed (Draining) by
+    // whichever controller it reaches, never blocked indefinitely.
+    for (unsigned spin = 0;
+         spin < 200 &&
+         state_->migrating.load(std::memory_order_acquire);
+         ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return state_->controller.load(std::memory_order_acquire);
 }
 
 Session::~Session()
@@ -46,12 +61,14 @@ Session::submit(Request req)
         return ready(ServiceStatus::Closed, RejectReason::None);
     }
 
+    ShardController *shard = controller();
+
     // Claim an in-flight slot; over quota is shed *here*, before the
     // request can occupy shard queue space.
     if (state_->inFlight.fetch_add(1, std::memory_order_acq_rel) >=
         state_->maxInFlight) {
         state_->inFlight.fetch_sub(1, std::memory_order_release);
-        shard_->countQuotaReject();
+        shard->countQuotaReject();
         return ready(ServiceStatus::Rejected,
                      RejectReason::QuotaExceeded);
     }
@@ -62,7 +79,7 @@ Session::submit(Request req)
     pending.session = state_;
     pending.enqueued = std::chrono::steady_clock::now();
     auto future = pending.promise.get_future();
-    if (!shard_->submitData(std::move(pending))) {
+    if (!shard->submitData(std::move(pending))) {
         // Queue full: the slot goes back and the caller learns
         // immediately.  Nothing ever blocks waiting for the device.
         state_->inFlight.fetch_sub(1, std::memory_order_release);
@@ -173,21 +190,31 @@ Session::close()
     if (serviceAlive_.expired())
         return; // the service already completed everything with Closed
 
-    SessionState::Pending pending;
-    pending.control = SessionState::Pending::Control::Close;
-    pending.session = state_;
-    pending.enqueued = std::chrono::steady_clock::now();
-    auto future = pending.promise.get_future();
-    // The close rides the same FIFO as the data path (so it lands
-    // after everything already queued) but takes an in-flight slot
-    // unconditionally: quota never blocks a goodbye.
-    state_->inFlight.fetch_add(1, std::memory_order_acq_rel);
-    if (!shard_->submitControl(std::move(pending))) {
-        // Shard already stopped; its shutdown path completed or will
-        // complete everything, and the slot accounting died with it.
-        return;
+    // A close racing a failover can reach the session's *old*
+    // controller, which sheds it (Rejected/Draining); retry against
+    // the re-homed session.
+    for (unsigned attempt = 0; attempt < 3; ++attempt) {
+        SessionState::Pending pending;
+        pending.control = SessionState::Pending::Control::Close;
+        pending.session = state_;
+        pending.enqueued = std::chrono::steady_clock::now();
+        auto future = pending.promise.get_future();
+        // The close rides the same FIFO as the data path (so it lands
+        // after everything already queued) but takes an in-flight slot
+        // unconditionally: quota never blocks a goodbye.
+        state_->inFlight.fetch_add(1, std::memory_order_acq_rel);
+        if (!controller()->submitControl(std::move(pending))) {
+            // Shard already stopped; its shutdown path completed or
+            // will complete everything, and the slot accounting died
+            // with it.
+            return;
+        }
+        const Response r = future.get();
+        if (r.status != ServiceStatus::Rejected ||
+            r.reject != RejectReason::Draining) {
+            return;
+        }
     }
-    future.wait();
 }
 
 // ----------------------------------------------------------------------
@@ -201,13 +228,114 @@ RimeService::RimeService(ServiceConfig config)
         fatal("a RimeService needs at least one shard");
     if (!config_.placement)
         config_.placement = std::make_unique<RoundRobinPlacement>();
+    if (!config_.durability.enabled())
+        config_.durability = DurabilityConfig::fromEnv();
     controllers_.reserve(config_.shards);
     for (unsigned i = 0; i < config_.shards; ++i) {
+        ShardDurability durability;
+        if (config_.durability.enabled()) {
+            const std::string stem = config_.durability.dir +
+                "/shard" + std::to_string(i);
+            durability.journalPath = stem + ".journal";
+            durability.snapshotPath = stem + ".snapshot";
+            durability.snapshotIntervalOps =
+                config_.durability.snapshotIntervalOps;
+            durability.recoveryMode = config_.durability.recoveryMode;
+            durability.fsyncEveryAppend =
+                config_.durability.fsyncEveryAppend;
+        }
         controllers_.push_back(std::make_unique<ShardController>(
-            i, config_.library, config_.scheduler));
+            i, config_.library, config_.scheduler,
+            std::move(durability)));
     }
+    if (config_.durability.enabled())
+        recoverSessions();
     if (!config_.scheduler.deterministic)
         start();
+}
+
+void
+RimeService::recoverSessions()
+{
+    // Adopt every state the shards rebuilt -- closed and
+    // migrated-away ones included, because their per-tenant stat
+    // groups belong in the dump -- except the short-lived health
+    // probes, which the live service forgets at close too.
+    std::uint64_t max_id = 0;
+    std::vector<std::shared_ptr<SessionState>> states;
+    for (const auto &shard : controllers_) {
+        for (auto &state : shard->recoveredStates()) {
+            max_id = std::max(max_id, state->id);
+            if (state->tenant == "_health")
+                continue;
+            states.push_back(std::move(state));
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.insert(sessions_.end(), states.begin(),
+                         states.end());
+    }
+    nextSessionId_.store(max_id + 1, std::memory_order_relaxed);
+
+    // Re-home orphaned migrations: a Migrated record whose Install
+    // never landed anywhere means the crash hit the hand-off window,
+    // and the image in the record is the session's only copy.
+    std::map<std::uint64_t, SessionImage> candidates;
+    for (const auto &shard : controllers_) {
+        for (auto &image : shard->takeOrphanedMigrations())
+            candidates[image.id] = std::move(image);
+    }
+    for (auto &[id, image] : candidates) {
+        bool covered = false;
+        for (const auto &state : states) {
+            if (state->id == id && !state->migratedAway) {
+                covered = true;
+                break;
+            }
+        }
+        if (covered || image.closed)
+            continue;
+        auto state = std::make_shared<SessionState>();
+        state->id = image.id;
+        state->tenant = image.tenant;
+        state->weight = image.weight;
+        state->maxInFlight = image.maxInFlight;
+        bool installed = false;
+        for (const auto &shard : controllers_) {
+            if (shard->installRecovered(state, image)) {
+                installed = true;
+                break;
+            }
+        }
+        if (!installed) {
+            // Journal state is intact (the Migrated record stays), so
+            // a later restart with a compatible fleet can still adopt
+            // the session.
+            warn("session %llu: no shard can adopt its orphaned "
+                 "migration; leaving it journaled",
+                 static_cast<unsigned long long>(id));
+            continue;
+        }
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        sessions_.push_back(std::move(state));
+    }
+}
+
+std::vector<std::shared_ptr<Session>>
+RimeService::recoveredSessions()
+{
+    std::vector<std::shared_ptr<Session>> out;
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    for (const auto &state : sessions_) {
+        if (state->closed.load(std::memory_order_acquire) ||
+            state->migratedAway) {
+            continue;
+        }
+        out.push_back(std::shared_ptr<Session>(
+            new Session(state, alive_)));
+    }
+    return out;
 }
 
 RimeService::~RimeService()
@@ -245,7 +373,8 @@ RimeService::loads() const
     loads.reserve(controllers_.size());
     for (const auto &shard : controllers_) {
         loads.push_back(ShardLoad{shard->index(), shard->sessionCount(),
-                                  shard->queueDepth()});
+                                  shard->queueDepth(),
+                                  shard->draining()});
     }
     return loads;
 }
@@ -276,15 +405,37 @@ RimeService::openSession(const SessionConfig &cfg)
     state->tenant = cfg.tenant;
     state->weight = std::max(1u, cfg.weight);
     state->maxInFlight = std::max(1u, cfg.maxInFlight);
-    state->shard = shard;
+    state->shard.store(shard, std::memory_order_relaxed);
+    state->controller.store(controllers_[shard].get(),
+                            std::memory_order_release);
     {
         std::lock_guard<std::mutex> lock(sessionsMutex_);
         sessions_.push_back(state);
     }
     controllers_[shard]->registerSession(state);
     return std::shared_ptr<Session>(
-        new Session(controllers_[shard].get(), std::move(state),
-                    alive_));
+        new Session(std::move(state), alive_));
+}
+
+Response
+RimeService::probeShard(unsigned shard)
+{
+    SessionConfig cfg;
+    cfg.tenant = "_health";
+    cfg.shard = static_cast<int>(shard);
+    auto probe = openSession(cfg);
+    const Response r = probe->call(Request{});
+    probe->close();
+    {
+        // Forget the probe's state: periodic health polling must
+        // not grow sessions_ (and collectStats) without bound.
+        // The shard side prunes its own list at close.
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        std::erase_if(sessions_, [&](const auto &p) {
+            return p == probe->state_;
+        });
+    }
+    return r;
 }
 
 RimeHealthReport
@@ -292,21 +443,7 @@ RimeService::health()
 {
     RimeHealthReport aggregate;
     for (unsigned i = 0; i < controllers_.size(); ++i) {
-        SessionConfig cfg;
-        cfg.tenant = "_health";
-        cfg.shard = static_cast<int>(i);
-        auto probe = openSession(cfg);
-        const Response r = probe->call(Request{});
-        probe->close();
-        {
-            // Forget the probe's state: periodic health polling must
-            // not grow sessions_ (and collectStats) without bound.
-            // The shard side prunes its own list at close.
-            std::lock_guard<std::mutex> lock(sessionsMutex_);
-            std::erase_if(sessions_, [&](const auto &p) {
-                return p == probe->state_;
-            });
-        }
+        const Response r = probeShard(i);
         if (!r.ok())
             continue; // shard stopping: report what we can
         aggregate.counts.degradedUnits += r.health.counts.degradedUnits;
@@ -316,6 +453,121 @@ RimeService::health()
         aggregate.retiredBytes += r.health.retiredBytes;
     }
     return aggregate;
+}
+
+bool
+RimeService::migrateSession(
+    const std::shared_ptr<SessionState> &state, unsigned from)
+{
+    // Park the client side first: submits spin on `migrating` instead
+    // of racing the hand-off.
+    state->migrating.store(true, std::memory_order_release);
+
+    SessionState::Pending drain;
+    drain.control = SessionState::Pending::Control::Drain;
+    drain.session = state;
+    drain.enqueued = std::chrono::steady_clock::now();
+    auto drained = drain.promise.get_future();
+    state->inFlight.fetch_add(1, std::memory_order_acq_rel);
+    if (!controllers_[from]->submitControl(std::move(drain))) {
+        state->migrating.store(false, std::memory_order_release);
+        return false;
+    }
+    Response image = drained.get();
+    if (!image.ok()) {
+        // Closed (or already drained) while the control was queued.
+        state->migrating.store(false, std::memory_order_release);
+        return false;
+    }
+
+    // Try every healthy peer; the image is journaled on the old shard
+    // (Migrated record), so a crash here re-homes at next recovery.
+    for (unsigned offset = 1; offset < shards(); ++offset) {
+        const unsigned peer = (from + offset) % shards();
+        if (controllers_[peer]->draining())
+            continue;
+        SessionState::Pending install;
+        install.control = SessionState::Pending::Control::Install;
+        install.session = state;
+        install.image = image.image;
+        install.enqueued = std::chrono::steady_clock::now();
+        auto installed = install.promise.get_future();
+        state->inFlight.fetch_add(1, std::memory_order_acq_rel);
+        if (!controllers_[peer]->submitControl(std::move(install)))
+            continue;
+        if (!installed.get().ok())
+            continue; // incompatible word geometry on this peer
+        controllers_[peer]->registerSession(state);
+        state->shard.store(peer, std::memory_order_release);
+        state->controller.store(controllers_[peer].get(),
+                                std::memory_order_release);
+        state->migrating.store(false, std::memory_order_release);
+        return true;
+    }
+    warn("session %llu: drained off shard %u but no peer can take "
+         "it; recovery will re-home it from the journal",
+         static_cast<unsigned long long>(state->id), from);
+    state->migrating.store(false, std::memory_order_release);
+    return false;
+}
+
+unsigned
+RimeService::drainShard(unsigned shard)
+{
+    if (shard >= shards()) {
+        fatal("drainShard(%u) on a %zu-shard service", shard,
+              controllers_.size());
+    }
+    controllers_[shard]->setDraining();
+    std::vector<std::shared_ptr<SessionState>> targets;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (const auto &state : sessions_) {
+            if (state->shard.load(std::memory_order_acquire) ==
+                    shard &&
+                !state->closed.load(std::memory_order_acquire)) {
+                targets.push_back(state);
+            }
+        }
+    }
+    unsigned moved = 0;
+    for (const auto &state : targets) {
+        if (migrateSession(state, shard))
+            ++moved;
+    }
+    return moved;
+}
+
+unsigned
+RimeService::maintain()
+{
+    unsigned drained = 0;
+    for (unsigned i = 0; i < shards(); ++i) {
+        if (controllers_[i]->draining())
+            continue;
+        const Response r = probeShard(i);
+        if (!r.ok())
+            continue;
+        if (r.health.counts.retiredUnits == 0 &&
+            r.health.counts.deadUnits == 0) {
+            continue;
+        }
+        bool peer = false;
+        for (unsigned j = 0; j < shards(); ++j) {
+            if (j != i && !controllers_[j]->draining()) {
+                peer = true;
+                break;
+            }
+        }
+        if (!peer) {
+            warn("shard %u is unhealthy but has no peer to drain to",
+                 i);
+            continue;
+        }
+        drainShard(i);
+        ++drained;
+    }
+    return drained;
 }
 
 void

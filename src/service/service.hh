@@ -103,14 +103,20 @@ class Session
   private:
     friend class RimeService;
 
-    Session(ShardController *shard, std::shared_ptr<SessionState> state,
+    Session(std::shared_ptr<SessionState> state,
             std::shared_ptr<const bool> alive);
 
     /** An immediately-completed future (rejects, closed session). */
     static std::future<Response> ready(ServiceStatus status,
                                        RejectReason reason);
 
-    ShardController *shard_;
+    /**
+     * Park (bounded) while a failover re-homes the session, then
+     * resolve the serving controller.  A submit that outlasts the
+     * backoff is shed with Rejected/Draining by the old controller.
+     */
+    ShardController *controller() const;
+
     std::shared_ptr<SessionState> state_;
     /** Expires when the service is destroyed (late close() no-op). */
     std::weak_ptr<const bool> serviceAlive_;
@@ -127,6 +133,14 @@ struct ServiceConfig
     SchedulerConfig scheduler{};
     /** Session placement; defaults to round-robin when null. */
     std::unique_ptr<PlacementPolicy> placement;
+    /**
+     * Crash safety (journal.hh).  With a journal directory set, every
+     * shard write-ahead-journals its committed ops to
+     * <dir>/shard<i>.journal (snapshots beside it), and a restarted
+     * service with the same directory recovers the journaled state
+     * before serving.
+     */
+    DurabilityConfig durability{};
 };
 
 /** The multi-tenant serving layer over a fleet of shard libraries. */
@@ -162,6 +176,32 @@ class RimeService
     RimeHealthReport health();
 
     /**
+     * Client handles for the sessions restart-recovery rebuilt (open
+     * ones only).  Call once, right after constructing a service on a
+     * journal directory with prior state; each handle closes its
+     * session on destruction like any other Session.
+     */
+    std::vector<std::shared_ptr<Session>> recoveredSessions();
+
+    /**
+     * Health-driven failover: evacuate every live session of `shard`
+     * to healthy peers via drain/install hand-off (journaled on both
+     * sides).  The shard keeps serving its library -- its chips may
+     * still hold other state -- but placement stops sending new
+     * sessions its way.  Requires a started, work-conserving service.
+     * @return sessions successfully re-homed
+     */
+    unsigned drainShard(unsigned shard);
+
+    /**
+     * Probe every shard's device health and drain the ones with
+     * retired or dead units (while a healthy peer exists).  Call
+     * periodically from an operations loop.
+     * @return shards newly drained
+     */
+    unsigned maintain();
+
+    /**
      * Collect the full service stat tree into `out`:
      * "service.shard.<i>" scheduler stats (plus the shed counters as
      * "*Host" values), "service.shard.<i>.api|driver|device|chip.<c>"
@@ -175,6 +215,14 @@ class RimeService
     std::string statDumpJson(bool include_host = false) const;
 
   private:
+    /** Adopt journal/snapshot state the shards recovered at build. */
+    void recoverSessions();
+    /** Serve one Health request against `shard` (probe session). */
+    Response probeShard(unsigned shard);
+    /** Re-home one session (drain `from`, install on a peer). */
+    bool migrateSession(const std::shared_ptr<SessionState> &state,
+                        unsigned from);
+
     ServiceConfig config_;
     std::vector<std::unique_ptr<ShardController>> controllers_;
     std::vector<std::shared_ptr<SessionState>> sessions_;

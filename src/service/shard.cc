@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include <unistd.h>
+
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "service/request.hh"
@@ -12,6 +14,15 @@ namespace rime::service
 
 namespace
 {
+
+/**
+ * Client-visible base of the alias space handed to post-migration
+ * mallocs.  A migrated session's existing bases shadow shard-local
+ * addresses, so a fresh local address could collide with one of them;
+ * aliases live far above any physical region and are assigned from a
+ * per-session cursor, which journal replay recomputes identically.
+ */
+constexpr Addr kAliasBase = 1ULL << 62;
 
 /** Nanoseconds of host wall time elapsed since `start`. */
 double
@@ -110,17 +121,31 @@ rejectReasonName(RejectReason reason)
         return "reconfiguration";
       case RejectReason::NotOwner:
         return "not-owner";
+      case RejectReason::Draining:
+        return "draining";
     }
     return "unknown";
 }
 
 ShardController::ShardController(unsigned index,
                                  const LibraryConfig &library,
-                                 const SchedulerConfig &scheduler)
-    : index_(index), config_(scheduler), lib_(library),
+                                 const SchedulerConfig &scheduler,
+                                 ShardDurability durability)
+    : index_(index), config_(scheduler),
+      durability_(std::move(durability)), lib_(library),
       inbox_(scheduler.queueCapacity),
       stats_("shard." + std::to_string(index))
 {
+    if (durability_.enabled()) {
+        // Recovery runs here, on the constructing (service) thread,
+        // strictly before the controller thread exists; the library
+        // rebinds in controllerLoop(), so this sequential hand-off is
+        // legal under the affinity guard.  The journal opens *after*
+        // replay so recovered records are not re-appended.
+        recover();
+        journal_.open(durability_.journalPath,
+                      durability_.fsyncEveryAppend);
+    }
     controller_ = std::thread([this] { controllerLoop(); });
 }
 
@@ -169,13 +194,17 @@ ShardController::submitData(Pending &&pending)
         rejectedBackpressure_.fetch_add(1, std::memory_order_relaxed);
         return false;
     }
+    inboxDepth_.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
 bool
 ShardController::submitControl(Pending &&pending)
 {
-    return inbox_.pushBlocking(std::move(pending));
+    if (!inbox_.pushBlocking(std::move(pending)))
+        return false;
+    inboxDepth_.fetch_add(1, std::memory_order_relaxed);
+    return true;
 }
 
 std::size_t
@@ -226,6 +255,7 @@ ShardController::controllerLoop()
             auto next = inbox_.pop();
             if (!next)
                 break;
+            inboxDepth_.fetch_sub(1, std::memory_order_relaxed);
             route(std::move(*next));
             continue;
         }
@@ -245,8 +275,10 @@ ShardController::drainInbox()
         stats_.hist("queueDepthHost")
             .record(static_cast<double>(inbox_.size()));
     }
-    while (auto pending = inbox_.tryPop())
+    while (auto pending = inbox_.tryPop()) {
+        inboxDepth_.fetch_sub(1, std::memory_order_relaxed);
         route(std::move(*pending));
+    }
 }
 
 void
@@ -259,6 +291,29 @@ ShardController::route(Pending &&pending)
         s.inFlight.fetch_sub(1, std::memory_order_release);
         Response r;
         r.status = ServiceStatus::Closed;
+        pending.promise.set_value(std::move(r));
+        return;
+    }
+    if (pending.control == Pending::Control::Install) {
+        // Served inline: the sweep skips migrated-away sessions, and
+        // the install is exactly what revives this one.  Same thread
+        // as serveHead, so only the stat lock is due.
+        std::lock_guard<std::mutex> stats_lock(statsMutex_);
+        installSession(s, pending);
+        return;
+    }
+    if (s.migratedAway ||
+        s.controller.load(std::memory_order_acquire) != this) {
+        // The session drained away (or was already re-homed) while
+        // this request sat in the inbox: its state lives elsewhere
+        // now.  Shed it -- closes included -- so the client retries
+        // against the new shard instead of parking in a fifo no sweep
+        // visits anymore.
+        s.inFlight.fetch_sub(1, std::memory_order_release);
+        rejectedDraining_.fetch_add(1, std::memory_order_relaxed);
+        Response r;
+        r.status = ServiceStatus::Rejected;
+        r.reject = RejectReason::Draining;
         pending.promise.set_value(std::move(r));
         return;
     }
@@ -280,11 +335,12 @@ bool
 ShardController::waitFor(SessionState &s)
 {
     while (s.fifo.empty()) {
-        if (s.closed)
+        if (s.closed || s.migratedAway)
             return false;
         auto pending = inbox_.pop();
         if (!pending)
             return false; // service stopping
+        inboxDepth_.fetch_sub(1, std::memory_order_relaxed);
         route(std::move(*pending));
     }
     return true;
@@ -300,10 +356,10 @@ ShardController::lockstepRound()
     auto round = sessionSnapshot();
     for (const auto &sp : round) {
         SessionState &s = *sp;
-        if (s.closed)
+        if (s.closed || s.migratedAway)
             continue;
         unsigned budget = s.weight;
-        while (budget > 0 && !s.closed) {
+        while (budget > 0 && !s.closed && !s.migratedAway) {
             if (!waitFor(s))
                 break;
             budget -= std::min(budget, serveHead(s, budget));
@@ -321,11 +377,13 @@ ShardController::sweep()
     auto round = sessionSnapshot();
     for (const auto &sp : round) {
         SessionState &s = *sp;
-        if (s.closed)
+        if (s.closed || s.migratedAway)
             continue;
         unsigned budget = s.weight;
-        while (budget > 0 && !s.closed && !s.fifo.empty())
+        while (budget > 0 && !s.closed && !s.migratedAway &&
+               !s.fifo.empty()) {
             budget -= std::min(budget, serveHead(s, budget));
+        }
         if (s.closed)
             dropSession(s);
     }
@@ -342,6 +400,10 @@ ShardController::serveHead(SessionState &s, unsigned budget)
     s.fifo.pop_front();
     if (head.control == Pending::Control::Close) {
         closeSession(s, head);
+        return 1;
+    }
+    if (head.control == Pending::Control::Drain) {
+        drainSession(s, head);
         return 1;
     }
 
@@ -404,6 +466,12 @@ ShardController::serveOne(SessionState &s, Pending &pending)
     stats_.inc("requests");
     s.stats.inc("requests");
 
+    // Write-ahead discipline: the op reaches the journal before the
+    // client can observe its completion, so every committed op is
+    // journaled (the converse -- journaled but never acknowledged --
+    // is resolved at recovery; see test_recovery.cc).
+    journalOp(s, pending.req, r);
+
     // Drop the in-flight slot *before* completing the future: a
     // closed-loop client may resubmit the instant it observes the
     // completion, and must find its quota slot free.
@@ -423,8 +491,18 @@ ShardController::execute(SessionState &s, Request &req)
             r.status = ServiceStatus::OutOfMemory;
             break;
         }
-        r.addr = *addr;
-        s.allocations.insert(*addr);
+        if (s.addrTranslate.empty()) {
+            // Never migrated: client addresses are shard-local.
+            r.addr = *addr;
+        } else {
+            // Migrated: existing client bases shadow local addresses,
+            // so hand out an alias and map it (replay recomputes the
+            // cursor identically, keeping the alias deterministic).
+            r.addr = kAliasBase + s.nextAliasOffset;
+            s.nextAliasOffset += req.bytes;
+            s.addrTranslate[r.addr] = {*addr, req.bytes};
+        }
+        s.allocations.insert(r.addr);
         stats_.inc("mallocs");
         break;
       }
@@ -435,14 +513,20 @@ ShardController::execute(SessionState &s, Request &req)
             stats_.inc("rejectedNotOwner");
             break;
         }
+        const Addr local = localBase(s, req.start);
         const std::uint64_t size =
-            lib_.driver().allocationSize(req.start);
+            lib_.driver().allocationSize(local);
         std::erase_if(s.initedRanges, [&](const auto &range) {
             return range.first < req.start + size &&
                 req.start < range.second;
         });
-        lib_.rimeFree(req.start);
+        std::erase_if(s.extractProgress, [&](const auto &entry) {
+            return std::get<0>(entry.first) < req.start + size &&
+                req.start < std::get<1>(entry.first);
+        });
+        lib_.rimeFree(local);
         s.allocations.erase(req.start);
+        s.addrTranslate.erase(req.start);
         stats_.inc("frees");
         break;
       }
@@ -465,9 +549,18 @@ ShardController::execute(SessionState &s, Request &req)
             stats_.inc("rejectedNotOwner");
             break;
         }
-        lib_.rimeInit(req.start, req.end, req.mode, req.wordBits);
-        if (req.end > req.start)
+        Addr start = req.start, end = req.end;
+        xlateRange(s, start, end);
+        lib_.rimeInit(start, end, req.mode, req.wordBits);
+        if (req.end > req.start) {
             s.initedRanges.insert({req.start, req.end});
+            // A re-init resets the range's exclusion state: the
+            // extraction stream starts over.
+            std::erase_if(s.extractProgress, [&](const auto &entry) {
+                return std::get<0>(entry.first) < req.end &&
+                    req.start < std::get<1>(entry.first);
+            });
+        }
         stats_.inc("inits");
         break;
       }
@@ -480,7 +573,7 @@ ShardController::execute(SessionState &s, Request &req)
             stats_.inc("rejectedNotOwner");
             break;
         }
-        lib_.storeArray(req.start, req.values);
+        lib_.storeArray(xlateAddr(s, req.start), req.values);
         stats_.inc("stores");
         break;
       }
@@ -492,14 +585,18 @@ ShardController::execute(SessionState &s, Request &req)
             stats_.inc("rejectedNotOwner");
             break;
         }
-        const RimeExtract e = req.kind == RequestKind::Max
-            ? lib_.rimeMaxChecked(req.start, req.end)
-            : lib_.rimeMinChecked(req.start, req.end);
+        const bool find_max = req.kind == RequestKind::Max;
+        Addr start = req.start, end = req.end;
+        xlateRange(s, start, end);
+        const RimeExtract e = find_max
+            ? lib_.rimeMaxChecked(start, end)
+            : lib_.rimeMinChecked(start, end);
         r.status = fromRimeStatus(e.status);
         if (e.ok()) {
             r.items.push_back(e.item);
             stats_.inc("extractItems");
             s.stats.inc("extractItems");
+            ++s.extractProgress[{req.start, req.end, find_max}];
         }
         break;
       }
@@ -513,6 +610,8 @@ ShardController::execute(SessionState &s, Request &req)
         }
         const bool largest =
             req.kind == RequestKind::TopK && req.largest;
+        Addr start = req.start, end = req.end;
+        xlateRange(s, start, end);
         // The range can never produce more than its word capacity, so
         // cap the reservation there: `count` is client-supplied and an
         // absurd TopK ask must not bad_alloc the controller thread.
@@ -524,8 +623,8 @@ ShardController::execute(SessionState &s, Request &req)
         r.items.reserve(std::min(count, capacity));
         for (std::uint64_t i = 0; i < count; ++i) {
             const RimeExtract e = largest
-                ? lib_.rimeMaxChecked(req.start, req.end)
-                : lib_.rimeMinChecked(req.start, req.end);
+                ? lib_.rimeMaxChecked(start, end)
+                : lib_.rimeMinChecked(start, end);
             if (!e.ok()) {
                 // Partial prefix stays in items; the status tells the
                 // client why the stream ended early.
@@ -538,6 +637,10 @@ ShardController::execute(SessionState &s, Request &req)
                    static_cast<double>(r.items.size()));
         s.stats.inc("extractItems",
                     static_cast<double>(r.items.size()));
+        if (!r.items.empty()) {
+            s.extractProgress[{req.start, req.end, largest}] +=
+                r.items.size();
+        }
         break;
       }
       case RequestKind::Health: {
@@ -555,11 +658,51 @@ ShardController::ownsRange(const SessionState &s, Addr start, Addr end)
     if (end < start)
         return false;
     for (const Addr base : s.allocations) {
-        const std::uint64_t size = lib_.driver().allocationSize(base);
+        const std::uint64_t size =
+            lib_.driver().allocationSize(localBase(s, base));
         if (start >= base && end <= base + size)
             return true;
     }
     return false;
+}
+
+Addr
+ShardController::localBase(const SessionState &s, Addr base) const
+{
+    const auto it = s.addrTranslate.find(base);
+    return it == s.addrTranslate.end() ? base : it->second.local;
+}
+
+Addr
+ShardController::xlateAddr(const SessionState &s, Addr addr) const
+{
+    if (s.addrTranslate.empty())
+        return addr;
+    auto it = s.addrTranslate.upper_bound(addr);
+    if (it == s.addrTranslate.begin())
+        return addr;
+    --it;
+    if (addr < it->first + it->second.bytes)
+        return it->second.local + (addr - it->first);
+    return addr;
+}
+
+void
+ShardController::xlateRange(const SessionState &s, Addr &start,
+                            Addr &end) const
+{
+    if (s.addrTranslate.empty() || end < start)
+        return;
+    auto it = s.addrTranslate.upper_bound(start);
+    if (it == s.addrTranslate.begin())
+        return;
+    --it;
+    // Whole-range containment; an exclusive `end` may sit exactly on
+    // the allocation boundary.
+    if (start >= it->first && end <= it->first + it->second.bytes) {
+        start = it->second.local + (start - it->first);
+        end = it->second.local + (end - it->first);
+    }
 }
 
 bool
@@ -581,11 +724,23 @@ ShardController::closeSession(SessionState &s, Pending &pending)
     // Everything the session still owns goes back to the allocator
     // (which retires any operation state on the ranges).
     for (const Addr base : s.allocations)
-        lib_.rimeFree(base);
+        lib_.rimeFree(localBase(s, base));
     s.allocations.clear();
     s.initedRanges.clear();
+    s.addrTranslate.clear();
+    s.extractProgress.clear();
     s.closed = true;
     stats_.inc("closes");
+
+    // Journaled only for sessions the journal knows: a session that
+    // closed without a single journaled op never existed durably.
+    if (journal_.active() && !replaying_ && s.journalOpened) {
+        JournalRecord rec;
+        rec.kind = JournalRecordKind::SessionClose;
+        rec.sessionId = s.id;
+        appendRecord(rec);
+        maybeSnapshot();
+    }
 
     // Requests the session still had queued behind the close.
     for (auto &queued : s.fifo) {
@@ -604,6 +759,543 @@ ShardController::closeSession(SessionState &s, Pending &pending)
 }
 
 void
+ShardController::drainSession(SessionState &s, Pending &pending)
+{
+    if (s.closed || s.migratedAway) {
+        Response r;
+        r.status = ServiceStatus::Closed;
+        s.inFlight.fetch_sub(1, std::memory_order_release);
+        pending.promise.set_value(std::move(r));
+        return;
+    }
+
+    // Serialize the session *before* anything is released, and
+    // journal the image with the Migrated record: a crash anywhere in
+    // the hand-off window recovers the session from whichever side's
+    // record landed (the service re-homes orphans; see
+    // takeOrphanedMigrations).
+    const SessionImage image = buildImage(s);
+    std::vector<std::uint8_t> encoded = encodeSessionImage(image);
+    if (journal_.active() && !replaying_) {
+        journalSessionOpenIfNeeded(s);
+        JournalRecord rec;
+        rec.kind = JournalRecordKind::Migrated;
+        rec.sessionId = s.id;
+        rec.image = encoded;
+        appendRecord(rec);
+    }
+
+    for (const Addr base : s.allocations)
+        lib_.rimeFree(localBase(s, base));
+    s.allocations.clear();
+    s.initedRanges.clear();
+    s.addrTranslate.clear();
+    s.extractProgress.clear();
+    s.migratedAway = true;
+    stats_.inc("drains");
+
+    // Requests queued behind the drain belong to the session's next
+    // home; shed them so the clients retry after the re-home.
+    for (auto &queued : s.fifo) {
+        s.inFlight.fetch_sub(1, std::memory_order_release);
+        rejectedDraining_.fetch_add(1, std::memory_order_relaxed);
+        Response shed;
+        shed.status = ServiceStatus::Rejected;
+        shed.reject = RejectReason::Draining;
+        queued.promise.set_value(std::move(shed));
+    }
+    s.fifo.clear();
+    dropSession(s);
+
+    Response r;
+    r.status = ServiceStatus::Ok;
+    r.shardTick = lib_.now();
+    r.image = std::move(encoded);
+    s.inFlight.fetch_sub(1, std::memory_order_release);
+    pending.promise.set_value(std::move(r));
+}
+
+void
+ShardController::installSession(SessionState &s, Pending &pending)
+{
+    SessionImage image;
+    if (!decodeSessionImage(pending.image, image)) {
+        fatal("shard %u: undecodable migration image for session "
+              "%llu", index_,
+              static_cast<unsigned long long>(s.id));
+    }
+
+    Response r;
+    const unsigned want_bits = image.wordBytes * 8;
+    const bool reconfigures =
+        lib_.device().wordBits() != want_bits ||
+        lib_.device().mode() != image.mode;
+    if (reconfigures && othersHaveInits(s)) {
+        // Taking this session would re-mode the device under other
+        // tenants' live operations; the service must pick another
+        // peer.
+        r.status = ServiceStatus::Rejected;
+        r.reject = RejectReason::Reconfiguration;
+        stats_.inc("rejectedReconfiguration");
+        s.inFlight.fetch_sub(1, std::memory_order_release);
+        pending.promise.set_value(std::move(r));
+        return;
+    }
+
+    installFromImage(s, image, /*fresh_alloc=*/true);
+    s.migratedAway = false;
+    stats_.inc("installs");
+    if (journal_.active() && !replaying_) {
+        JournalRecord rec;
+        rec.kind = JournalRecordKind::Install;
+        rec.sessionId = s.id;
+        rec.image = std::move(pending.image);
+        appendRecord(rec);
+        // The Install record carries the session metadata, so no
+        // separate SessionOpen is due on this shard.
+        s.journalOpened = true;
+        maybeSnapshot();
+    }
+
+    r.status = ServiceStatus::Ok;
+    r.shardTick = lib_.now();
+    s.inFlight.fetch_sub(1, std::memory_order_release);
+    pending.promise.set_value(std::move(r));
+}
+
+bool
+ShardController::installRecovered(std::shared_ptr<SessionState> state,
+                                  const SessionImage &image)
+{
+    const unsigned want_bits = image.wordBytes * 8;
+    if ((lib_.device().wordBits() != want_bits ||
+         lib_.device().mode() != image.mode) &&
+        othersHaveInits(*state)) {
+        return false;
+    }
+    SessionState &s = *state;
+    s.shard.store(index_, std::memory_order_relaxed);
+    s.controller.store(this, std::memory_order_relaxed);
+    installFromImage(s, image, /*fresh_alloc=*/true);
+    s.migratedAway = false;
+    s.journalOpened = true;
+    stats_.inc("installs");
+    if (journal_.active()) {
+        JournalRecord rec;
+        rec.kind = JournalRecordKind::Install;
+        rec.sessionId = s.id;
+        rec.image = encodeSessionImage(image);
+        appendRecord(rec);
+    }
+    registerSession(std::move(state));
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// Durability: journaling, snapshots, recovery
+// ----------------------------------------------------------------------
+
+void
+ShardController::appendRecord(JournalRecord &record)
+{
+    record.seq = ++journalSeq_;
+    journal_.append(record.seq, encodeRecord(record));
+    ++opsSinceSnapshot_;
+}
+
+void
+ShardController::journalSessionOpenIfNeeded(SessionState &s)
+{
+    if (s.journalOpened || !journal_.active() || replaying_)
+        return;
+    s.journalOpened = true;
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::SessionOpen;
+    rec.sessionId = s.id;
+    rec.tenant = s.tenant;
+    rec.weight = s.weight;
+    rec.maxInFlight = s.maxInFlight;
+    appendRecord(rec);
+}
+
+void
+ShardController::journalOp(SessionState &s, const Request &req,
+                           const Response &r)
+{
+    if (!journal_.active() || replaying_)
+        return;
+    journalSessionOpenIfNeeded(s);
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::Op;
+    rec.sessionId = s.id;
+    rec.req = req;
+    rec.status = r.status;
+    rec.resultAddr = r.addr;
+    appendRecord(rec);
+    maybeSnapshot();
+}
+
+void
+ShardController::maybeSnapshot()
+{
+    if (!journal_.active() || replaying_ ||
+        durability_.snapshotIntervalOps == 0 ||
+        durability_.snapshotPath.empty() ||
+        opsSinceSnapshot_ < durability_.snapshotIntervalOps) {
+        return;
+    }
+    writeSnapshot();
+}
+
+void
+ShardController::writeSnapshot()
+{
+    ShardSnapshot snap;
+    snap.seq = journalSeq_;
+    snap.tick = lib_.now();
+    snap.wordBits = lib_.device().wordBits();
+    snap.mode = lib_.device().mode();
+    {
+        BitWriter w;
+        lib_.driver().dumpState(w);
+        snap.driverState = w.take();
+    }
+    for (const auto &sp : sessionSnapshot()) {
+        if (sp->closed || sp->migratedAway)
+            continue;
+        snap.sessions.push_back(buildImage(*sp));
+    }
+    writeSnapshotFile(durability_.snapshotPath, snap);
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::SnapshotMark;
+    appendRecord(rec);
+    opsSinceSnapshot_ = 0;
+    stats_.inc("snapshotsHost");
+}
+
+SessionImage
+ShardController::buildImage(SessionState &s)
+{
+    SessionImage image;
+    image.id = s.id;
+    image.tenant = s.tenant;
+    image.weight = s.weight;
+    image.maxInFlight = s.maxInFlight;
+    image.closed = s.closed.load(std::memory_order_relaxed);
+    image.wordBytes = lib_.wordBytes();
+    image.mode = lib_.device().mode();
+    image.nextAliasOffset = s.nextAliasOffset;
+    for (const Addr base : s.allocations) {
+        SessionImage::Allocation alloc;
+        alloc.addr = base;
+        alloc.localAddr = localBase(s, base);
+        alloc.bytes = lib_.driver().allocationSize(alloc.localAddr);
+        const std::uint64_t words = alloc.bytes / lib_.wordBytes();
+        alloc.values.reserve(words);
+        for (std::uint64_t i = 0; i < words; ++i) {
+            alloc.values.push_back(
+                lib_.peekWord(alloc.localAddr + i * lib_.wordBytes()));
+        }
+        image.allocations.push_back(std::move(alloc));
+    }
+    image.initedRanges.assign(s.initedRanges.begin(),
+                              s.initedRanges.end());
+    for (const auto &[key, items] : s.extractProgress) {
+        if (items == 0)
+            continue;
+        SessionImage::Progress p;
+        p.start = std::get<0>(key);
+        p.end = std::get<1>(key);
+        p.findMax = std::get<2>(key);
+        p.items = items;
+        image.progress.push_back(p);
+    }
+    return image;
+}
+
+void
+ShardController::installFromImage(SessionState &s,
+                                  const SessionImage &image,
+                                  bool fresh_alloc)
+{
+    s.allocations.clear();
+    s.initedRanges.clear();
+    s.addrTranslate.clear();
+    s.extractProgress.clear();
+    s.nextAliasOffset = image.nextAliasOffset;
+
+    const unsigned want_bits = image.wordBytes * 8;
+    if (lib_.device().wordBits() != want_bits ||
+        lib_.device().mode() != image.mode) {
+        // The values were peeked at the image's word geometry; match
+        // it before storing them (installSession already vetoed the
+        // reconfiguration when other tenants hold live operations).
+        lib_.restoreConfigure(image.mode, want_bits);
+    }
+
+    for (const auto &alloc : image.allocations) {
+        Addr local = alloc.localAddr;
+        if (fresh_alloc) {
+            const auto got = lib_.rimeMalloc(alloc.bytes);
+            if (!got) {
+                fatal("shard %u: no room to install session %llu "
+                      "(%llu-byte allocation)", index_,
+                      static_cast<unsigned long long>(image.id),
+                      static_cast<unsigned long long>(alloc.bytes));
+            }
+            local = *got;
+            if (!alloc.values.empty())
+                lib_.storeArray(local, alloc.values);
+        } else {
+            // The restored driver already holds the extent; put the
+            // words back in place without clock or wear side effects.
+            for (std::uint64_t i = 0; i < alloc.values.size(); ++i) {
+                lib_.pokeWord(local + i * image.wordBytes,
+                              alloc.values[i]);
+            }
+        }
+        s.allocations.insert(alloc.addr);
+        if (local != alloc.addr)
+            s.addrTranslate[alloc.addr] = {local, alloc.bytes};
+    }
+
+    for (const auto &[cstart, cend] : image.initedRanges) {
+        Addr start = cstart, end = cend;
+        xlateRange(s, start, end);
+        lib_.rimeInit(start, end, image.mode, want_bits);
+        s.initedRanges.insert({cstart, cend});
+    }
+
+    // Re-consume each range's recorded extraction count: this rebuilds
+    // the exclusion state, so the next extraction continues exactly
+    // where the stream stopped.
+    for (const auto &p : image.progress) {
+        Addr start = p.start, end = p.end;
+        xlateRange(s, start, end);
+        for (std::uint64_t i = 0; i < p.items; ++i) {
+            const RimeExtract e = p.findMax
+                ? lib_.rimeMaxChecked(start, end)
+                : lib_.rimeMinChecked(start, end);
+            if (!e.ok()) {
+                fatal("shard %u: session %llu extraction stream "
+                      "drained at %llu/%llu while restoring "
+                      "[%llx, %llx)", index_,
+                      static_cast<unsigned long long>(image.id),
+                      static_cast<unsigned long long>(i),
+                      static_cast<unsigned long long>(p.items),
+                      static_cast<unsigned long long>(p.start),
+                      static_cast<unsigned long long>(p.end));
+            }
+        }
+        s.extractProgress[{p.start, p.end, p.findMax}] = p.items;
+    }
+}
+
+void
+ShardController::recover()
+{
+    JournalScan scan = readJournal(durability_.journalPath);
+    if (scan.tail != FrameStatus::End) {
+        // Torn or corrupt tail: drop it now so the bytes appended
+        // after reopening stay readable by the next recovery.
+        warn("shard %u: journal tail %s after %zu records; "
+             "truncating to %zu bytes", index_,
+             scan.tail == FrameStatus::Truncated ? "truncated"
+                                                 : "corrupt",
+             scan.records.size(), scan.cleanBytes);
+        if (::truncate(durability_.journalPath.c_str(),
+                       static_cast<off_t>(scan.cleanBytes)) != 0) {
+            fatal("shard %u: cannot truncate torn journal '%s'",
+                  index_, durability_.journalPath.c_str());
+        }
+    }
+
+    std::uint64_t from = 0;
+    std::uint64_t last_mark = 0;
+    replaying_ = true;
+    if (durability_.recoveryMode == RecoveryMode::Snapshot &&
+        !durability_.snapshotPath.empty()) {
+        ShardSnapshot snap;
+        if (readSnapshotFile(durability_.snapshotPath, snap)) {
+            restoreFromSnapshot(snap);
+            from = snap.seq;
+            last_mark = snap.seq;
+        }
+    }
+    replayRecords(scan.records, from);
+    replaying_ = false;
+
+    journalSeq_ = std::max(scan.lastSeq, from);
+    for (const auto &rec : scan.records) {
+        if (rec.kind == JournalRecordKind::SnapshotMark)
+            last_mark = std::max(last_mark, rec.seq);
+    }
+    // Sequence numbers are consecutive, so the gap counts the records
+    // appended since the last snapshot opportunity.
+    opsSinceSnapshot_ =
+        journalSeq_ > last_mark ? journalSeq_ - last_mark : 0;
+}
+
+void
+ShardController::restoreFromSnapshot(const ShardSnapshot &snapshot)
+{
+    lib_.restoreConfigure(snapshot.mode, snapshot.wordBits);
+    {
+        BitReader r(snapshot.driverState);
+        if (!lib_.driver().restoreState(r)) {
+            fatal("shard %u: snapshot '%s' has an unusable driver "
+                  "state dump", index_,
+                  durability_.snapshotPath.c_str());
+        }
+    }
+    for (const auto &image : snapshot.sessions) {
+        auto s = std::make_shared<SessionState>();
+        s->id = image.id;
+        s->tenant = image.tenant;
+        s->weight = image.weight;
+        s->maxInFlight = image.maxInFlight;
+        s->shard.store(index_, std::memory_order_relaxed);
+        s->controller.store(this, std::memory_order_relaxed);
+        s->journalOpened = true;
+        installFromImage(*s, image, /*fresh_alloc=*/false);
+        registerSession(s);
+    }
+    // The poke/re-init/re-extract sequence above advanced the clock;
+    // the snapshot's tick is authoritative, so restore it last.
+    lib_.restoreClock(snapshot.tick);
+}
+
+SessionState &
+ShardController::replaySession(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    // Latest match wins: a session that migrated away and later
+    // migrated back exists twice, and records bind to the newest.
+    for (auto it = sessions_.rbegin(); it != sessions_.rend(); ++it) {
+        if ((*it)->id == id)
+            return **it;
+    }
+    fatal("shard %u: journal names unknown session %llu", index_,
+          static_cast<unsigned long long>(id));
+}
+
+void
+ShardController::replayRecords(
+    const std::vector<JournalRecord> &records, std::uint64_t fromSeq)
+{
+    for (const auto &rec : records) {
+        if (rec.seq <= fromSeq)
+            continue;
+        switch (rec.kind) {
+          case JournalRecordKind::SessionOpen: {
+            auto s = std::make_shared<SessionState>();
+            s->id = rec.sessionId;
+            s->tenant = rec.tenant;
+            s->weight = rec.weight;
+            s->maxInFlight = rec.maxInFlight;
+            s->shard.store(index_, std::memory_order_relaxed);
+            s->controller.store(this, std::memory_order_relaxed);
+            s->journalOpened = true;
+            registerSession(std::move(s));
+            break;
+          }
+          case JournalRecordKind::Op: {
+            SessionState &s = replaySession(rec.sessionId);
+            Request req = rec.req;
+            Response r;
+            // Mirror serveOne exactly: the deadline decision, the
+            // execute path, and the deterministic counters all replay
+            // the way they were served.
+            if (req.deadline != 0 && lib_.now() >= req.deadline) {
+                r.status = ServiceStatus::DeadlineExpired;
+                stats_.inc("deadlineExpired");
+                s.stats.inc("deadlineExpired");
+            } else {
+                r = execute(s, req);
+            }
+            stats_.inc("requests");
+            s.stats.inc("requests");
+            if (r.status != rec.status) {
+                fatal("shard %u: replay diverged at seq %llu (%s): "
+                      "status %s, journal says %s", index_,
+                      static_cast<unsigned long long>(rec.seq),
+                      requestKindName(rec.req.kind),
+                      serviceStatusName(r.status),
+                      serviceStatusName(rec.status));
+            }
+            if (rec.req.kind == RequestKind::Malloc &&
+                rec.status == ServiceStatus::Ok &&
+                r.addr != rec.resultAddr) {
+                fatal("shard %u: replay diverged at seq %llu: malloc "
+                      "returned %llx, journal says %llx", index_,
+                      static_cast<unsigned long long>(rec.seq),
+                      static_cast<unsigned long long>(r.addr),
+                      static_cast<unsigned long long>(rec.resultAddr));
+            }
+            break;
+          }
+          case JournalRecordKind::SessionClose: {
+            SessionState &s = replaySession(rec.sessionId);
+            for (const Addr base : s.allocations)
+                lib_.rimeFree(localBase(s, base));
+            s.allocations.clear();
+            s.initedRanges.clear();
+            s.addrTranslate.clear();
+            s.extractProgress.clear();
+            s.closed = true;
+            stats_.inc("closes");
+            break;
+          }
+          case JournalRecordKind::Migrated: {
+            SessionState &s = replaySession(rec.sessionId);
+            for (const Addr base : s.allocations)
+                lib_.rimeFree(localBase(s, base));
+            s.allocations.clear();
+            s.initedRanges.clear();
+            s.addrTranslate.clear();
+            s.extractProgress.clear();
+            s.migratedAway = true;
+            s.closed = true;
+            stats_.inc("drains");
+            // Kept as a re-home candidate: the service checks whether
+            // the matching Install landed on some peer.
+            SessionImage image;
+            if (!decodeSessionImage(rec.image, image)) {
+                fatal("shard %u: undecodable migration image at seq "
+                      "%llu", index_,
+                      static_cast<unsigned long long>(rec.seq));
+            }
+            orphanedMigrations_.push_back(std::move(image));
+            break;
+          }
+          case JournalRecordKind::Install: {
+            SessionImage image;
+            if (!decodeSessionImage(rec.image, image)) {
+                fatal("shard %u: undecodable install image at seq "
+                      "%llu", index_,
+                      static_cast<unsigned long long>(rec.seq));
+            }
+            auto s = std::make_shared<SessionState>();
+            s->id = rec.sessionId;
+            s->tenant = image.tenant;
+            s->weight = image.weight;
+            s->maxInFlight = image.maxInFlight;
+            s->shard.store(index_, std::memory_order_relaxed);
+            s->controller.store(this, std::memory_order_relaxed);
+            s->journalOpened = true;
+            installFromImage(*s, image, /*fresh_alloc=*/true);
+            stats_.inc("installs");
+            registerSession(std::move(s));
+            break;
+          }
+          case JournalRecordKind::SnapshotMark:
+            stats_.inc("snapshotsHost");
+            break;
+        }
+    }
+}
+
+void
 ShardController::collectStats(
     StatRegistry &out, const std::string &base,
     const std::vector<std::shared_ptr<SessionState>> &sessions) const
@@ -617,6 +1309,8 @@ ShardController::collectStats(
                   static_cast<double>(rejectedBackpressure()));
     scheduler.set("rejectedQuotaHost",
                   static_cast<double>(rejectedQuota()));
+    scheduler.set("rejectedDrainingHost",
+                  static_cast<double>(rejectedDraining()));
     out.mergeGroup(base, scheduler);
     out.mergeRegistry(lib_.statRegistry(), base + ".");
     for (const auto &state : sessions) {

@@ -46,21 +46,26 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "common/bounded_queue.hh"
 #include "common/stats.hh"
 #include "rime/api.hh"
+#include "service/journal.hh"
 #include "service/request.hh"
 
 namespace rime::service
 {
+
+class ShardController;
 
 /** Scheduler tunables of one shard controller. */
 struct SchedulerConfig
@@ -73,6 +78,21 @@ struct SchedulerConfig
     bool deterministic = false;
 };
 
+/** Per-shard durability wiring (derived from DurabilityConfig). */
+struct ShardDurability
+{
+    /** Write-ahead journal path; empty disables journaling. */
+    std::string journalPath;
+    /** Snapshot path (required when snapshots are enabled). */
+    std::string snapshotPath;
+    /** Journaled records between automatic snapshots (0 = never). */
+    std::uint64_t snapshotIntervalOps = 0;
+    RecoveryMode recoveryMode = RecoveryMode::Replay;
+    bool fsyncEveryAppend = false;
+
+    bool enabled() const { return !journalPath.empty(); }
+};
+
 /** Server-side state of one session (controller-owned fields). */
 struct SessionState
 {
@@ -80,7 +100,24 @@ struct SessionState
     std::string tenant;
     unsigned weight = 1;
     unsigned maxInFlight = 8;
-    unsigned shard = 0;
+    /**
+     * Shard the session is pinned to.  Atomic: failover re-homes a
+     * session while service threads read the field for placement and
+     * stat partitioning.
+     */
+    std::atomic<unsigned> shard{0};
+
+    /**
+     * Controller currently serving the session.  Client submits read
+     * it lock-free; failover swaps it after the peer-side install.
+     */
+    std::atomic<ShardController *> controller{nullptr};
+    /**
+     * Session is mid-migration: submits park with bounded backoff
+     * until the install on the new shard completes (see
+     * Session::submit), then follow `controller`.
+     */
+    std::atomic<bool> migrating{false};
 
     /** Requests submitted but not yet completed (client + controller). */
     std::atomic<std::uint32_t> inFlight{0};
@@ -93,13 +130,37 @@ struct SessionState
      */
     std::atomic<bool> closed{false};
 
-    // Everything below is touched only by the controller thread.
+    // Everything below is touched only by the controller thread (or
+    // by recovery/drain code running strictly before/after it).
     struct Pending;
     std::deque<Pending> fifo;
-    /** Allocations owned by the session (freed at close). */
+    /** Allocations owned by the session (client-visible bases). */
     std::set<Addr> allocations;
-    /** Ranges the session has rime_init'ed (live operations). */
+    /** Ranges the session has rime_init'ed (client-visible). */
     std::set<std::pair<Addr, Addr>> initedRanges;
+    /**
+     * Client-visible base -> shard-local backing extent, installed by
+     * migration.  Empty = identity (the session never migrated).
+     */
+    struct Translation
+    {
+        Addr local = 0;
+        std::uint64_t bytes = 0;
+    };
+    std::map<Addr, Translation> addrTranslate;
+    /** Client-visible alias space cursor for post-migration mallocs. */
+    std::uint64_t nextAliasOffset = 0;
+    /**
+     * Successful extractions consumed per (client range, direction)
+     * since that range's last init: what a snapshot replays to
+     * restore the exclusion state and operation stream position.
+     */
+    std::map<std::tuple<Addr, Addr, bool>, std::uint64_t>
+        extractProgress;
+    /** SessionOpen record already appended to this shard's journal. */
+    bool journalOpened = false;
+    /** Session left this shard via a served Drain (or its replay). */
+    bool migratedAway = false;
     /** Per-tenant counters ("service.tenant.<t>.s<id>" at collect). */
     StatGroup stats;
 };
@@ -107,13 +168,15 @@ struct SessionState
 /** One queued unit of work. */
 struct SessionState::Pending
 {
-    enum class Control : std::uint8_t { Data, Close };
+    enum class Control : std::uint8_t { Data, Close, Drain, Install };
 
     Control control = Control::Data;
     Request req{};
     std::shared_ptr<SessionState> session;
     std::promise<Response> promise;
     std::chrono::steady_clock::time_point enqueued{};
+    /** Install only: the encoded SessionImage to take over. */
+    std::vector<std::uint8_t> image;
 };
 
 /** A RimeLibrary plus the controller thread serving it. */
@@ -123,7 +186,8 @@ class ShardController
     using Pending = SessionState::Pending;
 
     ShardController(unsigned index, const LibraryConfig &library,
-                    const SchedulerConfig &scheduler);
+                    const SchedulerConfig &scheduler,
+                    ShardDurability durability = {});
     ~ShardController();
 
     ShardController(const ShardController &) = delete;
@@ -149,8 +213,58 @@ class ShardController
     /** Sessions currently pinned (for placement). */
     std::size_t sessionCount() const;
 
-    /** Requests queued right now (racy snapshot, for placement). */
-    std::size_t queueDepth() const { return inbox_.size(); }
+    /**
+     * Requests queued right now.  An explicit atomic counter (not the
+     * queue's own mutex-guarded size) so recovery/placement polling
+     * stays lock-free against the controller under TSan.
+     */
+    std::size_t
+    queueDepth() const
+    {
+        return inboxDepth_.load(std::memory_order_relaxed);
+    }
+
+    /** Mark the shard as evacuating: placement skips it. */
+    void
+    setDraining()
+    {
+        draining_.store(true, std::memory_order_release);
+    }
+
+    bool
+    draining() const
+    {
+        return draining_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Sessions rebuilt by restart-recovery (everything the journal
+     * and snapshot knew, closed and migrated ones included).  Call
+     * after construction, before the controller begins serving.
+     */
+    std::vector<std::shared_ptr<SessionState>> recoveredStates() const
+    { return sessionSnapshot(); }
+
+    /**
+     * Images of sessions whose Drain was journaled here but whose
+     * Install never landed on a peer (the crash hit the hand-off
+     * window).  The service re-homes them after recovery.
+     */
+    std::vector<SessionImage>
+    takeOrphanedMigrations()
+    {
+        return std::move(orphanedMigrations_);
+    }
+
+    /**
+     * Adopt an orphaned migration here: rebuild the session from its
+     * image and journal the Install.  Pre-begin only -- the
+     * constructing thread still owns the library while the controller
+     * is parked at the begin gate.  False when taking the session
+     * would re-mode the device under other tenants' live operations.
+     */
+    bool installRecovered(std::shared_ptr<SessionState> state,
+                          const SessionImage &image);
 
     /** Load-shed counters (client-thread side, hence atomics). */
     std::uint64_t
@@ -163,11 +277,22 @@ class ShardController
     {
         return rejectedQuota_.load(std::memory_order_relaxed);
     }
+    std::uint64_t
+    rejectedDraining() const
+    {
+        return rejectedDraining_.load(std::memory_order_relaxed);
+    }
 
     void
     countQuotaReject()
     {
         rejectedQuota_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    void
+    countDrainingReject()
+    {
+        rejectedDraining_.fetch_add(1, std::memory_order_relaxed);
     }
 
     /**
@@ -208,8 +333,52 @@ class ShardController
     /** Complete every queued request with Closed (shutdown path). */
     void failAllPending();
 
+    // --- address translation (migrated sessions) ---------------------
+    /** Shard-local base backing a client-visible allocation base. */
+    Addr localBase(const SessionState &s, Addr base) const;
+    /** Translate one client-visible address (identity if unmapped). */
+    Addr xlateAddr(const SessionState &s, Addr addr) const;
+    /** Translate a client-visible [start, end) range in place. */
+    void xlateRange(const SessionState &s, Addr &start,
+                    Addr &end) const;
+
+    // --- durability --------------------------------------------------
+    /** Restore state from snapshot/journal (constructor thread). */
+    void recover();
+    void restoreFromSnapshot(const ShardSnapshot &snapshot);
+    /** Re-execute journal records with seq > fromSeq. */
+    void replayRecords(const std::vector<JournalRecord> &records,
+                       std::uint64_t fromSeq);
+    /** Look up a replayed session by id; fatal when missing. */
+    SessionState &replaySession(std::uint64_t id);
+    /** Append one record (stamps the next sequence number). */
+    void appendRecord(JournalRecord &record);
+    /** First journaled op of a session writes its SessionOpen. */
+    void journalSessionOpenIfNeeded(SessionState &s);
+    void journalOp(SessionState &s, const Request &req,
+                   const Response &r);
+    /** Snapshot when the interval elapsed (controller thread). */
+    void maybeSnapshot();
+    void writeSnapshot();
+    /** Serialize one live session (peeks values, side-effect-free). */
+    SessionImage buildImage(SessionState &s);
+    /**
+     * Rebuild a session's device/driver state from an image.  With
+     * `fresh_alloc` the allocations are re-malloc'ed and values
+     * stored through the normal path (failover install, journal
+     * replay); without it the extents already exist in the restored
+     * driver and values are poked in place (snapshot restore).
+     */
+    void installFromImage(SessionState &s, const SessionImage &image,
+                          bool fresh_alloc);
+    /** Serve a Drain control: journal + free + hand back the image. */
+    void drainSession(SessionState &s, Pending &pending);
+    /** Serve an Install control: take over a drained session. */
+    void installSession(SessionState &s, Pending &pending);
+
     const unsigned index_;
     const SchedulerConfig config_;
+    const ShardDurability durability_;
     RimeLibrary lib_;
     BoundedQueue<Pending> inbox_;
 
@@ -223,6 +392,19 @@ class ShardController
 
     std::atomic<std::uint64_t> rejectedBackpressure_{0};
     std::atomic<std::uint64_t> rejectedQuota_{0};
+    std::atomic<std::uint64_t> rejectedDraining_{0};
+    /** Lock-free inbox depth mirror (see queueDepth()). */
+    std::atomic<std::size_t> inboxDepth_{0};
+    std::atomic<bool> draining_{false};
+
+    JournalWriter journal_;
+    /** Last sequence number appended (or recovered). */
+    std::uint64_t journalSeq_ = 0;
+    /** Records appended since the last snapshot. */
+    std::uint64_t opsSinceSnapshot_ = 0;
+    /** True while replaying: suppresses re-journaling. */
+    bool replaying_ = false;
+    std::vector<SessionImage> orphanedMigrations_;
 
     /**
      * Orders the controller's stat and library writes against

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Codec tests for the bit-packed serialization layer under the
+ * write-ahead journal (common/bitio.hh): every field width 1..64 must
+ * round-trip at arbitrary (unaligned) bit offsets, varints must
+ * round-trip across their length breakpoints, and every malformed
+ * input -- truncated buffers, flipped bits, absurd lengths -- must be
+ * an *explicit* error (latched reader flag or a Truncated/Corrupt
+ * frame status), never undefined behaviour or a silently wrong value.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/bitio.hh"
+#include "common/rng.hh"
+
+using namespace rime;
+
+namespace
+{
+
+/** Mask with the low `width` bits set (width 1..64). */
+std::uint64_t
+mask(unsigned width)
+{
+    return width == 64 ? ~0ULL : (1ULL << width) - 1;
+}
+
+} // namespace
+
+TEST(BitIo, RoundTripEveryWidthAligned)
+{
+    for (unsigned width = 1; width <= 64; ++width) {
+        const std::uint64_t patterns[] = {
+            0, 1, mask(width), mask(width) >> 1,
+            0xA5A5A5A5A5A5A5A5ULL & mask(width),
+        };
+        BitWriter w;
+        for (const auto p : patterns)
+            w.put(p, width);
+        ASSERT_TRUE(w.ok());
+        BitReader r(w.bytes());
+        for (const auto p : patterns)
+            EXPECT_EQ(r.get(width), p) << "width " << width;
+        EXPECT_TRUE(r.ok());
+    }
+}
+
+TEST(BitIo, RoundTripEveryWidthUnaligned)
+{
+    // A 1..7-bit prefix forces every field to straddle byte
+    // boundaries at every possible phase.
+    for (unsigned phase = 1; phase <= 7; ++phase) {
+        for (unsigned width = 1; width <= 64; ++width) {
+            const std::uint64_t v = 0x123456789ABCDEF0ULL & mask(width);
+            BitWriter w;
+            w.put(0, phase);
+            w.put(v, width);
+            w.put(mask(width), width);
+            ASSERT_TRUE(w.ok());
+            BitReader r(w.bytes());
+            EXPECT_EQ(r.get(phase), 0u);
+            EXPECT_EQ(r.get(width), v)
+                << "phase " << phase << " width " << width;
+            EXPECT_EQ(r.get(width), mask(width));
+            EXPECT_TRUE(r.ok());
+        }
+    }
+}
+
+TEST(BitIo, RandomizedMixedWidthStream)
+{
+    Rng rng(1234);
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    BitWriter w;
+    for (int i = 0; i < 10000; ++i) {
+        const unsigned width = 1 + rng() % 64;
+        const std::uint64_t v = rng() & mask(width);
+        fields.emplace_back(v, width);
+        w.put(v, width);
+    }
+    ASSERT_TRUE(w.ok());
+    BitReader r(w.bytes());
+    for (const auto &[v, width] : fields)
+        ASSERT_EQ(r.get(width), v) << "width " << width;
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(BitIo, BadWidthLatchesWriter)
+{
+    BitWriter w;
+    w.put(1, 0);
+    EXPECT_FALSE(w.ok());
+    EXPECT_EQ(w.bitSize(), 0u);
+
+    BitWriter w2;
+    w2.put(1, 65);
+    EXPECT_FALSE(w2.ok());
+}
+
+TEST(BitIo, BadWidthLatchesReader)
+{
+    const std::vector<std::uint8_t> bytes(16, 0xFF);
+    BitReader r(bytes);
+    EXPECT_EQ(r.get(0), 0u);
+    EXPECT_FALSE(r.ok());
+    // Error is sticky: even in-range reads return zero afterwards.
+    EXPECT_EQ(r.get(8), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, OverrunLatchesNotUb)
+{
+    BitWriter w;
+    w.putU16(0xBEEF);
+    const auto bytes = w.bytes();
+    BitReader r(bytes);
+    EXPECT_EQ(r.getU16(), 0xBEEFu);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.get(1), 0u); // one bit past the end
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.getU64(), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, EmptyInputReads)
+{
+    BitReader r(nullptr, 0);
+    EXPECT_EQ(r.bitsLeft(), 0u);
+    EXPECT_EQ(r.get(1), 0u);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, VarintBreakpoints)
+{
+    // Every 7-bit group boundary, plus both extremes.
+    std::vector<std::uint64_t> edges = {0, 1};
+    for (unsigned shift = 7; shift < 64; shift += 7) {
+        edges.push_back((1ULL << shift) - 1);
+        edges.push_back(1ULL << shift);
+        edges.push_back((1ULL << shift) + 1);
+    }
+    edges.push_back(std::numeric_limits<std::uint64_t>::max());
+
+    BitWriter w;
+    for (const auto v : edges)
+        w.putVarint(v);
+    ASSERT_TRUE(w.ok());
+    BitReader r(w.bytes());
+    for (const auto v : edges)
+        EXPECT_EQ(r.getVarint(), v);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(BitIo, TruncatedVarintIsError)
+{
+    BitWriter w;
+    w.putVarint(std::numeric_limits<std::uint64_t>::max());
+    auto bytes = w.take();
+    ASSERT_GT(bytes.size(), 1u);
+    bytes.pop_back(); // drop the terminating group
+    BitReader r(bytes);
+    r.getVarint();
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, BytesAndStrings)
+{
+    const std::string s = "journal record \x01\x02\x7f payload";
+    const std::vector<std::uint8_t> blob = {0, 255, 128, 1, 2, 3};
+    BitWriter w;
+    w.putString(s);
+    w.putBytes(blob.data(), blob.size());
+    w.putString("");
+    ASSERT_TRUE(w.ok());
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.getString(), s);
+    EXPECT_EQ(r.getBytes(), blob);
+    EXPECT_EQ(r.getString(), "");
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(BitIo, BytesLengthBeyondInputIsError)
+{
+    // A varint length prefix claiming far more payload than exists
+    // must latch the error and return empty, not read out of bounds.
+    BitWriter w;
+    w.putVarint(1 << 20);
+    w.putU8(0xAA); // only one byte of "payload"
+    BitReader r(w.bytes());
+    EXPECT_TRUE(r.getBytes().empty());
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(BitIo, AlignRoundTrip)
+{
+    BitWriter w;
+    w.put(0x5, 3);
+    w.align();
+    EXPECT_EQ(w.bitSize() % 8, 0u);
+    w.putU8(0xC3);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.get(3), 0x5u);
+    r.align();
+    EXPECT_EQ(r.getU8(), 0xC3u);
+    EXPECT_TRUE(r.ok());
+}
+
+TEST(BitIo, Crc32KnownVector)
+{
+    // The classic IEEE 802.3 check value.
+    const char *s = "123456789";
+    EXPECT_EQ(
+        crc32(reinterpret_cast<const std::uint8_t *>(s), 9),
+        0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(BitIo, FrameRoundTrip)
+{
+    std::vector<std::uint8_t> stream;
+    std::vector<std::vector<std::uint8_t>> payloads = {
+        {}, {1}, {0xDE, 0xAD, 0xBE, 0xEF},
+        std::vector<std::uint8_t>(1000, 0x5A),
+    };
+    for (const auto &p : payloads)
+        appendFrame(stream, p);
+
+    std::size_t offset = 0;
+    std::vector<std::uint8_t> payload;
+    for (const auto &p : payloads) {
+        ASSERT_EQ(readFrame(stream.data(), stream.size(), offset,
+                            payload),
+                  FrameStatus::Ok);
+        EXPECT_EQ(payload, p);
+    }
+    EXPECT_EQ(
+        readFrame(stream.data(), stream.size(), offset, payload),
+        FrameStatus::End);
+    EXPECT_EQ(offset, stream.size());
+}
+
+TEST(BitIo, TornTailIsTruncatedAtEveryCut)
+{
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, {1, 2, 3, 4});
+    appendFrame(stream, {5, 6, 7, 8, 9, 10});
+    const std::size_t first = [&] {
+        std::size_t off = 0;
+        std::vector<std::uint8_t> p;
+        EXPECT_EQ(readFrame(stream.data(), stream.size(), off, p),
+                  FrameStatus::Ok);
+        return off;
+    }();
+
+    // Cut the stream at every byte inside the second frame: the first
+    // frame must still parse and the tail must report Truncated with
+    // the offset left at the clean-prefix boundary.
+    for (std::size_t cut = first + 1; cut < stream.size(); ++cut) {
+        std::size_t off = 0;
+        std::vector<std::uint8_t> p;
+        ASSERT_EQ(readFrame(stream.data(), cut, off, p),
+                  FrameStatus::Ok);
+        ASSERT_EQ(readFrame(stream.data(), cut, off, p),
+                  FrameStatus::Truncated)
+            << "cut at " << cut;
+        EXPECT_EQ(off, first);
+    }
+}
+
+TEST(BitIo, FlippedBitIsCorrupt)
+{
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, {10, 20, 30, 40, 50});
+    // Flip one bit in the payload (past the 8-byte prefix).
+    for (std::size_t byte = 8; byte < stream.size(); ++byte) {
+        auto bad = stream;
+        bad[byte] ^= 0x10;
+        std::size_t off = 0;
+        std::vector<std::uint8_t> p;
+        EXPECT_EQ(readFrame(bad.data(), bad.size(), off, p),
+                  FrameStatus::Corrupt)
+            << "flip at " << byte;
+        EXPECT_EQ(off, 0u);
+    }
+}
+
+TEST(BitIo, AbsurdLengthIsCorruptNotAllocation)
+{
+    // A length word larger than the frame cap must be rejected
+    // before any attempt to read (or allocate) that much.
+    std::vector<std::uint8_t> stream(16, 0);
+    stream[0] = 0xFF;
+    stream[1] = 0xFF;
+    stream[2] = 0xFF;
+    stream[3] = 0xFF; // length = 0xFFFFFFFF
+    std::size_t off = 0;
+    std::vector<std::uint8_t> p;
+    EXPECT_EQ(readFrame(stream.data(), stream.size(), off, p),
+              FrameStatus::Corrupt);
+    EXPECT_EQ(off, 0u);
+}
+
+TEST(BitIo, FrameStatusNames)
+{
+    EXPECT_STREQ(frameStatusName(FrameStatus::Ok), "ok");
+    EXPECT_STREQ(frameStatusName(FrameStatus::End), "end");
+    EXPECT_STREQ(frameStatusName(FrameStatus::Truncated), "truncated");
+    EXPECT_STREQ(frameStatusName(FrameStatus::Corrupt), "corrupt");
+}
