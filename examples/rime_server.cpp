@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Stand-alone wire-protocol server: a RimeService behind a RimeServer,
+ * listening on TCP and/or a Unix-domain socket until SIGINT/SIGTERM.
+ *
+ *   rime_server [tcp:host:port] [unix:/path]
+ *
+ * Defaults to tcp:127.0.0.1:7461 when no endpoint is given.  Pair it
+ * with the wire_client example (or any RimeClient) for a full remote
+ * session: malloc -> storeArray -> init -> topK -> sort -> free over
+ * the framed binary protocol.
+ *
+ * Environment: RIME_JOURNAL_DIR / RIME_SNAPSHOT_INTERVAL /
+ * RIME_RECOVERY_MODE / RIME_JOURNAL_FSYNC wire up the durability
+ * layer exactly as documented in service/journal.hh, so a killed
+ * server restarted on the same journal directory recovers every
+ * committed session before accepting connections again.
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+#include "net/server.hh"
+#include "service/journal.hh"
+#include "service/service.hh"
+
+using namespace rime;
+using namespace rime::service;
+using namespace rime::net;
+
+namespace
+{
+
+volatile std::sig_atomic_t gStop = 0;
+
+void
+onSignal(int)
+{
+    gStop = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ServerConfig cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("unix:", 0) == 0) {
+            cfg.unixPath = arg;
+        } else if (arg.rfind("tcp:", 0) == 0) {
+            cfg.tcp = arg;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [tcp:host:port] [unix:/path]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (cfg.tcp.empty() && cfg.unixPath.empty())
+        cfg.tcp = "tcp:127.0.0.1:7461";
+
+    ServiceConfig svcCfg;
+    svcCfg.durability = DurabilityConfig::fromEnv();
+    RimeService service(std::move(svcCfg));
+    const auto recovered = service.recoveredSessions();
+    if (!recovered.empty()) {
+        std::printf("recovered %zu session(s) from %s\n",
+                    recovered.size(),
+                    std::getenv("RIME_JOURNAL_DIR"));
+    }
+
+    RimeServer server(service, cfg);
+    if (!server.start()) {
+        std::fprintf(stderr, "rime_server: bind failed: %s\n",
+                     std::strerror(errno));
+        return 1;
+    }
+    if (server.tcpPort() != 0)
+        std::printf("listening on tcp:127.0.0.1:%u\n",
+                    server.tcpPort());
+    if (!server.unixSocketPath().empty())
+        std::printf("listening on unix:%s\n",
+                    server.unixSocketPath().c_str());
+    std::fflush(stdout);
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!gStop)
+        ::pause();
+
+    std::printf("shutting down: %llu connection(s), %llu request(s) "
+                "served, %llu protocol error(s)\n",
+                static_cast<unsigned long long>(
+                    server.connectionsAccepted()),
+                static_cast<unsigned long long>(
+                    server.requestsServed()),
+                static_cast<unsigned long long>(
+                    server.protocolErrors()));
+    server.stop();
+    return 0;
+}

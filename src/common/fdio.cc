@@ -1,0 +1,55 @@
+#include "fdio.hh"
+
+#include <cerrno>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace rime
+{
+
+namespace fdio_detail
+{
+
+WriteFn writeShim = &::write;
+
+} // namespace fdio_detail
+
+bool
+writeFully(int fd, const void *data, std::size_t size)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::size_t left = size;
+    while (left > 0) {
+        const ssize_t n = fdio_detail::writeShim(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        // n == 0 on a regular file would loop forever; POSIX reserves
+        // it for zero-length requests, so treat it as progress-free
+        // and retry -- a wedged fd eventually fails with an errno.
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+fsyncParentDir(const std::string &path)
+{
+    const auto slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0)
+        return false;
+    const bool ok = ::fsync(fd) == 0;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    return ok;
+}
+
+} // namespace rime

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * RimeClient: the remote-session library over the wire protocol.
+ *
+ * One client owns one connection (TCP or Unix-domain) and a reader
+ * thread.  Requests are pipelined: submit() assigns a correlation ID,
+ * frames the request, writes it out, and returns a
+ * std::future<Response> immediately -- any number can be in flight,
+ * and the reader completes each future as its Response frame arrives
+ * (out-of-order completions are matched by correlation ID).  call()
+ * is the synchronous submit+wait convenience, mirroring
+ * service::Session::call.
+ *
+ * Failure model: connect() retries with bounded exponential backoff
+ * and a per-attempt timeout; a read timeout with requests in flight,
+ * a broken socket, or a server-sent Error all count as *transport*
+ * errors -- every pending future completes with ServiceStatus::Closed
+ * and the connection drops.  Requests are never silently retried (the
+ * typed ops are not idempotent); the caller reconnects and reopens
+ * its sessions.  Protocol errors (corrupt frames, undecodable
+ * payloads) are counted separately: under disconnect chaos the
+ * transport counter moves and the protocol counter must stay 0.
+ */
+
+#ifndef RIME_NET_CLIENT_HH
+#define RIME_NET_CLIENT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hh"
+#include "service/request.hh"
+#include "service/wire.hh"
+
+namespace rime::net
+{
+
+/** Connection policy of one RimeClient. */
+struct ClientConfig
+{
+    /** "tcp:host:port" or "unix:/path". */
+    std::string endpoint;
+    /** Per-attempt connect timeout. */
+    int connectTimeoutMs = 5000;
+    /**
+     * With requests in flight, a silent server for this long is a
+     * transport error (pending futures fail, connection drops).
+     */
+    int readTimeoutMs = 30000;
+    /** connect(): total attempts before giving up. */
+    unsigned connectAttempts = 6;
+    /** Backoff after a failed attempt: base * 2^n, capped. */
+    int backoffBaseMs = 10;
+    int backoffMaxMs = 2000;
+};
+
+/** A remote handle on a RimeService, over the wire protocol. */
+class RimeClient
+{
+  public:
+    explicit RimeClient(ClientConfig config);
+    ~RimeClient();
+
+    RimeClient(const RimeClient &) = delete;
+    RimeClient &operator=(const RimeClient &) = delete;
+
+    /**
+     * Connect + handshake, retrying with exponential backoff up to
+     * config.connectAttempts times.  True when the Welcome landed.
+     * Reconnecting after a drop is the same call; sessions do not
+     * survive it (reopen them).
+     */
+    bool connect();
+
+    /** Drop the connection; every pending future completes Closed. */
+    void disconnect();
+
+    bool connected() const;
+
+    /** Shard count reported by the server's Welcome (0 before). */
+    std::uint64_t shards() const { return shards_; }
+
+    /**
+     * Open a session (synchronous).  Returns the wire session handle
+     * (the service session id), or 0 on failure.
+     */
+    std::uint64_t openSession(const std::string &tenant,
+                              unsigned weight = 1,
+                              unsigned max_in_flight = 8);
+
+    /** Close a session (synchronous).  False on transport failure. */
+    bool closeSession(std::uint64_t session);
+
+    /** Release deterministic schedulers (service::RimeService::start). */
+    bool start();
+
+    /** Fetch the service stat tree as JSON ("" on failure). */
+    std::string statDump(bool include_host = false);
+
+    /**
+     * Pipeline one request on `session`.  The future completes when
+     * the Response frame arrives (status Closed on transport error).
+     * Thread-safe; any number may be in flight.
+     */
+    std::future<service::Response> submit(std::uint64_t session,
+                                          service::Request req);
+
+    /** submit + wait. */
+    service::Response
+    call(std::uint64_t session, service::Request req)
+    {
+        return submit(session, std::move(req)).get();
+    }
+
+    /** Successful connects after the first (chaos accounting). */
+    std::uint64_t
+    reconnects() const
+    {
+        return reconnects_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests failed by disconnects/timeouts (never retried). */
+    std::uint64_t
+    transportErrors() const
+    {
+        return transportErrors_.load(std::memory_order_relaxed);
+    }
+
+    /** Corrupt/undecodable frames and server-sent protocol Errors. */
+    std::uint64_t
+    protocolErrors() const
+    {
+        return protocolErrors_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    /** One connect attempt + Hello/Welcome handshake. */
+    bool connectOnce();
+    /** Frame + write one message; false on a dead/broken socket. */
+    bool sendMessage(const service::wire::Message &msg);
+    /** Synchronous admin round-trip; false on failure/timeout. */
+    bool adminCall(service::wire::Message &msg,
+                   service::wire::MessageKind expect_kind,
+                   service::wire::Message &reply);
+    void readerLoop(int fd);
+    /** Route one decoded server message to its waiter. */
+    void dispatch(service::wire::Message &&msg);
+    /** Fail every pending future (transport error), drop state. */
+    void failAllPending();
+
+    const ClientConfig config_;
+    Endpoint endpoint_;
+
+    mutable std::mutex mutex_;     ///< fd_/maps/reader lifecycle
+    std::mutex sendMutex_;         ///< serializes socket writes
+    int fd_ = -1;
+    std::thread reader_;
+    std::atomic<bool> stopReader_{false};
+    bool everConnected_ = false;
+
+    std::atomic<std::uint64_t> nextCorrId_{1};
+    std::map<std::uint64_t, std::promise<service::Response>>
+        pendingResponses_;
+    std::map<std::uint64_t, std::promise<service::wire::Message>>
+        pendingAdmin_;
+
+    std::uint64_t shards_ = 0;
+
+    std::atomic<std::uint64_t> reconnects_{0};
+    std::atomic<std::uint64_t> transportErrors_{0};
+    std::atomic<std::uint64_t> protocolErrors_{0};
+};
+
+} // namespace rime::net
+
+#endif // RIME_NET_CLIENT_HH

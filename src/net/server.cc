@@ -1,0 +1,429 @@
+#include "server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace rime::net
+{
+
+using service::Response;
+using service::ServiceStatus;
+using service::SessionConfig;
+namespace wire = service::wire;
+
+namespace
+{
+
+/** Stop parsing a connection whose peer streams garbage unframed. */
+constexpr std::size_t kMaxBufferedBytes = 64u << 20;
+
+} // namespace
+
+RimeServer::RimeServer(service::RimeService &service,
+                       ServerConfig config)
+    : service_(service), config_(std::move(config)),
+      wake_(std::make_shared<WakePipe>())
+{
+}
+
+RimeServer::~RimeServer()
+{
+    stop();
+}
+
+bool
+RimeServer::start()
+{
+    if (running_.load(std::memory_order_acquire))
+        return true;
+    if (!wake_->ok())
+        return false;
+    if (!config_.tcp.empty()) {
+        Endpoint ep;
+        if (!parseEndpoint(config_.tcp, ep) ||
+            ep.kind != Endpoint::Kind::Tcp) {
+            errno = EINVAL;
+            return false;
+        }
+        tcpListen_ = listenSocket(ep);
+        if (tcpListen_ < 0)
+            return false;
+        tcpPort_ = boundPort(tcpListen_);
+    }
+    if (!config_.unixPath.empty()) {
+        Endpoint ep;
+        if (!parseEndpoint(config_.unixPath, ep) ||
+            ep.kind != Endpoint::Kind::Unix) {
+            errno = EINVAL;
+            return false;
+        }
+        unixListen_ = listenSocket(ep);
+        if (unixListen_ < 0) {
+            const int saved = errno;
+            if (tcpListen_ >= 0) {
+                ::close(tcpListen_);
+                tcpListen_ = -1;
+            }
+            errno = saved;
+            return false;
+        }
+        unixPath_ = ep.path;
+    }
+    if (tcpListen_ < 0 && unixListen_ < 0) {
+        errno = EINVAL;
+        return false; // nowhere to listen
+    }
+    running_.store(true, std::memory_order_release);
+    loopThread_ = std::thread([this] { loop(); });
+    return true;
+}
+
+void
+RimeServer::stop()
+{
+    if (!running_.exchange(false))
+        return;
+    wake_->wake();
+    if (loopThread_.joinable())
+        loopThread_.join();
+    for (auto &conn : connections_)
+        closeConnection(*conn);
+    connections_.clear();
+    if (tcpListen_ >= 0) {
+        ::close(tcpListen_);
+        tcpListen_ = -1;
+    }
+    if (unixListen_ >= 0) {
+        ::close(unixListen_);
+        unixListen_ = -1;
+        ::unlink(unixPath_.c_str());
+    }
+}
+
+void
+RimeServer::loop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        poller_.clear();
+        const std::size_t wake_slot =
+            poller_.add(wake_->readFd(), true, false);
+        std::size_t tcp_slot = SIZE_MAX, unix_slot = SIZE_MAX;
+        if (tcpListen_ >= 0)
+            tcp_slot = poller_.add(tcpListen_, true, false);
+        if (unixListen_ >= 0)
+            unix_slot = poller_.add(unixListen_, true, false);
+        std::vector<std::size_t> conn_slots(connections_.size());
+        for (std::size_t i = 0; i < connections_.size(); ++i) {
+            const Connection &c = *connections_[i];
+            conn_slots[i] = poller_.add(
+                c.fd, !c.closing,
+                c.outOffset < c.out.size());
+        }
+
+        // The wake pipe breaks this wait the instant any controller
+        // completes a future; the timeout is only a safety net.
+        if (poller_.wait(100) < 0)
+            continue;
+
+        if (poller_.readable(wake_slot))
+            wake_->drain();
+        if (tcp_slot != SIZE_MAX && poller_.readable(tcp_slot))
+            acceptAll(tcpListen_);
+        if (unix_slot != SIZE_MAX && poller_.readable(unix_slot))
+            acceptAll(unixListen_);
+
+        // Sweep every connection: parse what arrived, collect what
+        // completed, push what is ready to go.  `conn_slots` indexes
+        // the pre-accept prefix of connections_.
+        for (std::size_t i = 0; i < conn_slots.size(); ++i) {
+            Connection &conn = *connections_[i];
+            if (conn.fd < 0)
+                continue;
+            if (poller_.readable(conn_slots[i]) &&
+                !handleReadable(conn)) {
+                closeConnection(conn);
+                continue;
+            }
+        }
+        for (auto &connp : connections_) {
+            Connection &conn = *connp;
+            if (conn.fd < 0)
+                continue;
+            pumpCompletions(conn);
+            if (!flush(conn))
+                closeConnection(conn);
+        }
+        std::erase_if(connections_,
+                      [](const auto &c) { return c->fd < 0; });
+    }
+}
+
+void
+RimeServer::acceptAll(int listen_fd)
+{
+    while (true) {
+        const int fd = acceptSocket(listen_fd);
+        if (fd < 0)
+            return;
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = fd;
+        connections_.push_back(std::move(conn));
+    }
+}
+
+bool
+RimeServer::handleReadable(Connection &conn)
+{
+    char buf[16384];
+    while (true) {
+        const ssize_t n = ::recv(conn.fd, buf, sizeof(buf), 0);
+        if (n == 0)
+            return false; // peer closed
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break;
+            return false;
+        }
+        conn.in.insert(conn.in.end(), buf, buf + n);
+        if (static_cast<std::size_t>(n) < sizeof(buf))
+            break;
+    }
+    if (conn.closing)
+        return true; // draining the goodbye; ignore further input
+
+    std::size_t offset = 0;
+    while (true) {
+        std::vector<std::uint8_t> payload;
+        const FrameStatus status = readFrame(
+            conn.in.data(), conn.in.size(), offset, payload);
+        if (status == FrameStatus::End)
+            break;
+        if (status == FrameStatus::Truncated) {
+            // An incomplete frame on a *live* stream just means the
+            // rest is still in flight -- but an unframed flood must
+            // not buffer without bound.
+            if (conn.in.size() - offset > kMaxBufferedBytes) {
+                failConnection(conn, 0, wire::WireError::BadFrame,
+                               "oversized frame");
+            }
+            break;
+        }
+        if (status == FrameStatus::Corrupt) {
+            failConnection(conn, 0, wire::WireError::BadFrame,
+                           "frame checksum mismatch");
+            break;
+        }
+        wire::Message msg;
+        if (!wire::decodeMessage(payload, msg)) {
+            failConnection(conn, 0, wire::WireError::BadMessage,
+                           "undecodable message payload");
+            break;
+        }
+        handleMessage(conn, std::move(msg));
+        if (conn.closing)
+            break;
+    }
+    if (offset > 0)
+        conn.in.erase(conn.in.begin(),
+                      conn.in.begin() +
+                          static_cast<std::ptrdiff_t>(offset));
+    return true;
+}
+
+void
+RimeServer::failConnection(Connection &conn, std::uint64_t corr_id,
+                           wire::WireError error,
+                           const std::string &why)
+{
+    protocolErrors_.fetch_add(1, std::memory_order_relaxed);
+    wire::Message err;
+    err.kind = wire::MessageKind::Error;
+    err.corrId = corr_id;
+    err.error = error;
+    err.text = why;
+    wire::encodeMessage(conn.out, err);
+    conn.closing = true;
+}
+
+void
+RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
+{
+    if (!conn.greeted) {
+        if (msg.kind != wire::MessageKind::Hello) {
+            failConnection(conn, msg.corrId,
+                           wire::WireError::BadMessage,
+                           "expected Hello");
+            return;
+        }
+        if (msg.magic != wire::kWireMagic) {
+            failConnection(conn, msg.corrId,
+                           wire::WireError::BadMagic,
+                           "wrong wire magic");
+            return;
+        }
+        if (msg.version != wire::kWireVersion) {
+            failConnection(conn, msg.corrId,
+                           wire::WireError::BadVersion,
+                           "unsupported wire version");
+            return;
+        }
+        conn.greeted = true;
+        wire::Message welcome;
+        welcome.kind = wire::MessageKind::Welcome;
+        welcome.corrId = msg.corrId;
+        welcome.shards = service_.shards();
+        wire::encodeMessage(conn.out, welcome);
+        return;
+    }
+
+    switch (msg.kind) {
+      case wire::MessageKind::OpenSession: {
+        SessionConfig cfg;
+        cfg.tenant = msg.tenant;
+        cfg.weight = msg.weight;
+        cfg.maxInFlight = msg.maxInFlight;
+        auto session = service_.openSession(cfg);
+        wire::Message opened;
+        opened.kind = wire::MessageKind::SessionOpened;
+        opened.corrId = msg.corrId;
+        opened.status = ServiceStatus::Ok;
+        opened.sessionId = session->id();
+        conn.sessions.emplace(session->id(), std::move(session));
+        wire::encodeMessage(conn.out, opened);
+        return;
+      }
+      case wire::MessageKind::CloseSession: {
+        auto it = conn.sessions.find(msg.sessionId);
+        if (it == conn.sessions.end()) {
+            failConnection(conn, msg.corrId,
+                           wire::WireError::UnknownSession,
+                           "close of unknown session");
+            return;
+        }
+        it->second->close();
+        conn.sessions.erase(it);
+        wire::Message ack;
+        ack.kind = wire::MessageKind::Response;
+        ack.corrId = msg.corrId;
+        ack.resp.status = ServiceStatus::Ok;
+        wire::encodeMessage(conn.out, ack);
+        return;
+      }
+      case wire::MessageKind::Request: {
+        auto it = conn.sessions.find(msg.sessionId);
+        if (it == conn.sessions.end()) {
+            failConnection(conn, msg.corrId,
+                           wire::WireError::UnknownSession,
+                           "request on unknown session");
+            return;
+        }
+        served_.fetch_add(1, std::memory_order_relaxed);
+        // The notify hook fires on the controller thread the moment
+        // the response is ready; the shared_ptr keeps the pipe alive
+        // past server teardown (the service drains its tail late).
+        std::shared_ptr<WakePipe> wake = wake_;
+        auto future = it->second->submit(
+            std::move(msg.req), [wake] { wake->wake(); });
+        conn.inFlight.push_back(
+            Connection::InFlight{msg.corrId, std::move(future)});
+        return;
+      }
+      case wire::MessageKind::Start: {
+        service_.start();
+        wire::Message ack;
+        ack.kind = wire::MessageKind::Response;
+        ack.corrId = msg.corrId;
+        ack.resp.status = ServiceStatus::Ok;
+        wire::encodeMessage(conn.out, ack);
+        return;
+      }
+      case wire::MessageKind::StatDump: {
+        wire::Message reply;
+        reply.kind = wire::MessageKind::StatDumpReply;
+        reply.corrId = msg.corrId;
+        reply.text = service_.statDumpJson(msg.includeHost);
+        wire::encodeMessage(conn.out, reply);
+        return;
+      }
+      default:
+        failConnection(conn, msg.corrId, wire::WireError::BadMessage,
+                       "unexpected message kind");
+        return;
+    }
+}
+
+void
+RimeServer::pumpCompletions(Connection &conn)
+{
+    // Ready futures can sit anywhere in the queue (several sessions
+    // share the connection; rejects complete instantly), so sweep the
+    // whole thing -- correlation IDs let the client match them.
+    for (auto it = conn.inFlight.begin();
+         it != conn.inFlight.end();) {
+        if (it->future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready) {
+            ++it;
+            continue;
+        }
+        wire::Message reply;
+        reply.kind = wire::MessageKind::Response;
+        reply.corrId = it->corrId;
+        reply.resp = it->future.get();
+        wire::encodeMessage(conn.out, reply);
+        it = conn.inFlight.erase(it);
+    }
+}
+
+bool
+RimeServer::flush(Connection &conn)
+{
+    while (conn.outOffset < conn.out.size()) {
+        const ssize_t n = ::send(
+            conn.fd, conn.out.data() + conn.outOffset,
+            conn.out.size() - conn.outOffset, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                break; // POLLOUT will resume this
+            return false;
+        }
+        conn.outOffset += static_cast<std::size_t>(n);
+    }
+    if (conn.outOffset == conn.out.size()) {
+        conn.out.clear();
+        conn.outOffset = 0;
+        // A failed connection lingers only until its Error message is
+        // on the wire.
+        if (conn.closing)
+            return false;
+    }
+    return true;
+}
+
+void
+RimeServer::closeConnection(Connection &conn)
+{
+    if (conn.fd < 0)
+        return;
+    ::close(conn.fd);
+    conn.fd = -1;
+    // Dropping the futures is safe mid-flight (the promise keeps the
+    // shared state alive); closing the sessions frees everything the
+    // remote tenant still held, exactly like an in-process close.
+    conn.inFlight.clear();
+    for (auto &[id, session] : conn.sessions)
+        session->close();
+    conn.sessions.clear();
+}
+
+} // namespace rime::net

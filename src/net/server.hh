@@ -1,0 +1,163 @@
+/**
+ * @file
+ * RimeServer: the wire-protocol front door of a RimeService.
+ *
+ * One event-loop thread owns every connection: it accepts TCP and
+ * Unix-domain clients (both optional, both non-blocking), parses
+ * frames off each connection's read buffer with the journal-proven
+ * readFrame (Truncated = wait for more bytes, Corrupt = protocol
+ * error), decodes wire messages, and dispatches Requests straight
+ * onto the existing per-shard MPSC queues via Session::submit -- the
+ * device-side controller threads never block on the network, and the
+ * event loop never blocks on the device.
+ *
+ * Completion is push, not poll: every submit installs a notify hook
+ * that fires on the controller thread the instant the future is
+ * fulfilled and nudges the loop through a self-pipe (WakePipe).  The
+ * loop then sweeps each connection's in-flight queue, encodes every
+ * ready Response, and writes it out (partial socket writes are parked
+ * in a per-connection send buffer and drained on POLLOUT).
+ *
+ * Sessions are connection-scoped: OpenSession binds a RimeService
+ * session to the connection, and a disconnect (or protocol error)
+ * closes every session the connection still holds -- the shard frees
+ * the tenant's allocations exactly as an in-process close would.
+ */
+
+#ifndef RIME_NET_SERVER_HH
+#define RIME_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/poller.hh"
+#include "net/socket.hh"
+#include "service/service.hh"
+#include "service/wire.hh"
+
+namespace rime::net
+{
+
+/** Where a RimeServer listens. */
+struct ServerConfig
+{
+    /** "tcp:host:port" (port 0 = ephemeral); empty disables TCP. */
+    std::string tcp;
+    /** "unix:/path"; empty disables the Unix-domain listener. */
+    std::string unixPath;
+};
+
+/** The socket front end of one RimeService. */
+class RimeServer
+{
+  public:
+    RimeServer(service::RimeService &service, ServerConfig config);
+    ~RimeServer();
+
+    RimeServer(const RimeServer &) = delete;
+    RimeServer &operator=(const RimeServer &) = delete;
+
+    /**
+     * Bind the listeners and launch the event loop.  False when a
+     * bind fails (errno preserved); the server stays stopped.
+     */
+    bool start();
+
+    /** Close every connection and join the loop.  Idempotent. */
+    void stop();
+
+    /** Actual TCP port (after an ephemeral bind); 0 when disabled. */
+    std::uint16_t tcpPort() const { return tcpPort_; }
+
+    /** Path of the Unix listener; empty when disabled. */
+    const std::string &unixSocketPath() const { return unixPath_; }
+
+    std::uint64_t
+    connectionsAccepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+    /** Connections dropped for framing/handshake/decode errors. */
+    std::uint64_t
+    protocolErrors() const
+    {
+        return protocolErrors_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Connection
+    {
+        int fd = -1;
+        /** Received, not yet parsed. */
+        std::vector<std::uint8_t> in;
+        /** Encoded, not yet sent (from `outOffset`). */
+        std::vector<std::uint8_t> out;
+        std::size_t outOffset = 0;
+        /** Hello validated; anything else first is a BadMessage. */
+        bool greeted = false;
+        /** Error queued: flush the send buffer, then drop. */
+        bool closing = false;
+        /** Wire session handle -> service session. */
+        std::map<std::uint64_t,
+                 std::shared_ptr<service::Session>> sessions;
+
+        struct InFlight
+        {
+            std::uint64_t corrId = 0;
+            std::future<service::Response> future;
+        };
+        /** Submitted requests whose Response is still due. */
+        std::deque<InFlight> inFlight;
+    };
+
+    void loop();
+    void acceptAll(int listen_fd);
+    /** Read + parse + dispatch; false when the connection died. */
+    bool handleReadable(Connection &conn);
+    void handleMessage(Connection &conn, service::wire::Message &&msg);
+    /** Queue an Error message and start closing the connection. */
+    void failConnection(Connection &conn, std::uint64_t corr_id,
+                        service::wire::WireError error, const std::string &why);
+    /** Encode every ready future of `conn` into its send buffer. */
+    void pumpCompletions(Connection &conn);
+    /** Non-blocking send of the buffered bytes; false = conn died. */
+    bool flush(Connection &conn);
+    void closeConnection(Connection &conn);
+
+    service::RimeService &service_;
+    const ServerConfig config_;
+
+    int tcpListen_ = -1;
+    int unixListen_ = -1;
+    std::uint16_t tcpPort_ = 0;
+    std::string unixPath_;
+
+    std::shared_ptr<WakePipe> wake_;
+    Poller poller_;
+    std::vector<std::unique_ptr<Connection>> connections_;
+
+    std::thread loopThread_;
+    std::atomic<bool> running_{false};
+
+    std::atomic<std::uint64_t> accepted_{0};
+    std::atomic<std::uint64_t> protocolErrors_{0};
+    std::atomic<std::uint64_t> served_{0};
+};
+
+} // namespace rime::net
+
+#endif // RIME_NET_SERVER_HH

@@ -1,0 +1,258 @@
+#include "socket.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace rime::net
+{
+
+namespace
+{
+
+/** sockaddr_un with `path` installed; false when the path is long. */
+bool
+fillUnixAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+/** Resolve host:port to an IPv4/IPv6 sockaddr via getaddrinfo. */
+struct Resolved
+{
+    sockaddr_storage addr{};
+    socklen_t len = 0;
+    int family = AF_INET;
+};
+
+bool
+resolveTcp(const Endpoint &ep, Resolved &out)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const std::string port = std::to_string(ep.port);
+    if (::getaddrinfo(ep.host.c_str(), port.c_str(), &hints, &res) !=
+            0 ||
+        res == nullptr) {
+        errno = EHOSTUNREACH;
+        return false;
+    }
+    std::memcpy(&out.addr, res->ai_addr, res->ai_addrlen);
+    out.len = static_cast<socklen_t>(res->ai_addrlen);
+    out.family = res->ai_family;
+    ::freeaddrinfo(res);
+    return true;
+}
+
+} // namespace
+
+std::string
+Endpoint::str() const
+{
+    if (kind == Kind::Unix)
+        return "unix:" + path;
+    return "tcp:" + host + ":" + std::to_string(port);
+}
+
+bool
+parseEndpoint(const std::string &text, Endpoint &out)
+{
+    out = Endpoint{};
+    std::string rest = text;
+    if (rest.rfind("unix:", 0) == 0) {
+        out.kind = Endpoint::Kind::Unix;
+        out.path = rest.substr(5);
+        return !out.path.empty();
+    }
+    if (rest.rfind("tcp:", 0) == 0)
+        rest = rest.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0)
+        return false;
+    out.kind = Endpoint::Kind::Tcp;
+    out.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char *end = nullptr;
+    const unsigned long value = std::strtoul(port.c_str(), &end, 10);
+    if (end == port.c_str() || *end != '\0' || value > 65535)
+        return false;
+    out.port = static_cast<std::uint16_t>(value);
+    return true;
+}
+
+bool
+setNonBlocking(int fd, bool non_blocking)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        return false;
+    const int next =
+        non_blocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    return ::fcntl(fd, F_SETFL, next) == 0;
+}
+
+int
+listenSocket(const Endpoint &endpoint)
+{
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        sockaddr_un addr;
+        if (!fillUnixAddr(endpoint.path, addr)) {
+            errno = ENAMETOOLONG;
+            return -1;
+        }
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        ::unlink(endpoint.path.c_str()); // stale socket from a crash
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof(addr)) != 0 ||
+            ::listen(fd, 64) != 0 || !setNonBlocking(fd, true)) {
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            return -1;
+        }
+        return fd;
+    }
+
+    Resolved dst;
+    if (!resolveTcp(endpoint, dst))
+        return -1;
+    const int fd = ::socket(dst.family, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&dst.addr),
+               dst.len) != 0 ||
+        ::listen(fd, 64) != 0 || !setNonBlocking(fd, true)) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    return fd;
+}
+
+std::uint16_t
+boundPort(int fd)
+{
+    sockaddr_storage addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0) {
+        return 0;
+    }
+    if (addr.ss_family == AF_INET) {
+        return ntohs(
+            reinterpret_cast<sockaddr_in *>(&addr)->sin_port);
+    }
+    if (addr.ss_family == AF_INET6) {
+        return ntohs(
+            reinterpret_cast<sockaddr_in6 *>(&addr)->sin6_port);
+    }
+    return 0;
+}
+
+int
+connectSocket(const Endpoint &endpoint, int timeout_ms)
+{
+    sockaddr_storage addr{};
+    socklen_t len = 0;
+    int family = AF_INET;
+    if (endpoint.kind == Endpoint::Kind::Unix) {
+        sockaddr_un un;
+        if (!fillUnixAddr(endpoint.path, un)) {
+            errno = ENAMETOOLONG;
+            return -1;
+        }
+        std::memcpy(&addr, &un, sizeof(un));
+        len = sizeof(un);
+        family = AF_UNIX;
+    } else {
+        Resolved dst;
+        if (!resolveTcp(endpoint, dst))
+            return -1;
+        addr = dst.addr;
+        len = dst.len;
+        family = dst.family;
+    }
+
+    const int fd = ::socket(family, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (!setNonBlocking(fd, true)) {
+        ::close(fd);
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr), len) != 0) {
+        if (errno != EINPROGRESS) {
+            const int saved = errno;
+            ::close(fd);
+            errno = saved;
+            return -1;
+        }
+        pollfd pfd{fd, POLLOUT, 0};
+        const int n =
+            ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+        if (n <= 0) {
+            ::close(fd);
+            errno = n == 0 ? ETIMEDOUT : errno;
+            return -1;
+        }
+        int err = 0;
+        socklen_t errlen = sizeof(err);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &errlen) !=
+                0 ||
+            err != 0) {
+            ::close(fd);
+            errno = err != 0 ? err : EINVAL;
+            return -1;
+        }
+    }
+    if (!setNonBlocking(fd, false)) {
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        return -1;
+    }
+    if (family != AF_UNIX) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
+    return fd;
+}
+
+int
+acceptSocket(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return -1;
+    if (!setNonBlocking(fd, true)) {
+        ::close(fd);
+        return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+} // namespace rime::net

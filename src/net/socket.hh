@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Thin socket helpers under the wire server/client: endpoint parsing
+ * ("tcp:host:port" / "unix:/path"), listening sockets (TCP with
+ * SO_REUSEADDR, Unix-domain with stale-path unlink), and blocking
+ * connect with a real timeout (non-blocking connect + poll), so a
+ * client never hangs on a dead host longer than it asked to.
+ *
+ * All functions return -1 and preserve errno on failure; nothing here
+ * calls fatal() -- connection failures are a normal part of a
+ * client's life (the reconnect path feeds on them).
+ */
+
+#ifndef RIME_NET_SOCKET_HH
+#define RIME_NET_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rime::net
+{
+
+/** One parsed "tcp:host:port" or "unix:/path" endpoint. */
+struct Endpoint
+{
+    enum class Kind : std::uint8_t { Tcp, Unix };
+
+    Kind kind = Kind::Tcp;
+    std::string host = "127.0.0.1"; ///< Tcp only
+    std::uint16_t port = 0;         ///< Tcp only (0 = ephemeral)
+    std::string path;               ///< Unix only
+
+    /** Render back to the "tcp:..."/"unix:..." string form. */
+    std::string str() const;
+};
+
+/**
+ * Parse "tcp:host:port", "host:port" (tcp implied) or "unix:/path".
+ * False (and `out` unspecified) when the string fits neither.
+ */
+bool parseEndpoint(const std::string &text, Endpoint &out);
+
+/**
+ * Bind + listen on `endpoint`; the fd comes back non-blocking (it
+ * feeds an event loop).  A Tcp endpoint with port 0 binds an
+ * ephemeral port -- read it back with boundPort().  A Unix endpoint
+ * unlinks a stale socket file first.  -1 on failure.
+ */
+int listenSocket(const Endpoint &endpoint);
+
+/** Local port of a bound TCP socket (0 on failure). */
+std::uint16_t boundPort(int fd);
+
+/**
+ * Connect to `endpoint`, waiting at most `timeout_ms` (<=0 waits
+ * forever).  The fd comes back *blocking* (clients read with poll
+ * timeouts).  -1 on failure or timeout (errno ETIMEDOUT).
+ */
+int connectSocket(const Endpoint &endpoint, int timeout_ms);
+
+/** accept() a connection, non-blocking fd; -1 when none is ready. */
+int acceptSocket(int listen_fd);
+
+/** O_NONBLOCK on/off; false on fcntl failure. */
+bool setNonBlocking(int fd, bool non_blocking);
+
+} // namespace rime::net
+
+#endif // RIME_NET_SOCKET_HH

@@ -11,7 +11,9 @@
 #include <unistd.h>
 
 #include "common/env.hh"
+#include "common/fdio.hh"
 #include "common/logging.hh"
+#include "service/wire.hh"
 
 namespace rime::service
 {
@@ -32,44 +34,6 @@ readWholeFile(const std::string &path)
     return std::vector<std::uint8_t>(
         std::istreambuf_iterator<char>(in),
         std::istreambuf_iterator<char>());
-}
-
-void
-putRequest(BitWriter &w, const Request &req)
-{
-    w.putU8(static_cast<std::uint8_t>(req.kind));
-    w.putVarint(req.start);
-    w.putVarint(req.end);
-    w.putVarint(req.bytes);
-    w.putVarint(req.count);
-    w.putBool(req.largest);
-    w.putU8(static_cast<std::uint8_t>(req.mode));
-    w.putVarint(req.wordBits);
-    w.putVarint(req.deadline);
-    w.putVarint(req.values.size());
-    for (std::uint64_t v : req.values)
-        w.putU64(v);
-}
-
-bool
-getRequest(BitReader &r, Request &req)
-{
-    req.kind = static_cast<RequestKind>(r.getU8());
-    req.start = r.getVarint();
-    req.end = r.getVarint();
-    req.bytes = r.getVarint();
-    req.count = r.getVarint();
-    req.largest = r.getBool();
-    req.mode = static_cast<KeyMode>(r.getU8());
-    req.wordBits = static_cast<unsigned>(r.getVarint());
-    req.deadline = r.getVarint();
-    const std::uint64_t n = r.getVarint();
-    if (!r.ok() || n > r.bitsLeft() / 64)
-        return false;
-    req.values.resize(n);
-    for (std::uint64_t i = 0; i < n; ++i)
-        req.values[i] = r.getU64();
-    return r.ok();
 }
 
 } // namespace
@@ -124,7 +88,7 @@ encodeRecord(const JournalRecord &record)
         w.putVarint(record.maxInFlight);
         break;
       case JournalRecordKind::Op:
-        putRequest(w, record.req);
+        wire::encodeRequest(w, record.req);
         w.putU8(static_cast<std::uint8_t>(record.status));
         w.putVarint(record.resultAddr);
         break;
@@ -161,7 +125,7 @@ decodeRecord(const std::vector<std::uint8_t> &payload,
         out.maxInFlight = static_cast<unsigned>(r.getVarint());
         break;
       case JournalRecordKind::Op:
-        if (!getRequest(r, out.req))
+        if (!wire::decodeRequest(r, out.req))
             return false;
         out.status = static_cast<ServiceStatus>(r.getU8());
         out.resultAddr = r.getVarint();
@@ -365,9 +329,19 @@ JournalWriter::open(const std::string &path, bool fsync_every_append)
         w.putVarint(kFormatVersion);
         std::vector<std::uint8_t> framed;
         appendFrame(framed, w.bytes());
-        if (::write(fd_, framed.data(), framed.size()) !=
-            static_cast<ssize_t>(framed.size())) {
-            fatal("short write of journal header '%s'", path.c_str());
+        if (!writeFully(fd_, framed.data(), framed.size())) {
+            fatal("cannot write journal header '%s': %s",
+                  path.c_str(), std::strerror(errno));
+        }
+        crashPoint("journal-create");
+        // The file itself is durable only once its *directory entry*
+        // is: a first-time create needs the parent dir synced too.
+        if (fsync_) {
+            ::fsync(fd_);
+            if (!fsyncParentDir(path)) {
+                fatal("cannot fsync journal directory of '%s': %s",
+                      path.c_str(), std::strerror(errno));
+            }
         }
     }
 }
@@ -376,14 +350,20 @@ void
 JournalWriter::append(std::uint64_t seq,
                       const std::vector<std::uint8_t> &payload)
 {
-    if (fd_ < 0)
-        return;
+    // A closed/never-opened journal must not silently drop the
+    // record: that would leave committed ops outside the journaled
+    // set and recovery would roll them back.  The caller gates on
+    // active(), so reaching here with no fd is a WAL-discipline bug.
+    if (fd_ < 0) {
+        fatal("journal append (seq %llu) with no open journal: "
+              "committed ops would not be recoverable",
+              static_cast<unsigned long long>(seq));
+    }
     std::vector<std::uint8_t> framed;
     appendFrame(framed, payload);
     crashPoint("journal-append");
-    if (::write(fd_, framed.data(), framed.size()) !=
-        static_cast<ssize_t>(framed.size())) {
-        fatal("short journal append (%zu bytes): %s", framed.size(),
+    if (!writeFully(fd_, framed.data(), framed.size())) {
+        fatal("journal append failed (%zu bytes): %s", framed.size(),
               std::strerror(errno));
     }
     crashPoint("journal-flush");
@@ -444,7 +424,8 @@ readJournal(const std::string &path)
 // ----------------------------------------------------------------------
 
 void
-writeSnapshotFile(const std::string &path, const ShardSnapshot &snapshot)
+writeSnapshotFile(const std::string &path,
+                  const ShardSnapshot &snapshot, bool fsync_dir)
 {
     crashPoint("snapshot-begin");
     std::vector<std::uint8_t> out;
@@ -470,9 +451,9 @@ writeSnapshotFile(const std::string &path, const ShardSnapshot &snapshot)
         fatal("cannot write snapshot '%s': %s", tmp.c_str(),
               std::strerror(errno));
     }
-    if (::write(fd, out.data(), out.size()) !=
-        static_cast<ssize_t>(out.size())) {
-        fatal("short snapshot write '%s'", tmp.c_str());
+    if (!writeFully(fd, out.data(), out.size())) {
+        fatal("snapshot write failed '%s': %s", tmp.c_str(),
+              std::strerror(errno));
     }
     ::fsync(fd);
     ::close(fd);
@@ -480,6 +461,14 @@ writeSnapshotFile(const std::string &path, const ShardSnapshot &snapshot)
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
         fatal("cannot publish snapshot '%s': %s", path.c_str(),
               std::strerror(errno));
+    }
+    crashPoint("snapshot-renamed");
+    // The rename is only durable once the directory entry is synced;
+    // without this a host crash can resurrect the previous snapshot
+    // (or lose the file) despite the data fsync above.
+    if (fsync_dir && !fsyncParentDir(path)) {
+        fatal("cannot fsync snapshot directory of '%s': %s",
+              path.c_str(), std::strerror(errno));
     }
     crashPoint("snapshot-done");
 }

@@ -33,8 +33,10 @@
  * during the hand-off recovers consistently).
  *
  * Deterministic chaos hooks: RIME_CRASH_POINT=<name>:<n> raises
- * SIGKILL at the n-th hit of a named kill point (journal-append,
- * journal-flush, snapshot-begin, snapshot-written, snapshot-done) and
+ * SIGKILL at the n-th hit of a named kill point (journal-create,
+ * journal-append, journal-flush, snapshot-begin, snapshot-written,
+ * snapshot-renamed -- after rename, before the directory fsync --
+ * snapshot-done) and
  * RIME_CRASH_AT_SEQ=<n> kills at journal sequence n, so the recovery
  * tests can park a crash at any journal/snapshot boundary.
  */
@@ -249,10 +251,13 @@ struct ShardSnapshot
 
 /**
  * Serialize and atomically publish a snapshot (write to `path`.tmp,
- * fsync, rename).  Hits the snapshot-* crash points.
+ * fsync, rename, and -- when `fsync_dir` durability is requested --
+ * fsync the parent directory so the rename itself survives a host
+ * crash).  Hits the snapshot-* crash points.
  */
 void writeSnapshotFile(const std::string &path,
-                       const ShardSnapshot &snapshot);
+                       const ShardSnapshot &snapshot,
+                       bool fsync_dir = false);
 
 /** Load a snapshot; false when missing, torn, or corrupt. */
 bool readSnapshotFile(const std::string &path, ShardSnapshot &out);

@@ -56,6 +56,12 @@ Session::ready(ServiceStatus status, RejectReason reason)
 std::future<Response>
 Session::submit(Request req)
 {
+    return submit(std::move(req), nullptr);
+}
+
+std::future<Response>
+Session::submit(Request req, std::function<void()> notify)
+{
     if (state_->clientClosing.load(std::memory_order_acquire) ||
         serviceAlive_.expired()) {
         return ready(ServiceStatus::Closed, RejectReason::None);
@@ -77,6 +83,7 @@ Session::submit(Request req)
     pending.control = SessionState::Pending::Control::Data;
     pending.req = std::move(req);
     pending.session = state_;
+    pending.notify = std::move(notify);
     pending.enqueued = std::chrono::steady_clock::now();
     auto future = pending.promise.get_future();
     if (!shard->submitData(std::move(pending))) {

@@ -26,6 +26,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <optional>
@@ -74,6 +75,17 @@ class Session
      * Closed) without touching the shard queue.
      */
     std::future<Response> submit(Request req);
+
+    /**
+     * Submit with a completion hook: `notify` runs right after the
+     * future becomes ready, on the completing (controller) thread.
+     * For immediately-shed submissions the returned future is already
+     * ready and `notify` is NOT invoked -- callers driving an event
+     * loop must poll the future once after submit.  The hook must be
+     * cheap and non-blocking (it runs inside the serve path).
+     */
+    std::future<Response> submit(Request req,
+                                 std::function<void()> notify);
 
     /** submit + wait: the synchronous convenience form. */
     Response call(Request req) { return submit(std::move(req)).get(); }

@@ -39,6 +39,20 @@ isExtraction(RequestKind kind)
     return kind == RequestKind::Min || kind == RequestKind::Max;
 }
 
+/**
+ * The single completion funnel: every queued request finishes here.
+ * The notify hook fires *after* the promise is fulfilled so a waker
+ * (the wire server's event loop) always finds the future ready.
+ */
+void
+complete(SessionState::Pending &pending, Response &&r)
+{
+    const std::function<void()> notify = std::move(pending.notify);
+    pending.promise.set_value(std::move(r));
+    if (notify)
+        notify();
+}
+
 ServiceStatus
 fromRimeStatus(RimeStatus status)
 {
@@ -291,7 +305,7 @@ ShardController::route(Pending &&pending)
         s.inFlight.fetch_sub(1, std::memory_order_release);
         Response r;
         r.status = ServiceStatus::Closed;
-        pending.promise.set_value(std::move(r));
+        complete(pending, std::move(r));
         return;
     }
     if (pending.control == Pending::Control::Install) {
@@ -314,7 +328,7 @@ ShardController::route(Pending &&pending)
         Response r;
         r.status = ServiceStatus::Rejected;
         r.reject = RejectReason::Draining;
-        pending.promise.set_value(std::move(r));
+        complete(pending, std::move(r));
         return;
     }
     s.fifo.push_back(std::move(pending));
@@ -476,7 +490,7 @@ ShardController::serveOne(SessionState &s, Pending &pending)
     // closed-loop client may resubmit the instant it observes the
     // completion, and must find its quota slot free.
     s.inFlight.fetch_sub(1, std::memory_order_release);
-    pending.promise.set_value(std::move(r));
+    complete(pending, std::move(r));
 }
 
 Response
@@ -747,7 +761,7 @@ ShardController::closeSession(SessionState &s, Pending &pending)
         s.inFlight.fetch_sub(1, std::memory_order_release);
         Response r;
         r.status = ServiceStatus::Closed;
-        queued.promise.set_value(std::move(r));
+        complete(queued, std::move(r));
     }
     s.fifo.clear();
 
@@ -755,7 +769,7 @@ ShardController::closeSession(SessionState &s, Pending &pending)
     done.status = ServiceStatus::Ok;
     done.shardTick = lib_.now();
     s.inFlight.fetch_sub(1, std::memory_order_release);
-    pending.promise.set_value(std::move(done));
+    complete(pending, std::move(done));
 }
 
 void
@@ -765,7 +779,7 @@ ShardController::drainSession(SessionState &s, Pending &pending)
         Response r;
         r.status = ServiceStatus::Closed;
         s.inFlight.fetch_sub(1, std::memory_order_release);
-        pending.promise.set_value(std::move(r));
+        complete(pending, std::move(r));
         return;
     }
 
@@ -802,7 +816,7 @@ ShardController::drainSession(SessionState &s, Pending &pending)
         Response shed;
         shed.status = ServiceStatus::Rejected;
         shed.reject = RejectReason::Draining;
-        queued.promise.set_value(std::move(shed));
+        complete(queued, std::move(shed));
     }
     s.fifo.clear();
     dropSession(s);
@@ -812,7 +826,7 @@ ShardController::drainSession(SessionState &s, Pending &pending)
     r.shardTick = lib_.now();
     r.image = std::move(encoded);
     s.inFlight.fetch_sub(1, std::memory_order_release);
-    pending.promise.set_value(std::move(r));
+    complete(pending, std::move(r));
 }
 
 void
@@ -838,7 +852,7 @@ ShardController::installSession(SessionState &s, Pending &pending)
         r.reject = RejectReason::Reconfiguration;
         stats_.inc("rejectedReconfiguration");
         s.inFlight.fetch_sub(1, std::memory_order_release);
-        pending.promise.set_value(std::move(r));
+        complete(pending, std::move(r));
         return;
     }
 
@@ -860,7 +874,7 @@ ShardController::installSession(SessionState &s, Pending &pending)
     r.status = ServiceStatus::Ok;
     r.shardTick = lib_.now();
     s.inFlight.fetch_sub(1, std::memory_order_release);
-    pending.promise.set_value(std::move(r));
+    complete(pending, std::move(r));
 }
 
 bool
@@ -965,7 +979,8 @@ ShardController::writeSnapshot()
             continue;
         snap.sessions.push_back(buildImage(*sp));
     }
-    writeSnapshotFile(durability_.snapshotPath, snap);
+    writeSnapshotFile(durability_.snapshotPath, snap,
+                      durability_.fsyncEveryAppend);
     JournalRecord rec;
     rec.kind = JournalRecordKind::SnapshotMark;
     appendRecord(rec);
@@ -1335,7 +1350,7 @@ ShardController::failAllPending()
             Response r;
             r.status = queued.control == Pending::Control::Close
                 ? ServiceStatus::Ok : ServiceStatus::Closed;
-            queued.promise.set_value(std::move(r));
+            complete(queued, std::move(r));
         }
         sp->fifo.clear();
         sp->closed = true;

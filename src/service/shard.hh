@@ -45,6 +45,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -174,6 +175,14 @@ struct SessionState::Pending
     Request req{};
     std::shared_ptr<SessionState> session;
     std::promise<Response> promise;
+    /**
+     * Invoked (if set) right after the promise completes, on whatever
+     * thread completed it -- usually the controller.  Lets an event
+     * loop (the wire server) learn of completions without parking a
+     * thread on every future.  Must be cheap and non-blocking: it
+     * runs inside the serve path.
+     */
+    std::function<void()> notify;
     std::chrono::steady_clock::time_point enqueued{};
     /** Install only: the encoded SessionImage to take over. */
     std::vector<std::uint8_t> image;

@@ -313,3 +313,227 @@ TEST(BitIo, FrameStatusNames)
     EXPECT_STREQ(frameStatusName(FrameStatus::Truncated), "truncated");
     EXPECT_STREQ(frameStatusName(FrameStatus::Corrupt), "corrupt");
 }
+
+// ---------------------------------------------------------------------
+// Wire-grade framing: the same [len][crc][payload] frames arriving in
+// arbitrary fragments over a live socket.  The stream parser a server
+// builds on readFrame must treat every partial delivery as Truncated
+// (wait for more) and every completed delivery as exactly the frames
+// that were sent -- never Corrupt, never a duplicate, never UB.
+// ---------------------------------------------------------------------
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fdio.hh"
+
+namespace
+{
+
+/** recv exactly `want` bytes from `fd` into the end of `buf`. */
+void
+recvExactly(int fd, std::vector<std::uint8_t> &buf, std::size_t want)
+{
+    while (want > 0) {
+        std::uint8_t chunk[4096];
+        const ssize_t got =
+            ::recv(fd, chunk, std::min(want, sizeof(chunk)), 0);
+        ASSERT_GT(got, 0) << "socketpair recv failed";
+        buf.insert(buf.end(), chunk, chunk + got);
+        want -= static_cast<std::size_t>(got);
+    }
+}
+
+/** Parse every complete frame at the head of `buf`; never Corrupt. */
+std::vector<std::vector<std::uint8_t>>
+drainFrames(std::vector<std::uint8_t> &buf)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    std::size_t offset = 0;
+    while (true) {
+        std::vector<std::uint8_t> payload;
+        const FrameStatus status =
+            readFrame(buf.data(), buf.size(), offset, payload);
+        if (status == FrameStatus::Ok) {
+            out.push_back(std::move(payload));
+            continue;
+        }
+        EXPECT_NE(status, FrameStatus::Corrupt)
+            << "partial delivery misread as corruption";
+        break;
+    }
+    buf.erase(buf.begin(),
+              buf.begin() + static_cast<std::ptrdiff_t>(offset));
+    return out;
+}
+
+} // namespace
+
+TEST(WireFraming, SocketpairCutAtEveryByteIsTruncatedNeverCorrupt)
+{
+    // Two back-to-back frames, so a cut can also land *between*
+    // frames (the first must then parse while the second waits).
+    BitWriter w1, w2;
+    w1.putString("the first framed payload");
+    w2.putVarint(0xDEADBEEFULL);
+    w2.putString("the second");
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, w1.bytes());
+    appendFrame(stream, w2.bytes());
+
+    for (std::size_t cut = 0; cut <= stream.size(); ++cut) {
+        SCOPED_TRACE("cut at byte " + std::to_string(cut));
+        int sp[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+
+        std::vector<std::uint8_t> in;
+        std::vector<std::vector<std::uint8_t>> frames;
+
+        // First fragment: parse whatever is complete; the tail must
+        // report Truncated (inside a frame) or End (between frames).
+        if (cut > 0) {
+            ASSERT_TRUE(writeFully(sp[0], stream.data(), cut));
+            recvExactly(sp[1], in, cut);
+        }
+        auto first = drainFrames(in);
+        frames.insert(frames.end(),
+                      std::make_move_iterator(first.begin()),
+                      std::make_move_iterator(first.end()));
+
+        // Second fragment completes the stream.
+        if (cut < stream.size()) {
+            ASSERT_TRUE(writeFully(sp[0], stream.data() + cut,
+                                   stream.size() - cut));
+            recvExactly(sp[1], in, stream.size() - cut);
+        }
+        auto rest = drainFrames(in);
+        frames.insert(frames.end(),
+                      std::make_move_iterator(rest.begin()),
+                      std::make_move_iterator(rest.end()));
+
+        ASSERT_EQ(frames.size(), 2u);
+        EXPECT_EQ(frames[0], w1.bytes());
+        EXPECT_EQ(frames[1], w2.bytes());
+        EXPECT_TRUE(in.empty());
+        ::close(sp[0]);
+        ::close(sp[1]);
+    }
+}
+
+TEST(WireFraming, FlippedBitOverSocketpairIsCorruptNotUB)
+{
+    BitWriter w;
+    w.putString("payload whose checksum must catch every flip");
+    std::vector<std::uint8_t> stream;
+    appendFrame(stream, w.bytes());
+
+    // Flip each bit of the CRC word and payload in turn (flips in the
+    // length word instead turn into Truncated/Corrupt length checks,
+    // covered by the frame tests above).
+    for (std::size_t bit = 4 * 8; bit < stream.size() * 8; ++bit) {
+        std::vector<std::uint8_t> bad = stream;
+        bad[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+        int sp[2];
+        ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+        ASSERT_TRUE(writeFully(sp[0], bad.data(), bad.size()));
+        std::vector<std::uint8_t> in;
+        recvExactly(sp[1], in, bad.size());
+        std::size_t off = 0;
+        std::vector<std::uint8_t> payload;
+        EXPECT_EQ(readFrame(in.data(), in.size(), off, payload),
+                  FrameStatus::Corrupt)
+            << "flipped bit " << bit;
+        EXPECT_EQ(off, 0u);
+        ::close(sp[0]);
+        ::close(sp[1]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// writeFully: short writes and EINTR are resumed, real errors are not.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+int dribbleCalls = 0;
+
+/** Transfer at most one byte per call; every third call fakes EINTR. */
+ssize_t
+dribbleShim(int fd, const void *buf, std::size_t len)
+{
+    if (++dribbleCalls % 3 == 0) {
+        errno = EINTR;
+        return -1;
+    }
+    return ::write(fd, buf, len > 0 ? 1 : 0);
+}
+
+ssize_t
+enospcShim(int, const void *, std::size_t)
+{
+    errno = ENOSPC;
+    return -1;
+}
+
+/** Restore the real write(2) when a test scope ends. */
+struct ShimGuard
+{
+    explicit ShimGuard(fdio_detail::WriteFn fn)
+    {
+        dribbleCalls = 0;
+        fdio_detail::writeShim = fn;
+    }
+    ~ShimGuard() { fdio_detail::writeShim = &::write; }
+};
+
+} // namespace
+
+TEST(Fdio, WriteFullyResumesShortWritesAndEintr)
+{
+    char path[] = "/tmp/rime_fdio_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+
+    std::vector<std::uint8_t> data(257);
+    for (std::size_t i = 0; i < data.size(); ++i)
+        data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+    {
+        ShimGuard guard(&dribbleShim);
+        EXPECT_TRUE(writeFully(fd, data.data(), data.size()));
+    }
+    // Every byte landed, in order, exactly once.
+    ASSERT_EQ(::lseek(fd, 0, SEEK_SET), 0);
+    std::vector<std::uint8_t> back(data.size() + 1);
+    const ssize_t got = ::read(fd, back.data(), back.size());
+    EXPECT_EQ(static_cast<std::size_t>(got), data.size());
+    back.resize(data.size());
+    EXPECT_EQ(back, data);
+    ::close(fd);
+    ::unlink(path);
+}
+
+TEST(Fdio, WriteFullyFailsOnRealErrors)
+{
+    char path[] = "/tmp/rime_fdio_XXXXXX";
+    const int fd = ::mkstemp(path);
+    ASSERT_GE(fd, 0);
+    const std::uint8_t byte = 0x5A;
+    {
+        ShimGuard guard(&enospcShim);
+        errno = 0;
+        EXPECT_FALSE(writeFully(fd, &byte, 1));
+        EXPECT_EQ(errno, ENOSPC);
+    }
+    ::close(fd);
+    ::unlink(path);
+}
+
+TEST(Fdio, FsyncParentDir)
+{
+    EXPECT_TRUE(fsyncParentDir("/tmp/any_name_will_do"));
+    EXPECT_FALSE(fsyncParentDir("/no_such_dir_rime_test/x"));
+}

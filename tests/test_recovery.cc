@@ -44,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "common/fdio.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "service/journal.hh"
 #include "service/service.hh"
@@ -193,13 +195,15 @@ scriptModelAfter(unsigned m)
 
 ServiceConfig
 journaledConfig(const std::string &dir, std::uint64_t snapshot_interval,
-                RecoveryMode mode = RecoveryMode::Replay)
+                RecoveryMode mode = RecoveryMode::Replay,
+                bool fsync = false)
 {
     ServiceConfig cfg;
     cfg.shards = 1;
     cfg.durability.dir = dir;
     cfg.durability.snapshotIntervalOps = snapshot_interval;
     cfg.durability.recoveryMode = mode;
+    cfg.durability.fsyncEveryAppend = fsync;
     return cfg;
 }
 
@@ -210,9 +214,11 @@ journaledConfig(const std::string &dir, std::uint64_t snapshot_interval,
  */
 void
 runScript(const std::string &dir, unsigned ops,
-          std::uint64_t snapshot_interval, bool close_session)
+          std::uint64_t snapshot_interval, bool close_session,
+          bool fsync = false)
 {
-    RimeService svc(journaledConfig(dir, snapshot_interval));
+    RimeService svc(journaledConfig(dir, snapshot_interval,
+                                    RecoveryMode::Replay, fsync));
     auto s = svc.openSession(scriptSessionConfig());
     Addr base1 = 0, base2 = 0;
     for (unsigned i = 0; i < ops; ++i) {
@@ -276,7 +282,7 @@ selfExe()
 int
 runChild(const std::string &dir, unsigned ops,
          std::uint64_t snapshot_interval, const std::string &crash_point,
-         std::uint64_t crash_seq)
+         std::uint64_t crash_seq, bool fsync = false)
 {
     const std::string exe = selfExe();
     EXPECT_FALSE(exe.empty());
@@ -286,6 +292,8 @@ runChild(const std::string &dir, unsigned ops,
         ::setenv("RIME_TEST_CHILD_OPS", std::to_string(ops).c_str(), 1);
         ::setenv("RIME_TEST_CHILD_SNAP",
                  std::to_string(snapshot_interval).c_str(), 1);
+        if (fsync)
+            ::setenv("RIME_TEST_CHILD_FSYNC", "1", 1);
         if (!crash_point.empty())
             ::setenv("RIME_CRASH_POINT", crash_point.c_str(), 1);
         if (crash_seq != 0) {
@@ -425,7 +433,8 @@ TEST(RecoveryChild, DISABLED_Run)
         static_cast<unsigned>(std::atoi(std::getenv("RIME_TEST_CHILD_OPS")));
     const std::uint64_t snap = std::strtoull(
         std::getenv("RIME_TEST_CHILD_SNAP"), nullptr, 10);
-    runScript(dir, ops, snap, /*close_session=*/false);
+    const bool fsync = std::getenv("RIME_TEST_CHILD_FSYNC") != nullptr;
+    runScript(dir, ops, snap, /*close_session=*/false, fsync);
 }
 
 // ---------------------------------------------------------------------
@@ -473,6 +482,8 @@ struct CrashCase
     std::string crashPoint;
     std::uint64_t crashSeq;
     std::uint64_t snapshotInterval;
+    /** Run the child with fsync-every-append (directory fsyncs on). */
+    bool fsync = false;
 };
 
 void
@@ -483,7 +494,7 @@ checkCrashCase(const CrashCase &c)
     const std::string dir = tmp.make();
     const int status =
         runChild(dir, kScriptOps, c.snapshotInterval, c.crashPoint,
-                 c.crashSeq);
+                 c.crashSeq, c.fsync);
     ASSERT_TRUE(killedBySigkill(status))
         << "child was not killed (status " << status << ")";
 
@@ -527,6 +538,28 @@ TEST(CrashRecovery, KillPointSweepSnapshots)
         {"snapshot-done:1", "snapshot-done:1", 0, 8},
         {"snapshot-begin:2", "snapshot-begin:2", 0, 8},
         {"journal-append:20 (snap 8)", "journal-append:20", 0, 8},
+    };
+    for (const auto &c : cases)
+        checkCrashCase(c);
+}
+
+TEST(CrashRecovery, KillPointSweepDirectoryFsyncs)
+{
+    // The directory-fsync kill points: right after the journal file is
+    // first created (header written, parent dir not yet synced) and
+    // right after the snapshot rename lands (tmp gone, parent dir not
+    // yet synced).  Recovery must be exact on both sides of the fsync,
+    // with and without fsync-every-append durability requested.
+    const CrashCase cases[] = {
+        {"journal-create:1", "journal-create:1", 0, 0},
+        {"journal-create:1 (fsync)", "journal-create:1", 0, 0, true},
+        {"snapshot-renamed:1", "snapshot-renamed:1", 0, 8},
+        {"snapshot-renamed:1 (fsync)", "snapshot-renamed:1", 0, 8,
+         true},
+        {"snapshot-renamed:2 (fsync)", "snapshot-renamed:2", 0, 8,
+         true},
+        {"journal-append:12 (fsync)", "journal-append:12", 0, 0, true},
+        {"snapshot-done:1 (fsync)", "snapshot-done:1", 0, 8, true},
     };
     for (const auto &c : cases)
         checkCrashCase(c);
@@ -808,4 +841,123 @@ TEST(Failover, MaintainDrainsWornShard)
     // A second maintain() is a no-op: shard 0 is already draining and
     // shard 1 is healthy.
     EXPECT_EQ(svc.maintain(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Durability I/O regressions: short writes are resumed (not fatal),
+// and a dropped append is fatal (not silent).
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+int shimCalls = 0;
+
+/** Transfer at most one byte per call; every third call fakes EINTR. */
+ssize_t
+dribbleShim(int fd, const void *buf, std::size_t len)
+{
+    if (++shimCalls % 3 == 0) {
+        errno = EINTR;
+        return -1;
+    }
+    return ::write(fd, buf, len > 0 ? 1 : 0);
+}
+
+/** Restore the real write(2) when a test scope ends. */
+struct ShimGuard
+{
+    explicit ShimGuard(fdio_detail::WriteFn fn)
+    {
+        shimCalls = 0;
+        fdio_detail::writeShim = fn;
+    }
+    ~ShimGuard() { fdio_detail::writeShim = &::write; }
+};
+
+JournalRecord
+opRecord(std::uint64_t seq)
+{
+    JournalRecord rec;
+    rec.kind = JournalRecordKind::Op;
+    rec.seq = seq;
+    rec.sessionId = 7;
+    rec.req.kind = RequestKind::Min;
+    rec.req.start = seq * 64;
+    rec.req.end = seq * 64 + kRangeBytes;
+    rec.status = ServiceStatus::Ok;
+    return rec;
+}
+
+} // namespace
+
+TEST(JournalDurability, ShortWritesAndEintrAreResumedNotFatal)
+{
+    TempDirs tmp;
+    const std::string path = journalPath(tmp.make());
+
+    // Open (header) and every append run against a write(2) that
+    // dribbles one byte per call and fails every third call with
+    // EINTR -- the worst case the fix must survive without losing or
+    // tearing a single committed record.
+    {
+        ShimGuard guard(&dribbleShim);
+        JournalWriter w;
+        w.open(path, /*fsync_every_append=*/false);
+        for (std::uint64_t seq = 1; seq <= 5; ++seq)
+            w.append(seq, encodeRecord(opRecord(seq)));
+        w.close();
+    }
+
+    const JournalScan scan = readJournal(path);
+    EXPECT_EQ(scan.tail, FrameStatus::End);
+    ASSERT_EQ(scan.records.size(), 5u);
+    EXPECT_EQ(scan.lastSeq, 5u);
+    for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+        const JournalRecord &rec = scan.records[seq - 1];
+        EXPECT_EQ(rec.kind, JournalRecordKind::Op);
+        EXPECT_EQ(rec.seq, seq);
+        EXPECT_EQ(rec.sessionId, 7u);
+        EXPECT_EQ(rec.req.kind, RequestKind::Min);
+        EXPECT_EQ(rec.req.start, seq * 64);
+    }
+}
+
+TEST(JournalDurability, SnapshotPublicationSurvivesShortWrites)
+{
+    TempDirs tmp;
+    const std::string path = tmp.make() + "/shard0.snapshot";
+
+    ShardSnapshot snap;
+    snap.seq = 42;
+    snap.tick = 12345;
+    snap.wordBits = 32;
+    SessionImage img;
+    img.id = 9;
+    img.tenant = "alpha";
+    snap.sessions.push_back(img);
+    {
+        ShimGuard guard(&dribbleShim);
+        writeSnapshotFile(path, snap, /*fsync_dir=*/true);
+    }
+
+    ShardSnapshot back;
+    ASSERT_TRUE(readSnapshotFile(path, back));
+    EXPECT_EQ(back.seq, 42u);
+    EXPECT_EQ(back.tick, 12345u);
+    ASSERT_EQ(back.sessions.size(), 1u);
+    EXPECT_EQ(back.sessions[0].id, 9u);
+    EXPECT_EQ(back.sessions[0].tenant, "alpha");
+    // The tmp file was renamed away, not left beside the snapshot.
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(JournalDurability, AppendWithoutOpenJournalIsFatalNotSilent)
+{
+    // A journaled shard that loses its journal fd must refuse to keep
+    // serving: silently dropping the append would acknowledge ops that
+    // can never be recovered.
+    JournalWriter w;
+    EXPECT_FALSE(w.active());
+    EXPECT_THROW(w.append(1, encodeRecord(opRecord(1))), FatalError);
 }
