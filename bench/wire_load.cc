@@ -24,6 +24,12 @@
  *     messages) must stay exactly 0 -- disconnects at arbitrary
  *     byte positions must never desynchronize the framing.
  *
+ *  4. Multi-client fairness: M concurrent clients, each with its own
+ *     connection, session, and range, running the same closed loop
+ *     against one server.  The event loop must not starve anyone:
+ *     the worst per-client p99 RTT must stay under 2x the median
+ *     per-client p99.
+ *
  * Wall-clock numbers are host-dependent, like every wall column in
  * this tree; the JSON gate checks the *ratio* and the error counters,
  * not absolute rates.  RIME_BENCH_SCALE scales the op counts.
@@ -367,6 +373,54 @@ runChaos(std::uint64_t ops, std::uint64_t ops_per_cut)
     return out;
 }
 
+/**
+ * Phase 4: `clients` concurrent RimeClients against one server, each
+ * driving the closed loop on its own session/range.  Returns the
+ * per-client results; fairness is judged on the p99 spread.
+ */
+std::vector<RunResult>
+runFairness(std::uint64_t ops, unsigned clients)
+{
+    RimeService svc(benchService());
+    RimeServer server(svc, {.tcp = "tcp:127.0.0.1:0"});
+    if (!server.start())
+        fatal("wire_load: fairness server failed to start");
+    const std::string endpoint =
+        "tcp:127.0.0.1:" + std::to_string(server.tcpPort());
+
+    std::vector<RunResult> results(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            RimeClient client({.endpoint = endpoint});
+            if (!client.connect())
+                fatal("wire_load: fairness client %u failed to "
+                      "connect",
+                      c);
+            const std::uint64_t session = client.openSession(
+                "fair-" + std::to_string(c), 1, kMaxDepth + 2);
+            if (session == 0)
+                fatal("wire_load: fairness open failed");
+            const auto [start, end] = armRange(client, session);
+            results[c] = runClosedLoop(
+                [&](Request req) {
+                    return client.submit(session, std::move(req));
+                },
+                start, end, ops, /*depth=*/4);
+            if (client.protocolErrors() != 0)
+                fatal("wire_load: fairness client %u saw protocol "
+                      "errors",
+                      c);
+            client.closeSession(session);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    server.stop();
+    return results;
+}
+
 } // namespace
 
 int
@@ -428,6 +482,29 @@ main()
                 static_cast<unsigned long long>(
                     chaos.serverProtocolErrors));
 
+    // Phase 4: multi-client fairness.
+    constexpr unsigned kFairClients = 4;
+    const std::uint64_t fairOps = std::max<std::uint64_t>(ops / 2, 64);
+    const std::vector<RunResult> fairness =
+        runFairness(fairOps, kFairClients);
+    std::vector<double> p99s;
+    for (const RunResult &r : fairness)
+        p99s.push_back(r.p99Us);
+    std::vector<double> sorted = p99s;
+    const double fairMedian = percentile(sorted, 0.5);
+    const double fairMax =
+        *std::max_element(p99s.begin(), p99s.end());
+    const double fairSpread =
+        fairMedian > 0 ? fairMax / fairMedian : 0.0;
+    std::printf("fairness: %u clients x %llu ops, per-client p99",
+                kFairClients,
+                static_cast<unsigned long long>(fairOps));
+    for (const double p : p99s)
+        std::printf(" %.1f", p);
+    std::printf(" us; max/median %.2fx %s\n", fairSpread,
+                fairSpread < 2.0 ? "(< 2x target)"
+                                 : "(ABOVE 2x target)");
+
     std::ostringstream arr;
     arr << "[\n";
     for (std::size_t i = 0; i < sweep.size(); ++i) {
@@ -441,6 +518,12 @@ main()
             << (i + 1 < sweep.size() ? "," : "") << "\n";
     }
     arr << "  ]";
+
+    std::ostringstream fairArr;
+    fairArr << "[";
+    for (std::size_t i = 0; i < p99s.size(); ++i)
+        fairArr << p99s[i] << (i + 1 < p99s.size() ? ", " : "");
+    fairArr << "]";
 
     std::ostringstream chaosJson;
     chaosJson << "{\"served\": " << chaos.served
@@ -468,6 +551,13 @@ main()
         .field("chaos_protocol_errors_ok",
                chaos.protocolErrors == 0 &&
                    chaos.serverProtocolErrors == 0)
+        .raw("fairness_p99_us", fairArr.str())
+        .field("fairness_clients", kFairClients)
+        .field("fairness_ops", fairOps)
+        .field("fairness_p99_median_us", fairMedian)
+        .field("fairness_p99_max_us", fairMax)
+        .field("fairness_spread", fairSpread)
+        .field("fairness_ok", fairSpread < 2.0)
         .write("BENCH_wire.json");
     return 0;
 }

@@ -15,12 +15,24 @@
  * layer exactly as documented in service/journal.hh, so a killed
  * server restarted on the same journal directory recovers every
  * committed session before accepting connections again.
+ * RIME_RESUME_GRACE_MS enables session resumption (parked sessions a
+ * reconnecting client reattaches with its resume token) -- required
+ * under a ClusterRouter.
+ *
+ * Signals: SIGINT stops immediately (sockets close, the journal makes
+ * it safe).  SIGTERM drains first: a Shutdown notice on every
+ * connection, a bounded wait for routers to pull their sessions
+ * elsewhere, then a service maintenance pass -- the clean rolling-
+ * restart path.
  */
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
@@ -38,9 +50,15 @@ namespace
 volatile std::sig_atomic_t gStop = 0;
 
 void
-onSignal(int)
+onSigInt(int)
 {
-    gStop = 1;
+    gStop = 1; // immediate stop
+}
+
+void
+onSigTerm(int)
+{
+    gStop = 2; // graceful drain first
 }
 
 } // namespace
@@ -64,15 +82,24 @@ main(int argc, char **argv)
     }
     if (cfg.tcp.empty() && cfg.unixPath.empty())
         cfg.tcp = "tcp:127.0.0.1:7461";
+    if (const char *grace = std::getenv("RIME_RESUME_GRACE_MS"))
+        cfg.resumeGraceMs =
+            static_cast<unsigned>(std::strtoul(grace, nullptr, 10));
 
     ServiceConfig svcCfg;
     svcCfg.durability = DurabilityConfig::fromEnv();
     RimeService service(std::move(svcCfg));
-    const auto recovered = service.recoveredSessions();
-    if (!recovered.empty()) {
-        std::printf("recovered %zu session(s) from %s\n",
-                    recovered.size(),
-                    std::getenv("RIME_JOURNAL_DIR"));
+    std::vector<std::shared_ptr<Session>> recovered;
+    if (cfg.resumeGraceMs == 0) {
+        // With resumption on, the server itself parks the recovered
+        // sessions at start(); holding second handles here would
+        // close them out from under it at exit.
+        recovered = service.recoveredSessions();
+        if (!recovered.empty()) {
+            std::printf("recovered %zu session(s) from %s\n",
+                        recovered.size(),
+                        std::getenv("RIME_JOURNAL_DIR"));
+        }
     }
 
     RimeServer server(service, cfg);
@@ -89,10 +116,32 @@ main(int argc, char **argv)
                     server.unixSocketPath().c_str());
     std::fflush(stdout);
 
-    std::signal(SIGINT, onSignal);
-    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSigInt);
+    std::signal(SIGTERM, onSigTerm);
     while (!gStop)
         ::pause();
+
+    if (gStop == 2) {
+        // Rolling restart: notify clients, wait for routers to pull
+        // their sessions elsewhere (bounded), then let the service
+        // drain any unhealthy shards before the sockets go away.
+        std::printf("draining: %zu live session(s)\n",
+                    server.activeSessions());
+        std::fflush(stdout);
+        server.beginDrain();
+        unsigned wait_ms = 5000;
+        if (const char *w = std::getenv("RIME_DRAIN_TIMEOUT_MS"))
+            wait_ms = static_cast<unsigned>(
+                std::strtoul(w, nullptr, 10));
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(wait_ms);
+        while (server.activeSessions() > 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        service.maintain();
+    }
 
     std::printf("shutting down: %llu connection(s), %llu request(s) "
                 "served, %llu protocol error(s)\n",

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Per-tenant admission control at the cluster router.
+ *
+ * Each instance already enforces a per-session in-flight quota and
+ * weighted-RR fairness *within* a shard; what it cannot see is one
+ * tenant fanning out over many sessions and many instances.  The
+ * router closes that gap: every tenant has a cluster-wide in-flight
+ * cap, acquired before a request touches any wire and released when
+ * its response completes.  Over-cap submissions are shed immediately
+ * as Rejected/QuotaExceeded -- same non-blocking discipline as the
+ * in-process quota, so a hot tenant saturates its own cap and nothing
+ * else.
+ *
+ * The acquire/release path is two atomic RMWs on a per-tenant state
+ * the session caches a shared_ptr to at open -- no lock, no map
+ * lookup per request.
+ */
+
+#ifndef RIME_CLUSTER_ADMISSION_HH
+#define RIME_CLUSTER_ADMISSION_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rime::cluster
+{
+
+/** Cluster-wide policy for one tenant. */
+struct TenantQuota
+{
+    /** In-flight cap across every session and instance; 0 = none. */
+    std::uint64_t maxInFlight = 0;
+    /** Scheduler weight passed through to the instances. */
+    unsigned weight = 1;
+};
+
+/** The router's per-tenant admission table. */
+class TenantAdmission
+{
+  public:
+    /** Live admission state of one tenant (cached per session). */
+    struct Tenant
+    {
+        std::string name;
+        /** Quota fields are atomic: setQuota may race live traffic. */
+        std::atomic<std::uint64_t> maxInFlight{0};
+        std::atomic<unsigned> weight{1};
+        std::atomic<std::uint64_t> inFlight{0};
+        std::atomic<std::uint64_t> admitted{0};
+        std::atomic<std::uint64_t> shed{0};
+
+        /** Claim one in-flight slot; false = over cap (counted). */
+        bool
+        tryAcquire()
+        {
+            const std::uint64_t cap =
+                maxInFlight.load(std::memory_order_acquire);
+            if (cap > 0 &&
+                inFlight.fetch_add(1, std::memory_order_acq_rel) >=
+                    cap) {
+                inFlight.fetch_sub(1, std::memory_order_release);
+                shed.fetch_add(1, std::memory_order_relaxed);
+                return false;
+            }
+            if (cap == 0)
+                inFlight.fetch_add(1, std::memory_order_acq_rel);
+            admitted.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+
+        void
+        release()
+        {
+            inFlight.fetch_sub(1, std::memory_order_release);
+        }
+    };
+
+    /** Set (or change) a tenant's quota; creates the tenant. */
+    void
+    setQuota(const std::string &name, TenantQuota quota)
+    {
+        auto state = tenant(name);
+        state->maxInFlight.store(quota.maxInFlight,
+                                 std::memory_order_release);
+        state->weight.store(std::max(1u, quota.weight),
+                            std::memory_order_release);
+    }
+
+    /** The tenant's state, created with a default quota on demand. */
+    std::shared_ptr<Tenant>
+    tenant(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = tenants_.find(name);
+        if (it == tenants_.end()) {
+            auto state = std::make_shared<Tenant>();
+            state->name = name;
+            it = tenants_.emplace(name, std::move(state)).first;
+        }
+        return it->second;
+    }
+
+    /** Snapshot of every tenant (stats; order is map order). */
+    std::vector<std::shared_ptr<Tenant>>
+    all() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<std::shared_ptr<Tenant>> out;
+        out.reserve(tenants_.size());
+        for (const auto &[name, state] : tenants_)
+            out.push_back(state);
+        return out;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+};
+
+} // namespace rime::cluster
+
+#endif // RIME_CLUSTER_ADMISSION_HH

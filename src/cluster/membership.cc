@@ -1,0 +1,105 @@
+#include "membership.hh"
+
+namespace rime::cluster
+{
+
+using service::Response;
+using service::ServiceStatus;
+
+const char *
+memberHealthName(MemberHealth health)
+{
+    switch (health) {
+      case MemberHealth::Healthy:  return "healthy";
+      case MemberHealth::Degraded: return "degraded";
+      case MemberHealth::Draining: return "draining";
+      case MemberHealth::Down:     return "down";
+    }
+    return "unknown";
+}
+
+Membership::Membership(std::vector<MemberConfig> configs,
+                       unsigned fail_threshold)
+    : failThreshold_(std::max(1u, fail_threshold))
+{
+    members_.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        auto member = std::make_unique<Member>();
+        member->index = static_cast<unsigned>(i);
+        member->endpoint = configs[i].endpoint;
+        net::ClientConfig cc = configs[i].client;
+        cc.endpoint = configs[i].endpoint;
+        member->client = std::make_unique<net::RimeClient>(cc);
+        members_.push_back(std::move(member));
+    }
+}
+
+unsigned
+Membership::connectAll()
+{
+    unsigned connected = 0;
+    for (auto &m : members_) {
+        if (m->client->connect()) {
+            m->health.store(MemberHealth::Healthy,
+                            std::memory_order_release);
+            m->failedProbes = 0;
+            m->seenReconnects = m->client->reconnects();
+            ++connected;
+        } else {
+            m->health.store(MemberHealth::Down,
+                            std::memory_order_release);
+        }
+    }
+    return connected;
+}
+
+bool
+Membership::probe(unsigned idx)
+{
+    Member &m = *members_[idx];
+    if (m.healthNow() == MemberHealth::Draining)
+        return true; // sticky: stays drained until replaced
+
+    const auto failed = [&] {
+        m.probeSession = 0;
+        if (++m.failedProbes >= failThreshold_) {
+            m.health.store(MemberHealth::Down,
+                           std::memory_order_release);
+        }
+        return false;
+    };
+
+    if (!m.client->connected()) {
+        m.probeSession = 0;
+        if (!m.client->connect())
+            return failed();
+    }
+    if (m.client->shutdownAdvised()) {
+        m.health.store(MemberHealth::Draining,
+                       std::memory_order_release);
+        return true;
+    }
+    // The probe session is the same "_health" tenant the in-process
+    // service uses for shard probes, so journal recovery skips it.
+    if (m.probeSession == 0) {
+        m.probeSession = m.client->openSession("_health");
+        if (m.probeSession == 0)
+            return failed();
+    }
+    service::Request req;
+    req.kind = service::RequestKind::Health;
+    const Response r = m.client->call(m.probeSession, req);
+    if (r.status == ServiceStatus::Closed)
+        return failed(); // transport (or the probe session died)
+
+    m.failedProbes = 0;
+    const bool degraded = r.ok() &&
+        (r.health.counts.retiredUnits > 0 ||
+         r.health.counts.deadUnits > 0);
+    m.health.store(degraded ? MemberHealth::Degraded
+                            : MemberHealth::Healthy,
+                   std::memory_order_release);
+    return true;
+}
+
+} // namespace rime::cluster

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Cluster membership: the router's view of the RimeServer fleet.
+ *
+ * Each member is one server process, reached through its own
+ * RimeClient (one connection, pipelined).  The membership tracks a
+ * per-member health state driven by probe():
+ *
+ *   Healthy  -- probe round-trips and the device reports no retired
+ *               or dead units; placement may choose this member.
+ *   Degraded -- probe round-trips but the device is losing units;
+ *               the router drains sessions off it proactively.
+ *   Draining -- the member asked to be drained (operator drain or a
+ *               wire Shutdown notice); like Degraded, but permanent.
+ *   Down     -- the connection is gone and reconnects fail; sessions
+ *               homed here wait for resume-after-reconnect.
+ *
+ * Probing uses a long-lived "_health" tenant session per member (the
+ * same tenant the in-process RimeService uses for its shard probes,
+ * so restart recovery skips it too); a member whose probe session
+ * cannot be opened or whose Health call fails on transport counts a
+ * failed probe, and `failThreshold` consecutive failures mark it
+ * Down.  All health reads are lock-free (atomics); the probe/connect
+ * mutation path is single-threaded (the router's maintain loop).
+ */
+
+#ifndef RIME_CLUSTER_MEMBERSHIP_HH
+#define RIME_CLUSTER_MEMBERSHIP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.hh"
+
+namespace rime::cluster
+{
+
+/** Health of one cluster member, as the router sees it. */
+enum class MemberHealth : std::uint8_t
+{
+    Healthy,
+    Degraded,
+    Draining,
+    Down,
+};
+
+const char *memberHealthName(MemberHealth health);
+
+/** How to reach one member. */
+struct MemberConfig
+{
+    /** "tcp:host:port" or "unix:/path". */
+    std::string endpoint;
+    /** Connection policy; the endpoint field is overwritten. */
+    net::ClientConfig client{};
+};
+
+/** One server process in the cluster. */
+struct Member
+{
+    unsigned index = 0;
+    std::string endpoint;
+    std::unique_ptr<net::RimeClient> client;
+
+    std::atomic<MemberHealth> health{MemberHealth::Down};
+    /** Sessions the router currently homes here. */
+    std::atomic<std::size_t> sessions{0};
+    /** Router-side requests in flight against this member. */
+    std::atomic<std::uint64_t> inFlight{0};
+
+    // Maintain-loop owned (single writer, no locking).
+    unsigned failedProbes = 0;
+    std::uint64_t probeSession = 0;
+    /**
+     * client->reconnects() at the last maintain pass: a delta means
+     * the server restarted under us (maybe between two probes, never
+     * observed Down) and every session homed here needs a resume.
+     */
+    std::uint64_t seenReconnects = 0;
+
+    MemberHealth
+    healthNow() const
+    {
+        return health.load(std::memory_order_acquire);
+    }
+
+    /** Placement may home new sessions here. */
+    bool
+    placeable() const
+    {
+        return healthNow() == MemberHealth::Healthy;
+    }
+};
+
+/** The fleet roster plus its health-probe machinery. */
+class Membership
+{
+  public:
+    explicit Membership(std::vector<MemberConfig> configs,
+                        unsigned fail_threshold = 2);
+
+    std::size_t size() const { return members_.size(); }
+    Member &member(unsigned idx) { return *members_[idx]; }
+    const Member &member(unsigned idx) const { return *members_[idx]; }
+
+    /** Connect every member (marking each Healthy/Down).
+     *  @return members connected */
+    unsigned connectAll();
+
+    /**
+     * Probe one member: reconnect if needed, then a Health call on
+     * its "_health" session.  Updates the member's health; true when
+     * the member ends the probe placeable or merely Degraded (i.e.
+     * reachable).  A wire Shutdown notice flips it to Draining.
+     */
+    bool probe(unsigned idx);
+
+    /** Operator drain: pin the member to Draining. */
+    void
+    setDraining(unsigned idx)
+    {
+        members_[idx]->health.store(MemberHealth::Draining,
+                                    std::memory_order_release);
+    }
+
+    /** Members currently placeable (Healthy). */
+    unsigned
+    placeableCount() const
+    {
+        unsigned n = 0;
+        for (const auto &m : members_)
+            n += m->placeable() ? 1 : 0;
+        return n;
+    }
+
+  private:
+    const unsigned failThreshold_;
+    std::vector<std::unique_ptr<Member>> members_;
+};
+
+} // namespace rime::cluster
+
+#endif // RIME_CLUSTER_MEMBERSHIP_HH

@@ -100,6 +100,7 @@ RimeClient::connectOnce()
         return false;
     }
     shards_ = welcome.shards;
+    shutdownAdvised_.store(false, std::memory_order_release);
     return true;
 }
 
@@ -143,17 +144,34 @@ RimeClient::sendMessage(const wire::Message &msg)
 std::future<Response>
 RimeClient::submit(std::uint64_t session, service::Request req)
 {
+    return submit(session, std::move(req), nullptr);
+}
+
+std::future<Response>
+RimeClient::submit(std::uint64_t session, service::Request req,
+                   std::function<void()> notify)
+{
     const std::uint64_t corr =
         nextCorrId_.fetch_add(1, std::memory_order_relaxed);
     std::promise<Response> promise;
     auto future = promise.get_future();
+    bool dead = false;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (fd_ < 0 || stopReader_.load(std::memory_order_acquire)) {
-            transportErrors_.fetch_add(1, std::memory_order_relaxed);
-            return readyClosed();
+            dead = true;
+        } else {
+            pendingResponses_.emplace(
+                corr, PendingResponse{std::move(promise),
+                                      std::move(notify)});
         }
-        pendingResponses_.emplace(corr, std::move(promise));
+    }
+    if (dead) {
+        transportErrors_.fetch_add(1, std::memory_order_relaxed);
+        auto ready = readyClosed();
+        if (notify)
+            notify(); // the future is already ready
+        return ready;
     }
 
     wire::Message msg;
@@ -162,7 +180,7 @@ RimeClient::submit(std::uint64_t session, service::Request req)
     msg.sessionId = session;
     msg.req = std::move(req);
     if (!sendMessage(msg)) {
-        std::promise<Response> orphan;
+        PendingResponse orphan;
         bool mine = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
@@ -177,7 +195,9 @@ RimeClient::submit(std::uint64_t session, service::Request req)
             transportErrors_.fetch_add(1, std::memory_order_relaxed);
             Response r;
             r.status = ServiceStatus::Closed;
-            orphan.set_value(std::move(r));
+            orphan.promise.set_value(std::move(r));
+            if (orphan.notify)
+                orphan.notify();
         }
     }
     return future;
@@ -244,6 +264,10 @@ RimeClient::openSession(const std::string &tenant, unsigned weight,
         reply.status != ServiceStatus::Ok) {
         return 0;
     }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessionTokens_[reply.sessionId] = reply.resumeToken;
+    }
     return reply.sessionId;
 }
 
@@ -254,8 +278,79 @@ RimeClient::closeSession(std::uint64_t session)
     msg.kind = wire::MessageKind::CloseSession;
     msg.sessionId = session;
     wire::Message reply;
-    return adminCall(msg, wire::MessageKind::Response, reply) &&
-           reply.resp.status == ServiceStatus::Ok;
+    const bool ok =
+        adminCall(msg, wire::MessageKind::Response, reply) &&
+        reply.resp.status == ServiceStatus::Ok;
+    if (ok) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessionTokens_.erase(session);
+    }
+    return ok;
+}
+
+std::uint64_t
+RimeClient::sessionToken(std::uint64_t session) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sessionTokens_.find(session);
+    return it == sessionTokens_.end() ? 0 : it->second;
+}
+
+bool
+RimeClient::resumeSession(std::uint64_t session, std::uint64_t token)
+{
+    if (token == 0)
+        token = sessionToken(session);
+    if (token == 0)
+        return false; // nothing to present
+    wire::Message msg;
+    msg.kind = wire::MessageKind::ResumeSession;
+    msg.sessionId = session;
+    msg.resumeToken = token;
+    wire::Message reply;
+    if (!adminCall(msg, wire::MessageKind::SessionOpened, reply) ||
+        reply.status != ServiceStatus::Ok) {
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    sessionTokens_[session] = reply.resumeToken;
+    return true;
+}
+
+std::vector<std::uint8_t>
+RimeClient::drainSession(std::uint64_t session)
+{
+    wire::Message msg;
+    msg.kind = wire::MessageKind::DrainSession;
+    msg.sessionId = session;
+    wire::Message reply;
+    if (!adminCall(msg, wire::MessageKind::Response, reply) ||
+        reply.resp.status != ServiceStatus::Ok) {
+        return {};
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessionTokens_.erase(session);
+    }
+    return std::move(reply.resp.image);
+}
+
+std::uint64_t
+RimeClient::installSession(const std::vector<std::uint8_t> &image)
+{
+    wire::Message msg;
+    msg.kind = wire::MessageKind::InstallSession;
+    msg.image = image;
+    wire::Message reply;
+    if (!adminCall(msg, wire::MessageKind::SessionOpened, reply) ||
+        reply.status != ServiceStatus::Ok) {
+        return 0;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sessionTokens_[reply.sessionId] = reply.resumeToken;
+    }
+    return reply.sessionId;
 }
 
 bool
@@ -284,7 +379,7 @@ void
 RimeClient::dispatch(wire::Message &&msg)
 {
     std::promise<wire::Message> admin;
-    std::promise<Response> data;
+    PendingResponse data;
     enum class Hit { None, Admin, Data } hit = Hit::None;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -303,8 +398,15 @@ RimeClient::dispatch(wire::Message &&msg)
         }
     }
     if (msg.kind == wire::MessageKind::Error) {
-        // The server only speaks Error for protocol-level failures,
-        // and drops the connection right after.
+        if (msg.error == wire::WireError::Shutdown &&
+            hit == Hit::None) {
+            // Unsolicited drain notice: the connection stays up and
+            // this is operational, not a protocol violation.
+            shutdownAdvised_.store(true, std::memory_order_release);
+            return;
+        }
+        // Everything else: the server only speaks Error for
+        // protocol-level failures, and drops the connection after.
         protocolErrors_.fetch_add(1, std::memory_order_relaxed);
         warn("wire error from server: %s (%s)",
              wire::wireErrorName(msg.error), msg.text.c_str());
@@ -314,7 +416,9 @@ RimeClient::dispatch(wire::Message &&msg)
         admin.set_value(std::move(msg));
         break;
       case Hit::Data:
-        data.set_value(std::move(msg.resp));
+        data.promise.set_value(std::move(msg.resp));
+        if (data.notify)
+            data.notify();
         break;
       case Hit::None:
         break; // stray (a waiter timed out); nothing to complete
@@ -324,7 +428,7 @@ RimeClient::dispatch(wire::Message &&msg)
 void
 RimeClient::failAllPending()
 {
-    std::map<std::uint64_t, std::promise<Response>> responses;
+    std::map<std::uint64_t, PendingResponse> responses;
     std::map<std::uint64_t, std::promise<wire::Message>> admin;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -333,10 +437,12 @@ RimeClient::failAllPending()
     }
     transportErrors_.fetch_add(responses.size() + admin.size(),
                                std::memory_order_relaxed);
-    for (auto &[corr, promise] : responses) {
+    for (auto &[corr, pending] : responses) {
         Response r;
         r.status = ServiceStatus::Closed;
-        promise.set_value(std::move(r));
+        pending.promise.set_value(std::move(r));
+        if (pending.notify)
+            pending.notify();
     }
     for (auto &[corr, promise] : admin) {
         wire::Message msg;

@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <mutex>
@@ -97,6 +98,36 @@ class RimeClient
     /** Close a session (synchronous).  False on transport failure. */
     bool closeSession(std::uint64_t session);
 
+    /**
+     * Resume token issued with `session` at open/resume/install time;
+     * 0 when unknown.  Tokens survive reconnects -- they are the
+     * credential resumeSession presents.
+     */
+    std::uint64_t sessionToken(std::uint64_t session) const;
+
+    /**
+     * Reattach to a session parked by a server running with
+     * resumption (ServerConfig::resumeGraceMs): after a reconnect,
+     * presents the stored (or given) token.  False when the server no
+     * longer holds the session -- reopen instead.
+     */
+    bool resumeSession(std::uint64_t session, std::uint64_t token = 0);
+
+    /**
+     * Freeze `session` on the server and fetch its encoded state
+     * image (the cross-instance hand-off, drain side).  Empty on
+     * failure; on success the remote session is gone and the bytes
+     * are what installSession() on a peer's client accepts.
+     */
+    std::vector<std::uint8_t> drainSession(std::uint64_t session);
+
+    /**
+     * Install a drained session image on this client's server
+     * (hand-off, install side).  Returns the NEW session id (the
+     * server remaps ids), 0 when no shard there can take the image.
+     */
+    std::uint64_t installSession(const std::vector<std::uint8_t> &image);
+
     /** Release deterministic schedulers (service::RimeService::start). */
     bool start();
 
@@ -110,6 +141,17 @@ class RimeClient
      */
     std::future<service::Response> submit(std::uint64_t session,
                                           service::Request req);
+
+    /**
+     * Submit with a completion hook: `notify` runs exactly once, when
+     * the future becomes ready -- on the reader thread for a normal
+     * Response, on the failing thread for transport errors, and
+     * synchronously (before return) when the connection is already
+     * dead.  Must be cheap and non-blocking.
+     */
+    std::future<service::Response> submit(std::uint64_t session,
+                                          service::Request req,
+                                          std::function<void()> notify);
 
     /** submit + wait. */
     service::Response
@@ -139,6 +181,17 @@ class RimeClient
         return protocolErrors_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * The server sent an unsolicited Shutdown notice (it is draining):
+     * move sessions elsewhere and stop submitting here.  Not a
+     * protocol error; cleared by the next successful connect().
+     */
+    bool
+    shutdownAdvised() const
+    {
+        return shutdownAdvised_.load(std::memory_order_acquire);
+    }
+
   private:
     /** One connect attempt + Hello/Welcome handshake. */
     bool connectOnce();
@@ -164,17 +217,26 @@ class RimeClient
     std::atomic<bool> stopReader_{false};
     bool everConnected_ = false;
 
+    /** A data waiter: its promise plus the optional completion hook. */
+    struct PendingResponse
+    {
+        std::promise<service::Response> promise;
+        std::function<void()> notify;
+    };
+
     std::atomic<std::uint64_t> nextCorrId_{1};
-    std::map<std::uint64_t, std::promise<service::Response>>
-        pendingResponses_;
+    std::map<std::uint64_t, PendingResponse> pendingResponses_;
     std::map<std::uint64_t, std::promise<service::wire::Message>>
         pendingAdmin_;
+    /** session id -> resume token (guarded by mutex_). */
+    std::map<std::uint64_t, std::uint64_t> sessionTokens_;
 
     std::uint64_t shards_ = 0;
 
     std::atomic<std::uint64_t> reconnects_{0};
     std::atomic<std::uint64_t> transportErrors_{0};
     std::atomic<std::uint64_t> protocolErrors_{0};
+    std::atomic<bool> shutdownAdvised_{false};
 };
 
 } // namespace rime::net

@@ -79,9 +79,34 @@ RimeServer::start()
         errno = EINVAL;
         return false; // nowhere to listen
     }
+    if (config_.resumeGraceMs > 0) {
+        // Adopt whatever the journal recovered: pre-crash clients
+        // reattach with the same deterministic token they were issued
+        // before, as long as they return within the grace.
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.resumeGraceMs);
+        for (auto &session : service_.recoveredSessions()) {
+            const std::uint64_t id = session->id();
+            const std::uint64_t token =
+                wire::resumeToken(id, session->tenant());
+            parked_.emplace(
+                id, Parked{std::move(session), token, deadline});
+        }
+        activeSessions_.store(parked_.size(),
+                              std::memory_order_relaxed);
+    }
     running_.store(true, std::memory_order_release);
     loopThread_ = std::thread([this] { loop(); });
     return true;
+}
+
+void
+RimeServer::beginDrain()
+{
+    if (!running_.load(std::memory_order_acquire))
+        return;
+    draining_.store(true, std::memory_order_release);
+    wake_->wake();
 }
 
 void
@@ -95,6 +120,10 @@ RimeServer::stop()
     for (auto &conn : connections_)
         closeConnection(*conn);
     connections_.clear();
+    for (auto &[id, parked] : parked_)
+        parked.session->close();
+    parked_.clear();
+    activeSessions_.store(0, std::memory_order_relaxed);
     if (tcpListen_ >= 0) {
         ::close(tcpListen_);
         tcpListen_ = -1;
@@ -110,6 +139,48 @@ void
 RimeServer::loop()
 {
     while (running_.load(std::memory_order_acquire)) {
+        if (draining_.load(std::memory_order_acquire) &&
+            !drainNotified_) {
+            drainNotified_ = true;
+            // Stop accepting; existing connections get a Shutdown
+            // notice they survive -- a router reacts by draining its
+            // sessions off this instance, a plain client reconnects
+            // elsewhere at its leisure.
+            if (tcpListen_ >= 0) {
+                ::close(tcpListen_);
+                tcpListen_ = -1;
+            }
+            if (unixListen_ >= 0) {
+                ::close(unixListen_);
+                unixListen_ = -1;
+                ::unlink(unixPath_.c_str());
+            }
+            for (auto &connp : connections_) {
+                Connection &conn = *connp;
+                if (conn.fd < 0 || !conn.greeted || conn.closing)
+                    continue;
+                wire::Message notice;
+                notice.kind = wire::MessageKind::Error;
+                notice.error = wire::WireError::Shutdown;
+                notice.text = "server draining; re-home sessions";
+                wire::encodeMessage(conn.out, notice);
+            }
+        }
+
+        // Reap parked sessions whose resume grace expired: close them
+        // exactly as the disconnect would have without resumption.
+        if (!parked_.empty()) {
+            const auto now = std::chrono::steady_clock::now();
+            for (auto it = parked_.begin(); it != parked_.end();) {
+                if (now >= it->second.deadline) {
+                    it->second.session->close();
+                    it = parked_.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+
         poller_.clear();
         const std::size_t wake_slot =
             poller_.add(wake_->readFd(), true, false);
@@ -161,6 +232,11 @@ RimeServer::loop()
         }
         std::erase_if(connections_,
                       [](const auto &c) { return c->fd < 0; });
+
+        std::size_t live = parked_.size();
+        for (const auto &c : connections_)
+            live += c->sessions.size();
+        activeSessions_.store(live, std::memory_order_relaxed);
     }
 }
 
@@ -297,7 +373,81 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
         opened.corrId = msg.corrId;
         opened.status = ServiceStatus::Ok;
         opened.sessionId = session->id();
+        opened.resumeToken =
+            wire::resumeToken(session->id(), session->tenant());
         conn.sessions.emplace(session->id(), std::move(session));
+        wire::encodeMessage(conn.out, opened);
+        return;
+      }
+      case wire::MessageKind::ResumeSession: {
+        wire::Message opened;
+        opened.kind = wire::MessageKind::SessionOpened;
+        opened.corrId = msg.corrId;
+        opened.sessionId = msg.sessionId;
+        auto it = parked_.find(msg.sessionId);
+        if (it == parked_.end() || msg.resumeToken == 0 ||
+            it->second.token != msg.resumeToken) {
+            // Expired, drained away, never here, or wrong token: the
+            // session is gone but the connection is fine -- the
+            // client reopens instead.
+            opened.status = ServiceStatus::Closed;
+        } else {
+            opened.status = ServiceStatus::Ok;
+            opened.resumeToken = it->second.token;
+            conn.sessions.emplace(msg.sessionId,
+                                  std::move(it->second.session));
+            parked_.erase(it);
+        }
+        wire::encodeMessage(conn.out, opened);
+        return;
+      }
+      case wire::MessageKind::DrainSession: {
+        std::shared_ptr<service::Session> session;
+        auto it = conn.sessions.find(msg.sessionId);
+        if (it != conn.sessions.end()) {
+            session = it->second;
+        } else if (auto pit = parked_.find(msg.sessionId);
+                   pit != parked_.end()) {
+            session = pit->second.session;
+        }
+        if (!session) {
+            failConnection(conn, msg.corrId,
+                           wire::WireError::UnknownSession,
+                           "drain of unknown session");
+            return;
+        }
+        wire::Message reply;
+        reply.kind = wire::MessageKind::Response;
+        reply.corrId = msg.corrId;
+        reply.resp.image = service_.drainSessionImage(msg.sessionId);
+        if (reply.resp.image.empty()) {
+            reply.resp.status = ServiceStatus::Closed;
+        } else {
+            // The session now lives only in the returned image; the
+            // local handle must not close it on destruction.
+            reply.resp.status = ServiceStatus::Ok;
+            session->detach();
+            conn.sessions.erase(msg.sessionId);
+            parked_.erase(msg.sessionId);
+        }
+        wire::encodeMessage(conn.out, reply);
+        return;
+      }
+      case wire::MessageKind::InstallSession: {
+        wire::Message opened;
+        opened.kind = wire::MessageKind::SessionOpened;
+        opened.corrId = msg.corrId;
+        auto session = service_.installSessionImage(msg.image);
+        if (!session) {
+            // Undecodable image or no shard can take it.
+            opened.status = ServiceStatus::Rejected;
+        } else {
+            opened.status = ServiceStatus::Ok;
+            opened.sessionId = session->id();
+            opened.resumeToken =
+                wire::resumeToken(session->id(), session->tenant());
+            conn.sessions.emplace(session->id(), std::move(session));
+        }
         wire::encodeMessage(conn.out, opened);
         return;
       }
@@ -421,8 +571,21 @@ RimeServer::closeConnection(Connection &conn)
     // shared state alive); closing the sessions frees everything the
     // remote tenant still held, exactly like an in-process close.
     conn.inFlight.clear();
-    for (auto &[id, session] : conn.sessions)
-        session->close();
+    if (config_.resumeGraceMs > 0 &&
+        running_.load(std::memory_order_acquire)) {
+        // Resumption: park the sessions for the grace period instead.
+        const auto deadline = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(config_.resumeGraceMs);
+        for (auto &[id, session] : conn.sessions) {
+            const std::uint64_t token =
+                wire::resumeToken(id, session->tenant());
+            parked_.emplace(
+                id, Parked{std::move(session), token, deadline});
+        }
+    } else {
+        for (auto &[id, session] : conn.sessions)
+            session->close();
+    }
     conn.sessions.clear();
 }
 

@@ -22,12 +22,21 @@
  * session to the connection, and a disconnect (or protocol error)
  * closes every session the connection still holds -- the shard frees
  * the tenant's allocations exactly as an in-process close would.
+ *
+ * With ServerConfig::resumeGraceMs set, a disconnect instead *parks*
+ * the connection's sessions for the grace period: every SessionOpened
+ * carries a resume token (wire::resumeToken, deterministic across
+ * restarts on the same journal) and a reconnecting client reattaches
+ * with ResumeSession before the deadline -- the cluster router's
+ * transparent failover path.  Parked sessions that outlive the grace
+ * are closed exactly like a plain disconnect.
  */
 
 #ifndef RIME_NET_SERVER_HH
 #define RIME_NET_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <future>
@@ -52,6 +61,14 @@ struct ServerConfig
     std::string tcp;
     /** "unix:/path"; empty disables the Unix-domain listener. */
     std::string unixPath;
+    /**
+     * Session resumption grace in milliseconds; 0 (default) keeps the
+     * original connection-scoped lifetime (disconnect closes the
+     * connection's sessions).  >0 parks them instead, waiting that
+     * long for a ResumeSession with the matching token; recovered
+     * journal sessions are parked at start() under the same deadline.
+     */
+    unsigned resumeGraceMs = 0;
 };
 
 /** The socket front end of one RimeService. */
@@ -98,6 +115,22 @@ class RimeServer
         return served_.load(std::memory_order_relaxed);
     }
 
+    /**
+     * Begin a graceful drain: stop accepting, send every connection a
+     * Shutdown notice (an Error frame the connection survives) so
+     * routers pull their sessions elsewhere, and keep serving what
+     * remains.  Callable from any thread; watch activeSessions() reach
+     * zero, then stop().
+     */
+    void beginDrain();
+
+    /** Sessions currently live here: connection-bound plus parked. */
+    std::size_t
+    activeSessions() const
+    {
+        return activeSessions_.load(std::memory_order_relaxed);
+    }
+
   private:
     struct Connection
     {
@@ -122,6 +155,14 @@ class RimeServer
         };
         /** Submitted requests whose Response is still due. */
         std::deque<InFlight> inFlight;
+    };
+
+    /** A disconnected client's session awaiting ResumeSession. */
+    struct Parked
+    {
+        std::shared_ptr<service::Session> session;
+        std::uint64_t token = 0;
+        std::chrono::steady_clock::time_point deadline;
     };
 
     void loop();
@@ -149,9 +190,15 @@ class RimeServer
     std::shared_ptr<WakePipe> wake_;
     Poller poller_;
     std::vector<std::unique_ptr<Connection>> connections_;
+    /** Loop-thread owned (start() seeds it before the thread runs). */
+    std::map<std::uint64_t, Parked> parked_;
 
     std::thread loopThread_;
     std::atomic<bool> running_{false};
+    std::atomic<bool> draining_{false};
+    /** Loop-thread only: Shutdown notices already queued. */
+    bool drainNotified_ = false;
+    std::atomic<std::size_t> activeSessions_{0};
 
     std::atomic<std::uint64_t> accepted_{0};
     std::atomic<std::uint64_t> protocolErrors_{0};

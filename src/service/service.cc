@@ -391,6 +391,8 @@ RimeService::openSession(const SessionConfig &cfg)
 {
     if (stopped_)
         fatal("openSession on a stopped RimeService");
+    const std::uint64_t id =
+        nextSessionId_.fetch_add(1, std::memory_order_relaxed);
     unsigned shard;
     if (cfg.shard >= 0) {
         shard = static_cast<unsigned>(cfg.shard);
@@ -399,7 +401,13 @@ RimeService::openSession(const SessionConfig &cfg)
                   shard, controllers_.size());
         }
     } else {
-        shard = config_.placement->place(loads());
+        // Keyed placement: identity = tenant + session id, so policies
+        // that hash (ConsistentHashPlacement) spread a tenant's
+        // sessions deterministically; policies that don't fall back to
+        // their load-based place().
+        const std::uint64_t key =
+            placementHash(cfg.tenant) ^ placementMix(id);
+        shard = config_.placement->place(loads(), key);
         if (shard >= controllers_.size()) {
             fatal("placement policy '%s' chose shard %u of %zu",
                   config_.placement->name(), shard,
@@ -408,7 +416,7 @@ RimeService::openSession(const SessionConfig &cfg)
     }
 
     auto state = std::make_shared<SessionState>();
-    state->id = nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+    state->id = id;
     state->tenant = cfg.tenant;
     state->weight = std::max(1u, cfg.weight);
     state->maxInFlight = std::max(1u, cfg.maxInFlight);
@@ -575,6 +583,106 @@ RimeService::maintain()
         ++drained;
     }
     return drained;
+}
+
+std::vector<std::uint8_t>
+RimeService::drainSessionImage(std::uint64_t id)
+{
+    std::shared_ptr<SessionState> state;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        for (const auto &s : sessions_) {
+            if (s->id == id) {
+                state = s;
+                break;
+            }
+        }
+    }
+    if (!state || state->closed.load(std::memory_order_acquire))
+        return {};
+
+    // Park racing submits on `migrating` while the Drain control is in
+    // flight; once it completes the session is gone from this instance
+    // and late submits are shed (Rejected/Draining) by the old shard.
+    state->migrating.store(true, std::memory_order_release);
+    SessionState::Pending drain;
+    drain.control = SessionState::Pending::Control::Drain;
+    drain.session = state;
+    drain.enqueued = std::chrono::steady_clock::now();
+    auto drained = drain.promise.get_future();
+    state->inFlight.fetch_add(1, std::memory_order_acq_rel);
+    const unsigned from = state->shard.load(std::memory_order_acquire);
+    if (from >= shards() ||
+        !controllers_[from]->submitControl(std::move(drain))) {
+        state->migrating.store(false, std::memory_order_release);
+        return {};
+    }
+    Response image = drained.get();
+    state->migrating.store(false, std::memory_order_release);
+    if (!image.ok())
+        return {}; // closed or already drained while queued
+    // The state stays in sessions_ as migrated-away: its per-tenant
+    // stat group belongs in dumps, and the journal's Migrated record
+    // keeps the image recoverable if the peer install never lands.
+    return image.image;
+}
+
+std::shared_ptr<Session>
+RimeService::installSessionImage(const std::vector<std::uint8_t> &bytes)
+{
+    if (stopped_ || bytes.empty())
+        return nullptr;
+    SessionImage image;
+    if (!decodeSessionImage(bytes, image) || image.closed)
+        return nullptr;
+
+    // Remap to a fresh local id: the draining instance's id space is
+    // independent of ours and the image's id may already be taken.
+    image.id = nextSessionId_.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<std::uint8_t> remapped =
+        encodeSessionImage(image);
+
+    auto state = std::make_shared<SessionState>();
+    state->id = image.id;
+    state->tenant = image.tenant;
+    state->weight = std::max(1u, image.weight);
+    state->maxInFlight = std::max(1u, image.maxInFlight);
+
+    // Walk shards from the placement pick: a shard can veto the
+    // install (Reconfiguration: word geometry mismatch with live
+    // state), so try every non-draining one deterministically.
+    const std::uint64_t key =
+        placementHash(image.tenant) ^ placementMix(image.id);
+    const unsigned first =
+        std::min(config_.placement->place(loads(), key),
+                 shards() - 1);
+    for (unsigned offset = 0; offset < shards(); ++offset) {
+        const unsigned pick = (first + offset) % shards();
+        if (controllers_[pick]->draining())
+            continue;
+        SessionState::Pending install;
+        install.control = SessionState::Pending::Control::Install;
+        install.session = state;
+        install.image = remapped;
+        install.enqueued = std::chrono::steady_clock::now();
+        auto installed = install.promise.get_future();
+        state->inFlight.fetch_add(1, std::memory_order_acq_rel);
+        state->shard.store(pick, std::memory_order_release);
+        state->controller.store(controllers_[pick].get(),
+                                std::memory_order_release);
+        if (!controllers_[pick]->submitControl(std::move(install)))
+            continue;
+        if (!installed.get().ok())
+            continue; // incompatible word geometry on this shard
+        controllers_[pick]->registerSession(state);
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            sessions_.push_back(state);
+        }
+        return std::shared_ptr<Session>(
+            new Session(std::move(state), alive_));
+    }
+    return nullptr;
 }
 
 void

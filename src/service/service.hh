@@ -112,6 +112,15 @@ class Session
      */
     void close();
 
+    /**
+     * Release the handle WITHOUT closing the server-side session: the
+     * destructor becomes a no-op and the session lives on (journaled,
+     * parked for resumption, or drained to another instance).  The
+     * wire tier detaches when a session's state moved elsewhere or
+     * must survive this handle.
+     */
+    void detach() { closed_.store(true, std::memory_order_release); }
+
   private:
     friend class RimeService;
 
@@ -212,6 +221,29 @@ class RimeService
      * @return shards newly drained
      */
     unsigned maintain();
+
+    /**
+     * Cross-process hand-off, drain side: freeze session `id`, drop it
+     * from its shard (allocations freed, queued requests shed with
+     * Rejected/Draining, Migrated record journaled) and return the
+     * encoded SessionImage -- the bytes a peer instance's
+     * installSessionImage() accepts.  Empty on failure (unknown id,
+     * already closed or migrated).  The session's local handles are
+     * dead afterwards; detach() them.
+     */
+    std::vector<std::uint8_t> drainSessionImage(std::uint64_t id);
+
+    /**
+     * Cross-process hand-off, install side: adopt a session image
+     * drained from ANOTHER service instance.  The image's session id
+     * is remapped to a fresh local id (the two instances' id spaces
+     * are independent), the session is placed on a non-draining shard
+     * and journaled there (Install record), and a live handle is
+     * returned -- null when no shard can take the image (incompatible
+     * word geometry everywhere, or all shards draining).
+     */
+    std::shared_ptr<Session>
+    installSessionImage(const std::vector<std::uint8_t> &image);
 
     /**
      * Collect the full service stat tree into `out`:

@@ -20,8 +20,31 @@ messageKindName(MessageKind kind)
       case MessageKind::StatDump:      return "StatDump";
       case MessageKind::StatDumpReply: return "StatDumpReply";
       case MessageKind::Error:         return "Error";
+      case MessageKind::DrainSession:  return "DrainSession";
+      case MessageKind::InstallSession:return "InstallSession";
+      case MessageKind::ResumeSession: return "ResumeSession";
     }
     return "unknown";
+}
+
+std::uint64_t
+resumeToken(std::uint64_t session_id, const std::string &tenant)
+{
+    // FNV-1a over a fixed tag, the id bytes, and the tenant: stable
+    // across processes and restarts (see the header comment).
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint8_t byte) {
+        h ^= byte;
+        h *= 0x100000001b3ull;
+    };
+    for (const char c : std::string("rime.resume.v1"))
+        mix(static_cast<std::uint8_t>(c));
+    for (unsigned i = 0; i < 8; ++i)
+        mix(static_cast<std::uint8_t>(session_id >> (8 * i)));
+    for (const char c : tenant)
+        mix(static_cast<std::uint8_t>(c));
+    // 0 means "unset" in the protocol; never issue it.
+    return h == 0 ? 1 : h;
 }
 
 const char *
@@ -169,9 +192,18 @@ encodeMessage(std::vector<std::uint8_t> &out, const Message &msg)
       case MessageKind::SessionOpened:
         w.putU8(static_cast<std::uint8_t>(msg.status));
         w.putVarint(msg.sessionId);
+        w.putVarint(msg.resumeToken);
         break;
       case MessageKind::CloseSession:
+      case MessageKind::DrainSession:
         w.putVarint(msg.sessionId);
+        break;
+      case MessageKind::InstallSession:
+        w.putBytes(msg.image.data(), msg.image.size());
+        break;
+      case MessageKind::ResumeSession:
+        w.putVarint(msg.sessionId);
+        w.putVarint(msg.resumeToken);
         break;
       case MessageKind::Request:
         w.putVarint(msg.sessionId);
@@ -202,7 +234,7 @@ decodeMessage(const std::vector<std::uint8_t> &payload, Message &out)
     BitReader r(payload);
     out = Message{};
     const std::uint8_t kind = r.getU8();
-    if (kind > static_cast<std::uint8_t>(MessageKind::Error))
+    if (kind > static_cast<std::uint8_t>(MessageKind::ResumeSession))
         return false;
     out.kind = static_cast<MessageKind>(kind);
     out.corrId = r.getVarint();
@@ -224,9 +256,18 @@ decodeMessage(const std::vector<std::uint8_t> &payload, Message &out)
       case MessageKind::SessionOpened:
         out.status = static_cast<ServiceStatus>(r.getU8());
         out.sessionId = r.getVarint();
+        out.resumeToken = r.getVarint();
         break;
       case MessageKind::CloseSession:
+      case MessageKind::DrainSession:
         out.sessionId = r.getVarint();
+        break;
+      case MessageKind::InstallSession:
+        out.image = r.getBytes();
+        break;
+      case MessageKind::ResumeSession:
+        out.sessionId = r.getVarint();
+        out.resumeToken = r.getVarint();
         break;
       case MessageKind::Request:
         out.sessionId = r.getVarint();

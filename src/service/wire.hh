@@ -42,8 +42,10 @@ namespace rime::service::wire
 
 /** First field of every Hello/Welcome: "RIWE". */
 constexpr std::uint32_t kWireMagic = 0x52495745u;
-/** Bumped on any incompatible change to the message formats. */
-constexpr std::uint64_t kWireVersion = 1;
+/** Bumped on any incompatible change to the message formats.
+ *  v2: SessionOpened carries a resume token; DrainSession /
+ *  InstallSession / ResumeSession added for the cluster tier. */
+constexpr std::uint64_t kWireVersion = 2;
 
 /** Discriminator of one wire frame's payload. */
 enum class MessageKind : std::uint8_t
@@ -58,7 +60,14 @@ enum class MessageKind : std::uint8_t
     Start,         ///< client: release deterministic schedulers
     StatDump,      ///< client: ask for the service stat tree
     StatDumpReply, ///< server: the JSON stat dump
-    Error,         ///< server: protocol-level failure (then close)
+    Error,         ///< server: protocol-level failure (then close);
+                   ///< also the Shutdown notice (connection stays up)
+    DrainSession,  ///< router: freeze + serialize one session; the
+                   ///< Response carries its state image
+    InstallSession,///< router: install a serialized session image on
+                   ///< this instance (SessionOpened replies)
+    ResumeSession, ///< client: reattach to a parked/journaled session
+                   ///< by id + resume token (SessionOpened replies)
 };
 
 const char *messageKindName(MessageKind kind);
@@ -95,12 +104,19 @@ struct Message
     unsigned weight = 1;
     unsigned maxInFlight = 8;
 
-    // SessionOpened / CloseSession / Request: the wire session handle
-    // (server-chosen, unique per connection lifetime).
+    // SessionOpened / CloseSession / Request / DrainSession /
+    // ResumeSession: the wire session handle (the service session id).
     std::uint64_t sessionId = 0;
 
     // SessionOpened: whether the open succeeded.
     ServiceStatus status = ServiceStatus::Ok;
+
+    // SessionOpened / ResumeSession: the token that reattaches a
+    // dropped connection to its journaled session (0 = unset).
+    std::uint64_t resumeToken = 0;
+
+    // InstallSession: the encoded SessionImage being handed off.
+    std::vector<std::uint8_t> image;
 
     // Request / Response
     service::Request req;
@@ -139,6 +155,17 @@ void encodeRequest(BitWriter &w, const service::Request &req);
 bool decodeRequest(BitReader &r, service::Request &req);
 void encodeResponse(BitWriter &w, const service::Response &resp);
 bool decodeResponse(BitReader &r, service::Response &resp);
+
+/**
+ * The resume token issued for a session: a pure deterministic
+ * function of the session identity, so a server restarted on the same
+ * journal (which recovers the same session ids and tenants) issues
+ * the same token and pre-crash clients can still reattach.  This is a
+ * possession check against stray connections, not authentication --
+ * auth hooks are a separate protocol follow-on.
+ */
+std::uint64_t resumeToken(std::uint64_t session_id,
+                          const std::string &tenant);
 
 } // namespace rime::service::wire
 
