@@ -13,9 +13,17 @@
  *     request saw (submit to future-ready, queueing included).
  *
  *  2. Baseline ratio: wire throughput at depth 8 over in-process
- *     throughput at depth 8.  Target >= 0.5x -- the framed protocol,
- *     the event loop, and two thread hops may cost at most half the
- *     in-process rate on loopback.
+ *     throughput at depth 8.  Target >= 0.85x on hosts with spare
+ *     cores -- with batched submits on both sides
+ *     (Session::submitBatch in process, RimeClient::submitBatch +
+ *     the server's whole-read hand-off and writev response
+ *     coalescing over the wire), the framed protocol, the event
+ *     loop, and two thread hops may cost at most 15% of the
+ *     in-process rate on loopback.  On a single-core host the wire
+ *     turnaround cannot overlap shard execution, so the gate drops
+ *     to >= 0.50x (see the phase-2 comment).  A batch-size sweep
+ *     (service batchOps 1 vs 32) is emitted alongside, and every
+ *     run reports its realized completion group size (avg batch).
  *
  *  3. Disconnect chaos: the same workload while the client tears its
  *     connection down at fixed op counts and reconnects (sessions
@@ -43,6 +51,7 @@
 #include <deque>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.hh"
@@ -84,17 +93,32 @@ struct RunResult
     double opsPerSec = 0.0;
     double p50Us = 0.0;
     double p99Us = 0.0;
+    /**
+     * Mean completions drained per window wakeup -- the realized
+     * group size.  `depth` when server group completion, the wire
+     * tier's response coalescing, and the client's batched refill all
+     * hold together; ~1 when completions dribble back as singles.
+     */
+    double avgBatch = 0.0;
 };
 
 /**
- * The closed-loop core, generic over how a request is submitted: keep
- * `depth` TopK requests in flight until `ops` responses were served;
- * re-arm the drained range with an Init whenever a TopK comes back
- * Empty.  Rejected completions are resubmitted after a yield.
+ * The closed-loop core, generic over how a *batch* of requests is
+ * submitted: keep `depth` TopK requests in flight until `ops`
+ * responses were served; re-arm the drained range with an Init
+ * whenever a TopK comes back Empty.  Rejected completions are
+ * resubmitted after a yield.
+ *
+ * The window refills its whole deficit with ONE batched submit, and
+ * after blocking on the head it sweeps every already-ready completion
+ * behind it -- a server group commit completes several futures at
+ * once, and draining them together makes the next refill a real
+ * batch (one wire write, one shard hand-off) instead of dribbling
+ * single requests.
  */
-template <typename SubmitFn>
+template <typename SubmitBatchFn>
 RunResult
-runClosedLoop(SubmitFn &&submit, Addr start, Addr end,
+runClosedLoop(SubmitBatchFn &&submitBatch, Addr start, Addr end,
               std::uint64_t ops, std::size_t depth)
 {
     RunResult out;
@@ -102,56 +126,88 @@ runClosedLoop(SubmitFn &&submit, Addr start, Addr end,
         window;
     std::vector<double> rttUs;
     rttUs.reserve(ops);
+    const auto submitOne = [&](Request req) {
+        std::vector<Request> one;
+        one.push_back(std::move(req));
+        return std::move(submitBatch(std::move(one)).front());
+    };
 
     const auto t0 = Clock::now();
     std::uint64_t submitted = 0;
+    std::uint64_t drains = 0, drainOps = 0;
     while (out.served < ops) {
-        while (window.size() < depth &&
-               submitted < ops + out.rejected) {
-            Request r;
-            r.kind = RequestKind::TopK;
-            r.start = start;
-            r.end = end;
-            r.count = kTopK;
-            window.emplace_back(submit(std::move(r)), Clock::now());
-            ++submitted;
-        }
-        auto [future, at] = std::move(window.front());
-        window.pop_front();
-        Response resp = future.get();
-        rttUs.push_back(
-            std::chrono::duration<double, std::micro>(Clock::now() -
-                                                      at)
-                .count());
-        if (resp.status == ServiceStatus::Rejected) {
-            ++out.rejected;
-            std::this_thread::yield();
-            continue;
-        }
-        if (resp.status == ServiceStatus::Empty || resp.ok()) {
-            if (resp.status == ServiceStatus::Empty ||
-                resp.items.size() < kTopK) {
-                // Range drained: re-arm before counting further ops.
-                Request init;
-                init.kind = RequestKind::Init;
-                init.start = start;
-                init.end = end;
-                init.mode = KeyMode::UnsignedFixed;
-                init.wordBits = 32;
-                const Response ir = submit(std::move(init)).get();
-                if (!ir.ok() &&
-                    ir.status != ServiceStatus::Rejected) {
-                    fatal("wire_load: re-init failed with %s",
-                          serviceStatusName(ir.status));
-                }
+        const std::uint64_t want = ops + out.rejected;
+        if (window.size() < depth && submitted < want) {
+            const std::size_t n = std::min<std::size_t>(
+                depth - window.size(),
+                static_cast<std::size_t>(want - submitted));
+            std::vector<Request> batch(n);
+            for (Request &r : batch) {
+                r.kind = RequestKind::TopK;
+                r.start = start;
+                r.end = end;
+                r.count = kTopK;
             }
-            ++out.served;
-            continue;
+            const auto at = Clock::now();
+            auto futures = submitBatch(std::move(batch));
+            for (auto &f : futures)
+                window.emplace_back(std::move(f), at);
+            submitted += n;
         }
-        fatal("wire_load: topK failed with %s",
-              serviceStatusName(resp.status));
+        std::vector<std::pair<Response, Clock::time_point>> done;
+        {
+            auto [future, at] = std::move(window.front());
+            window.pop_front();
+            done.emplace_back(future.get(), at);
+        }
+        while (!window.empty() &&
+               window.front().first.wait_for(
+                   std::chrono::seconds(0)) ==
+                   std::future_status::ready) {
+            done.emplace_back(window.front().first.get(),
+                              window.front().second);
+            window.pop_front();
+        }
+        ++drains;
+        drainOps += done.size();
+        for (auto &[resp, at] : done) {
+            rttUs.push_back(std::chrono::duration<double, std::micro>(
+                                Clock::now() - at)
+                                .count());
+            if (resp.status == ServiceStatus::Rejected) {
+                ++out.rejected;
+                std::this_thread::yield();
+                continue;
+            }
+            if (resp.status == ServiceStatus::Empty || resp.ok()) {
+                if (resp.status == ServiceStatus::Empty ||
+                    resp.items.size() < kTopK) {
+                    // Range drained: re-arm before counting on.
+                    Request init;
+                    init.kind = RequestKind::Init;
+                    init.start = start;
+                    init.end = end;
+                    init.mode = KeyMode::UnsignedFixed;
+                    init.wordBits = 32;
+                    const Response ir =
+                        submitOne(std::move(init)).get();
+                    if (!ir.ok() &&
+                        ir.status != ServiceStatus::Rejected) {
+                        fatal("wire_load: re-init failed with %s",
+                              serviceStatusName(ir.status));
+                    }
+                }
+                ++out.served;
+                continue;
+            }
+            fatal("wire_load: topK failed with %s",
+                  serviceStatusName(resp.status));
+        }
     }
     const auto t1 = Clock::now();
+    out.avgBatch = drains
+        ? static_cast<double>(drainOps) / static_cast<double>(drains)
+        : 0.0;
     out.wallMs =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     out.opsPerSec = out.wallMs > 0
@@ -227,16 +283,21 @@ runInProcess(std::uint64_t ops, std::size_t depth)
     auto s = svc.openSession(sc);
     const auto [start, end] = armRange(*s);
     RunResult r = runClosedLoop(
-        [&](Request req) { return s->submit(std::move(req)); }, start,
-        end, ops, depth);
+        [&](std::vector<Request> reqs) {
+            return s->submitBatch(std::move(reqs), nullptr);
+        },
+        start, end, ops, depth);
     s->close();
     return r;
 }
 
 RunResult
-runOverWire(std::uint64_t ops, std::size_t depth)
+runOverWire(std::uint64_t ops, std::size_t depth,
+            std::size_t batch_ops = SchedulerConfig{}.batchOps)
 {
-    RimeService svc(benchService());
+    ServiceConfig cfg = benchService();
+    cfg.scheduler.batchOps = batch_ops;
+    RimeService svc(std::move(cfg));
     RimeServer server(svc, {.tcp = "tcp:127.0.0.1:0"});
     if (!server.start())
         fatal("wire_load: server failed to start");
@@ -251,8 +312,8 @@ runOverWire(std::uint64_t ops, std::size_t depth)
         fatal("wire_load: remote open failed");
     const auto [start, end] = armRange(client, session);
     RunResult r = runClosedLoop(
-        [&](Request req) {
-            return client.submit(session, std::move(req));
+        [&](std::vector<Request> reqs) {
+            return client.submitBatch(session, std::move(reqs));
         },
         start, end, ops, depth);
     if (client.protocolErrors() != 0)
@@ -404,8 +465,9 @@ runFairness(std::uint64_t ops, unsigned clients)
                 fatal("wire_load: fairness open failed");
             const auto [start, end] = armRange(client, session);
             results[c] = runClosedLoop(
-                [&](Request req) {
-                    return client.submit(session, std::move(req));
+                [&](std::vector<Request> reqs) {
+                    return client.submitBatch(session,
+                                              std::move(reqs));
                 },
                 start, end, ops, /*depth=*/4);
             if (client.protocolErrors() != 0)
@@ -438,34 +500,60 @@ main()
                 static_cast<unsigned long long>(ops));
 
     // Phase 1: the wire depth sweep.
-    std::printf("%8s %10s %12s %10s %10s\n", "depth", "wall ms",
-                "ops/s", "p50 us", "p99 us");
+    std::printf("%8s %10s %12s %10s %10s %10s\n", "depth", "wall ms",
+                "ops/s", "p50 us", "p99 us", "avg batch");
     std::vector<std::pair<std::size_t, RunResult>> sweep;
     for (const std::size_t depth : {1u, 2u, 4u, 8u}) {
         sweep.emplace_back(depth, runOverWire(ops, depth));
         const RunResult &r = sweep.back().second;
-        std::printf("%8zu %10.1f %12.1f %10.1f %10.1f\n", depth,
-                    r.wallMs, r.opsPerSec, r.p50Us, r.p99Us);
+        std::printf("%8zu %10.1f %12.1f %10.1f %10.1f %10.2f\n",
+                    depth, r.wallMs, r.opsPerSec, r.p50Us, r.p99Us,
+                    r.avgBatch);
     }
 
-    // Phase 2: the in-process baseline at the same depth.  Both
-    // sides of the ratio take the better of two runs — single short
-    // runs on a shared 1-core host jitter enough to flip the gate.
-    RunResult inproc = runInProcess(ops, kMaxDepth);
-    const RunResult inproc2 = runInProcess(ops, kMaxDepth);
+    // Phase 2: the in-process baseline at the same depth.  The ratio
+    // legs run 4x the ops of the sweep and take the better of two
+    // runs each -- short runs on a shared host jitter enough to flip
+    // any gate.
+    //
+    // The target is hardware-dependent and honest about it: with
+    // spare cores the wire turnaround (codec on both sides, two
+    // socket hops, the event loop) overlaps shard execution and must
+    // cost at most 15% (>= 0.85x).  On a single core nothing
+    // overlaps -- every wire byte is CPU the shard could have spent
+    // executing -- so the structural ceiling is exec/(exec+turnaround)
+    // and the gate drops to 0.50x.
+    const std::uint64_t ratioOps = ops * 4;
+    const bool singleCore = std::thread::hardware_concurrency() <= 1;
+    const double ratioTarget = singleCore ? 0.50 : 0.85;
+    RunResult inproc = runInProcess(ratioOps, kMaxDepth);
+    const RunResult inproc2 = runInProcess(ratioOps, kMaxDepth);
     if (inproc2.opsPerSec > inproc.opsPerSec)
         inproc = inproc2;
-    RunResult wire8 = sweep.back().second;
-    const RunResult wire8b = runOverWire(ops, kMaxDepth);
+    RunResult wire8 = runOverWire(ratioOps, kMaxDepth);
+    const RunResult wire8b = runOverWire(ratioOps, kMaxDepth);
     if (wire8b.opsPerSec > wire8.opsPerSec)
         wire8 = wire8b;
     const double ratio =
         inproc.opsPerSec > 0 ? wire8.opsPerSec / inproc.opsPerSec : 0;
-    std::printf("in-process depth-%zu: %.1f ops/s (p50 %.1f us)\n",
-                kMaxDepth, inproc.opsPerSec, inproc.p50Us);
-    std::printf("wire/in-process throughput ratio: %.2fx %s\n", ratio,
-                ratio >= 0.5 ? "(>= 0.5x target)"
-                             : "(BELOW 0.5x target)");
+    std::printf("in-process depth-%zu: %.1f ops/s (p50 %.1f us, "
+                "avg batch %.2f)\n",
+                kMaxDepth, inproc.opsPerSec, inproc.p50Us,
+                inproc.avgBatch);
+    std::printf("wire depth-%zu: %.1f ops/s (avg batch %.2f)\n",
+                kMaxDepth, wire8.opsPerSec, wire8.avgBatch);
+    std::printf("wire/in-process throughput ratio: %.2fx %s %.2fx "
+                "target%s)\n",
+                ratio, ratio >= ratioTarget ? "(>=" : "(BELOW",
+                ratioTarget,
+                singleCore ? ", single-core host" : "");
+
+    // Phase 2b: the service batch-size sweep at depth 8 -- how much
+    // of the wire rate the whole-read hand-off buys.
+    const RunResult wireB1 = runOverWire(ratioOps, kMaxDepth, 1);
+    std::printf("wire depth-%zu batchOps sweep: 1 -> %.1f ops/s, "
+                "32 -> %.1f ops/s\n",
+                kMaxDepth, wireB1.opsPerSec, wire8.opsPerSec);
 
     // Phase 3: disconnect chaos at depth 8.
     const std::uint64_t chaosOps = std::max<std::uint64_t>(ops / 2, 64);
@@ -543,10 +631,18 @@ main()
         .field("inproc_ops_per_sec", inproc.opsPerSec)
         .field("inproc_rtt_p50_us", inproc.p50Us)
         .field("inproc_rtt_p99_us", inproc.p99Us)
+        .field("inproc_avg_batch", inproc.avgBatch)
         .field("wire_ops_per_sec", wire8.opsPerSec)
+        .field("wire_avg_batch", wire8.avgBatch)
         .field("wire_ratio", ratio)
-        .field("ratio_target", 0.5)
-        .field("ratio_ok", ratio >= 0.5)
+        .field("single_core_host", singleCore)
+        .field("ratio_target", ratioTarget)
+        .field("ratio_ok", ratio >= ratioTarget)
+        .raw("wire_batch_sweep",
+             "[\n    {\"batch_ops\": 1, \"ops_per_sec\": " +
+                 std::to_string(wireB1.opsPerSec) +
+                 "},\n    {\"batch_ops\": 32, \"ops_per_sec\": " +
+                 std::to_string(wire8.opsPerSec) + "}\n  ]")
         .raw("chaos", chaosJson.str())
         .field("chaos_protocol_errors_ok",
                chaos.protocolErrors == 0 &&

@@ -8,17 +8,25 @@ namespace rime
 namespace
 {
 
-std::array<std::uint32_t, 256>
-makeCrcTable()
+using CrcTables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+CrcTables
+makeCrcTables()
 {
-    std::array<std::uint32_t, 256> table{};
+    CrcTables t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
         for (int k = 0; k < 8; ++k)
             c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
-        table[i] = c;
+        t[0][i] = c;
     }
-    return table;
+    // Slice-by-8 extension tables: t[k][i] is the CRC of byte i
+    // followed by k zero bytes, letting the hot loop fold 8 input
+    // bytes per iteration with 8 independent table lookups.
+    for (std::uint32_t i = 0; i < 256; ++i)
+        for (int k = 1; k < 8; ++k)
+            t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
+    return t;
 }
 
 } // namespace
@@ -26,10 +34,28 @@ makeCrcTable()
 std::uint32_t
 crc32(const std::uint8_t *data, std::size_t size)
 {
-    static const std::array<std::uint32_t, 256> table = makeCrcTable();
+    static const CrcTables t = makeCrcTables();
     std::uint32_t c = 0xFFFFFFFFu;
+    while (size >= 8) {
+        const std::uint32_t lo = c ^
+            (static_cast<std::uint32_t>(data[0]) |
+             (static_cast<std::uint32_t>(data[1]) << 8) |
+             (static_cast<std::uint32_t>(data[2]) << 16) |
+             (static_cast<std::uint32_t>(data[3]) << 24));
+        const std::uint32_t hi =
+            static_cast<std::uint32_t>(data[4]) |
+            (static_cast<std::uint32_t>(data[5]) << 8) |
+            (static_cast<std::uint32_t>(data[6]) << 16) |
+            (static_cast<std::uint32_t>(data[7]) << 24);
+        c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+            t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^
+            t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+            t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+        data += 8;
+        size -= 8;
+    }
     for (std::size_t i = 0; i < size; ++i)
-        c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+        c = t[0][(c ^ data[i]) & 0xFF] ^ (c >> 8);
     return c ^ 0xFFFFFFFFu;
 }
 
@@ -46,6 +72,20 @@ BitWriter::put(std::uint64_t value, unsigned width)
     }
     if (width < 64)
         value &= (1ULL << width) - 1;
+    if (spare_ == 0 && (width & 7) == 0) {
+        // Byte-aligned whole-byte write: append the value's bytes
+        // LSB-first, skipping the bit-assembly loop entirely.  The
+        // fixed-width putUxx calls and varints on an aligned stream
+        // (i.e. every journal/wire codec field) take this path.
+        std::uint8_t tmp[8];
+        const unsigned nbytes = width / 8;
+        for (unsigned i = 0; i < nbytes; ++i) {
+            tmp[i] = static_cast<std::uint8_t>(value);
+            value >>= 8;
+        }
+        bytes_.insert(bytes_.end(), tmp, tmp + nbytes);
+        return;
+    }
     unsigned left = width;
     while (left > 0) {
         if (spare_ == 0) {
@@ -113,6 +153,16 @@ BitReader::get(unsigned width)
         ok_ = false;
         bit_ = size_ * 8;
         return 0;
+    }
+    if ((bit_ & 7) == 0 && (width & 7) == 0) {
+        // Byte-aligned whole-byte read: mirror of the writer's fast
+        // path, assembling the value LSB-first straight from bytes.
+        const std::uint8_t *p = data_ + bit_ / 8;
+        std::uint64_t value = 0;
+        for (unsigned done = 0; done < width; done += 8)
+            value |= static_cast<std::uint64_t>(p[done / 8]) << done;
+        bit_ += width;
+        return value;
     }
     std::uint64_t value = 0;
     unsigned got = 0;
@@ -230,6 +280,7 @@ void
 appendFrame(std::vector<std::uint8_t> &out,
             const std::vector<std::uint8_t> &payload)
 {
+    out.reserve(out.size() + 8 + payload.size());
     putLE32(out, static_cast<std::uint32_t>(payload.size()));
     putLE32(out, crc32(payload.data(), payload.size()));
     out.insert(out.end(), payload.begin(), payload.end());

@@ -63,6 +63,9 @@ class BitWriter
     /** Pad with zero bits to the next byte boundary. */
     void align();
 
+    /** Pre-size the buffer for an encode of known rough size. */
+    void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
     /** True unless a bad width was requested. */
     bool ok() const { return ok_; }
 

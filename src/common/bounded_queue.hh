@@ -70,6 +70,34 @@ class BoundedQueue
     }
 
     /**
+     * Append as many items of `batch` (in order, from the front) as
+     * the remaining capacity takes, under one lock and with one
+     * consumer wakeup -- the batched submit path's single hand-off.
+     * Accepted items are moved from; the rejected suffix is left
+     * untouched for the caller to shed.
+     * @return how many items were enqueued (0 on a full/closed queue)
+     */
+    template <typename Container>
+    std::size_t
+    tryPushBatch(Container &batch)
+    {
+        std::size_t accepted = 0;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (closed_)
+                return 0;
+            while (accepted < batch.size() &&
+                   items_.size() < capacity_) {
+                items_.push_back(std::move(batch[accepted]));
+                ++accepted;
+            }
+        }
+        if (accepted > 0)
+            consumerCv_.notify_one();
+        return accepted;
+    }
+
+    /**
      * Append an item, waiting for space if the queue is full.  Only
      * for control messages that must not be droppable; returns false
      * only when the queue is closed.

@@ -1,6 +1,8 @@
 #include "fdio.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 
 #include <fcntl.h>
 #include <unistd.h>
@@ -12,6 +14,7 @@ namespace fdio_detail
 {
 
 WriteFn writeShim = &::write;
+WritevFn writevShim = &::writev;
 
 } // namespace fdio_detail
 
@@ -32,6 +35,43 @@ writeFully(int fd, const void *data, std::size_t size)
         // and retry -- a wedged fd eventually fails with an errno.
         p += n;
         left -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+bool
+writevFully(int fd, struct iovec *iov, int iovcnt)
+{
+    int at = 0;
+    while (at < iovcnt) {
+        // Skip buffers already fully consumed (or empty to begin
+        // with) so the kernel never sees zero-length entries.
+        if (iov[at].iov_len == 0) {
+            ++at;
+            continue;
+        }
+        // Chunk the vector to what one writev accepts; the outer loop
+        // resumes with the rest.
+        const int take_cnt =
+            std::min(iovcnt - at, static_cast<int>(IOV_MAX));
+        ssize_t n = fdio_detail::writevShim(fd, iov + at, take_cnt);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        // Consume `n` bytes across the entries, possibly stopping
+        // mid-buffer -- the next call resumes exactly there.
+        while (n > 0 && at < iovcnt) {
+            const std::size_t take = std::min(
+                static_cast<std::size_t>(n), iov[at].iov_len);
+            iov[at].iov_base =
+                static_cast<char *>(iov[at].iov_base) + take;
+            iov[at].iov_len -= take;
+            n -= static_cast<ssize_t>(take);
+            if (iov[at].iov_len == 0)
+                ++at;
+        }
     }
     return true;
 }

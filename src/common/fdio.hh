@@ -22,6 +22,7 @@
 #include <string>
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 namespace rime
 {
@@ -37,6 +38,11 @@ namespace fdio_detail
 using WriteFn = ssize_t (*)(int fd, const void *buf, std::size_t len);
 extern WriteFn writeShim;
 
+/** Overridable writev(2) entry point (same contract as writeShim). */
+using WritevFn = ssize_t (*)(int fd, const struct iovec *iov,
+                             int iovcnt);
+extern WritevFn writevShim;
+
 } // namespace fdio_detail
 
 /**
@@ -46,6 +52,16 @@ extern WriteFn writeShim;
  * fatal() -- the caller decides whether the fd is load-bearing.
  */
 bool writeFully(int fd, const void *data, std::size_t size);
+
+/**
+ * Scatter-gather variant of writeFully: ship every byte described by
+ * `iov[0..iovcnt)` with as few writev(2) calls as the kernel allows,
+ * resuming short writes (including ones that end mid-buffer) and
+ * retrying EINTR.  The iovec array is consumed and may be mutated;
+ * callers rebuild it per call.  Returns true when every byte landed;
+ * false on a real error (errno preserved).
+ */
+bool writevFully(int fd, struct iovec *iov, int iovcnt);
 
 /**
  * fsync the directory containing `path` (so a rename or create inside

@@ -203,6 +203,100 @@ RimeClient::submit(std::uint64_t session, service::Request req,
     return future;
 }
 
+std::vector<std::future<Response>>
+RimeClient::submitBatch(std::uint64_t session,
+                        std::vector<service::Request> reqs,
+                        std::function<void()> notify)
+{
+    std::vector<std::future<Response>> out;
+    out.reserve(reqs.size());
+    if (reqs.empty())
+        return out;
+
+    // Register every waiter under one lock, then frame every request
+    // back to back so a single write carries the whole burst.
+    std::vector<std::uint64_t> corrs;
+    corrs.reserve(reqs.size());
+    int fd = -1;
+    bool dead = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (fd_ < 0 || stopReader_.load(std::memory_order_acquire)) {
+            dead = true;
+        } else {
+            fd = fd_;
+            for (std::size_t i = 0; i < reqs.size(); ++i) {
+                const std::uint64_t corr = nextCorrId_.fetch_add(
+                    1, std::memory_order_relaxed);
+                std::promise<Response> promise;
+                out.push_back(promise.get_future());
+                pendingResponses_.emplace(
+                    corr,
+                    PendingResponse{std::move(promise), notify});
+                corrs.push_back(corr);
+            }
+        }
+    }
+    if (dead) {
+        transportErrors_.fetch_add(reqs.size(),
+                                   std::memory_order_relaxed);
+        for (std::size_t i = 0; i < reqs.size(); ++i) {
+            out.push_back(readyClosed());
+            if (notify)
+                notify(); // the future is already ready
+        }
+        return out;
+    }
+
+    std::vector<std::vector<std::uint8_t>> frames;
+    frames.reserve(reqs.size());
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        wire::Message msg;
+        msg.kind = wire::MessageKind::Request;
+        msg.corrId = corrs[i];
+        msg.sessionId = session;
+        msg.req = std::move(reqs[i]);
+        frames.emplace_back();
+        wire::encodeMessage(frames.back(), msg);
+    }
+    std::vector<struct iovec> iov(frames.size());
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        iov[i].iov_base = frames[i].data();
+        iov[i].iov_len = frames[i].size();
+    }
+    bool sent;
+    {
+        std::lock_guard<std::mutex> lock(sendMutex_);
+        sent = writevFully(fd, iov.data(),
+                           static_cast<int>(iov.size()));
+    }
+    if (!sent) {
+        // Withdraw whichever waiters the reader has not already
+        // completed and fail them in place.
+        std::vector<PendingResponse> orphans;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (const std::uint64_t corr : corrs) {
+                auto it = pendingResponses_.find(corr);
+                if (it == pendingResponses_.end())
+                    continue;
+                orphans.push_back(std::move(it->second));
+                pendingResponses_.erase(it);
+            }
+        }
+        transportErrors_.fetch_add(orphans.size(),
+                                   std::memory_order_relaxed);
+        for (auto &orphan : orphans) {
+            Response r;
+            r.status = ServiceStatus::Closed;
+            orphan.promise.set_value(std::move(r));
+            if (orphan.notify)
+                orphan.notify();
+        }
+    }
+    return out;
+}
+
 bool
 RimeClient::adminCall(wire::Message &msg,
                       wire::MessageKind expect_kind,
@@ -499,6 +593,7 @@ RimeClient::readerLoop(int fd)
         last_data = std::chrono::steady_clock::now();
 
         std::size_t offset = 0;
+        std::vector<wire::Message> sweep;
         while (true) {
             std::vector<std::uint8_t> payload;
             const FrameStatus status =
@@ -524,8 +619,17 @@ RimeClient::readerLoop(int fd)
                 dead = true;
                 break;
             }
-            dispatch(std::move(msg));
+            sweep.push_back(std::move(msg));
         }
+        // Dispatch the sweep newest-first.  A pipelining caller
+        // blocks on its *oldest* in-flight future; completing that
+        // one last means that by the time its waiter can run, every
+        // response that shared the read is already fulfilled, and the
+        // caller drains the group whole (its next submit is then a
+        // whole batch too).  The messages are independent promises,
+        // so completion order within one read carries no meaning.
+        for (auto it = sweep.rbegin(); it != sweep.rend(); ++it)
+            dispatch(std::move(*it));
         if (offset > 0) {
             in.erase(in.begin(),
                      in.begin() + static_cast<std::ptrdiff_t>(offset));

@@ -153,6 +153,19 @@ class RimeClient
                                           service::Request req,
                                           std::function<void()> notify);
 
+    /**
+     * Pipeline several requests on `session` with one socket write:
+     * every frame is encoded back to back and shipped with a single
+     * writeFully, so the server's reader sees (and hands the shard)
+     * the whole burst at once.  Returns one future per request in
+     * request order; `notify` (optional) is installed on each, with
+     * submit(notify)'s semantics.  On a dead connection or send
+     * failure every returned future is already (or becomes) Closed.
+     */
+    std::vector<std::future<service::Response>> submitBatch(
+        std::uint64_t session, std::vector<service::Request> reqs,
+        std::function<void()> notify = nullptr);
+
     /** submit + wait. */
     service::Response
     call(std::uint64_t session, service::Request req)

@@ -32,6 +32,9 @@ WakePipe::wake()
 {
     if (writeFd_ < 0)
         return;
+    // Already armed: a byte is in the pipe and the loop will run.
+    if (armed_.exchange(true, std::memory_order_acq_rel))
+        return;
     const char byte = 1;
     // EAGAIN (pipe full) means a wake is already pending; EINTR is
     // retried by the next waker.  Either way the loop will run.
@@ -43,6 +46,10 @@ WakePipe::drain()
 {
     if (readFd_ < 0)
         return;
+    // Disarm before reading: a waker racing past this point writes a
+    // fresh byte for the *next* poll round, which at worst means one
+    // spurious wakeup -- never a lost one.
+    armed_.store(false, std::memory_order_release);
     char buf[256];
     while (::read(readFd_, buf, sizeof(buf)) > 0) {
     }

@@ -13,6 +13,7 @@
 #ifndef RIME_NET_POLLER_HH
 #define RIME_NET_POLLER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -38,7 +39,12 @@ class WakePipe
     bool ok() const { return readFd_ >= 0; }
     int readFd() const { return readFd_; }
 
-    /** Make readFd() readable.  Async-signal- and thread-safe. */
+    /**
+     * Make readFd() readable.  Async-signal- and thread-safe.  Wakes
+     * coalesce: once one is pending and not yet drained, further
+     * calls are a single atomic load -- a shard completing a whole
+     * batch of futures costs one pipe write, not one per future.
+     */
     void wake();
 
     /** Consume every pending wake byte (event-loop side). */
@@ -47,6 +53,8 @@ class WakePipe
   private:
     int readFd_ = -1;
     int writeFd_ = -1;
+    /** True while a wake byte is (or may be) in flight. */
+    std::atomic<bool> armed_{false};
 };
 
 /**

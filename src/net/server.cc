@@ -5,6 +5,7 @@
 #include <utility>
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -22,6 +23,9 @@ namespace
 
 /** Stop parsing a connection whose peer streams garbage unframed. */
 constexpr std::size_t kMaxBufferedBytes = 64u << 20;
+
+/** Frames gathered per sendmsg (well under any IOV_MAX). */
+constexpr int kMaxFlushIov = 64;
 
 } // namespace
 
@@ -163,7 +167,7 @@ RimeServer::loop()
                 notice.kind = wire::MessageKind::Error;
                 notice.error = wire::WireError::Shutdown;
                 notice.text = "server draining; re-home sessions";
-                wire::encodeMessage(conn.out, notice);
+                queueFrame(conn, notice);
             }
         }
 
@@ -193,8 +197,7 @@ RimeServer::loop()
         for (std::size_t i = 0; i < connections_.size(); ++i) {
             const Connection &c = *connections_[i];
             conn_slots[i] = poller_.add(
-                c.fd, !c.closing,
-                c.outOffset < c.out.size());
+                c.fd, !c.closing, !c.out.empty());
         }
 
         // The wake pipe breaks this wait the instant any controller
@@ -312,7 +315,54 @@ RimeServer::handleReadable(Connection &conn)
         conn.in.erase(conn.in.begin(),
                       conn.in.begin() +
                           static_cast<std::ptrdiff_t>(offset));
+    // Whatever Request tail the sweep accumulated goes to the shard
+    // as one hand-off: one queue lock, one controller wakeup.
+    flushRequestBatch(conn);
     return true;
+}
+
+void
+RimeServer::queueFrame(Connection &conn, const wire::Message &msg)
+{
+    std::vector<std::uint8_t> frame;
+    wire::encodeMessage(frame, msg);
+    conn.out.push_back(std::move(frame));
+}
+
+void
+RimeServer::flushRequestBatch(Connection &conn)
+{
+    if (conn.batchReqs.empty())
+        return;
+    auto it = conn.sessions.find(conn.batchSessionId);
+    if (it == conn.sessions.end()) {
+        // The session vanished between queueing and flushing (only a
+        // control message can do that, and those flush first) -- drop
+        // the batch; the connection is failing anyway.
+        conn.batchReqs.clear();
+        conn.batchCorrIds.clear();
+        return;
+    }
+    // The notify hook fires on the controller thread the moment each
+    // response is ready; the shared_ptr keeps the pipe alive past
+    // server teardown (the service drains its tail late).
+    std::shared_ptr<WakePipe> wake = wake_;
+    if (conn.batchReqs.size() == 1) {
+        auto future = it->second->submit(
+            std::move(conn.batchReqs.front()),
+            [wake] { wake->wake(); });
+        conn.inFlight.push_back(Connection::InFlight{
+            conn.batchCorrIds.front(), std::move(future)});
+    } else {
+        auto futures = it->second->submitBatch(
+            std::move(conn.batchReqs), [wake] { wake->wake(); });
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            conn.inFlight.push_back(Connection::InFlight{
+                conn.batchCorrIds[i], std::move(futures[i])});
+        }
+    }
+    conn.batchReqs.clear();
+    conn.batchCorrIds.clear();
 }
 
 void
@@ -326,7 +376,7 @@ RimeServer::failConnection(Connection &conn, std::uint64_t corr_id,
     err.corrId = corr_id;
     err.error = error;
     err.text = why;
-    wire::encodeMessage(conn.out, err);
+    queueFrame(conn, err);
     conn.closing = true;
 }
 
@@ -357,9 +407,14 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
         welcome.kind = wire::MessageKind::Welcome;
         welcome.corrId = msg.corrId;
         welcome.shards = service_.shards();
-        wire::encodeMessage(conn.out, welcome);
+        queueFrame(conn, welcome);
         return;
     }
+
+    // Ordering barrier: a control/admin message must observe every
+    // Request queued before it as already submitted.
+    if (msg.kind != wire::MessageKind::Request)
+        flushRequestBatch(conn);
 
     switch (msg.kind) {
       case wire::MessageKind::OpenSession: {
@@ -376,7 +431,7 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
         opened.resumeToken =
             wire::resumeToken(session->id(), session->tenant());
         conn.sessions.emplace(session->id(), std::move(session));
-        wire::encodeMessage(conn.out, opened);
+        queueFrame(conn, opened);
         return;
       }
       case wire::MessageKind::ResumeSession: {
@@ -398,7 +453,7 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
                                   std::move(it->second.session));
             parked_.erase(it);
         }
-        wire::encodeMessage(conn.out, opened);
+        queueFrame(conn, opened);
         return;
       }
       case wire::MessageKind::DrainSession: {
@@ -430,7 +485,7 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
             conn.sessions.erase(msg.sessionId);
             parked_.erase(msg.sessionId);
         }
-        wire::encodeMessage(conn.out, reply);
+        queueFrame(conn, reply);
         return;
       }
       case wire::MessageKind::InstallSession: {
@@ -448,7 +503,7 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
                 wire::resumeToken(session->id(), session->tenant());
             conn.sessions.emplace(session->id(), std::move(session));
         }
-        wire::encodeMessage(conn.out, opened);
+        queueFrame(conn, opened);
         return;
       }
       case wire::MessageKind::CloseSession: {
@@ -465,26 +520,28 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
         ack.kind = wire::MessageKind::Response;
         ack.corrId = msg.corrId;
         ack.resp.status = ServiceStatus::Ok;
-        wire::encodeMessage(conn.out, ack);
+        queueFrame(conn, ack);
         return;
       }
       case wire::MessageKind::Request: {
         auto it = conn.sessions.find(msg.sessionId);
         if (it == conn.sessions.end()) {
+            flushRequestBatch(conn);
             failConnection(conn, msg.corrId,
                            wire::WireError::UnknownSession,
                            "request on unknown session");
             return;
         }
         served_.fetch_add(1, std::memory_order_relaxed);
-        // The notify hook fires on the controller thread the moment
-        // the response is ready; the shared_ptr keeps the pipe alive
-        // past server teardown (the service drains its tail late).
-        std::shared_ptr<WakePipe> wake = wake_;
-        auto future = it->second->submit(
-            std::move(msg.req), [wake] { wake->wake(); });
-        conn.inFlight.push_back(
-            Connection::InFlight{msg.corrId, std::move(future)});
+        // Accumulate; a different session breaks the run (order across
+        // sessions on one connection is still submission order).
+        if (!conn.batchReqs.empty() &&
+            conn.batchSessionId != msg.sessionId) {
+            flushRequestBatch(conn);
+        }
+        conn.batchSessionId = msg.sessionId;
+        conn.batchCorrIds.push_back(msg.corrId);
+        conn.batchReqs.push_back(std::move(msg.req));
         return;
       }
       case wire::MessageKind::Start: {
@@ -493,7 +550,7 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
         ack.kind = wire::MessageKind::Response;
         ack.corrId = msg.corrId;
         ack.resp.status = ServiceStatus::Ok;
-        wire::encodeMessage(conn.out, ack);
+        queueFrame(conn, ack);
         return;
       }
       case wire::MessageKind::StatDump: {
@@ -501,7 +558,7 @@ RimeServer::handleMessage(Connection &conn, wire::Message &&msg)
         reply.kind = wire::MessageKind::StatDumpReply;
         reply.corrId = msg.corrId;
         reply.text = service_.statDumpJson(msg.includeHost);
-        wire::encodeMessage(conn.out, reply);
+        queueFrame(conn, reply);
         return;
       }
       default:
@@ -528,7 +585,7 @@ RimeServer::pumpCompletions(Connection &conn)
         reply.kind = wire::MessageKind::Response;
         reply.corrId = it->corrId;
         reply.resp = it->future.get();
-        wire::encodeMessage(conn.out, reply);
+        queueFrame(conn, reply);
         it = conn.inFlight.erase(it);
     }
 }
@@ -536,10 +593,26 @@ RimeServer::pumpCompletions(Connection &conn)
 bool
 RimeServer::flush(Connection &conn)
 {
-    while (conn.outOffset < conn.out.size()) {
-        const ssize_t n = ::send(
-            conn.fd, conn.out.data() + conn.outOffset,
-            conn.out.size() - conn.outOffset, MSG_NOSIGNAL);
+    while (!conn.out.empty()) {
+        // Gather the queued frames into one vectored send: every
+        // response that completed in this poll iteration leaves in a
+        // single syscall (and typically one TCP segment).
+        struct iovec iov[kMaxFlushIov];
+        int iovcnt = 0;
+        for (const auto &frame : conn.out) {
+            if (iovcnt == kMaxFlushIov)
+                break;
+            const std::size_t skip =
+                iovcnt == 0 ? conn.outOffset : 0;
+            iov[iovcnt].iov_base =
+                const_cast<std::uint8_t *>(frame.data()) + skip;
+            iov[iovcnt].iov_len = frame.size() - skip;
+            ++iovcnt;
+        }
+        struct msghdr mh{};
+        mh.msg_iov = iov;
+        mh.msg_iovlen = static_cast<decltype(mh.msg_iovlen)>(iovcnt);
+        const ssize_t n = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -547,16 +620,26 @@ RimeServer::flush(Connection &conn)
                 break; // POLLOUT will resume this
             return false;
         }
-        conn.outOffset += static_cast<std::size_t>(n);
+        // Consume the sent bytes frame by frame; a short write parks
+        // mid-frame and resumes from outOffset.
+        std::size_t left = static_cast<std::size_t>(n);
+        while (left > 0) {
+            const std::size_t remain =
+                conn.out.front().size() - conn.outOffset;
+            if (left >= remain) {
+                left -= remain;
+                conn.out.pop_front();
+                conn.outOffset = 0;
+            } else {
+                conn.outOffset += left;
+                left = 0;
+            }
+        }
     }
-    if (conn.outOffset == conn.out.size()) {
-        conn.out.clear();
-        conn.outOffset = 0;
-        // A failed connection lingers only until its Error message is
-        // on the wire.
-        if (conn.closing)
-            return false;
-    }
+    // A failed connection lingers only until its Error message is on
+    // the wire.
+    if (conn.out.empty() && conn.closing)
+        return false;
     return true;
 }
 
@@ -571,6 +654,8 @@ RimeServer::closeConnection(Connection &conn)
     // shared state alive); closing the sessions frees everything the
     // remote tenant still held, exactly like an in-process close.
     conn.inFlight.clear();
+    conn.batchReqs.clear();
+    conn.batchCorrIds.clear();
     if (config_.resumeGraceMs > 0 &&
         running_.load(std::memory_order_acquire)) {
         // Resumption: park the sessions for the grace period instead.

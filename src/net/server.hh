@@ -15,8 +15,20 @@
  * that fires on the controller thread the instant the future is
  * fulfilled and nudges the loop through a self-pipe (WakePipe).  The
  * loop then sweeps each connection's in-flight queue, encodes every
- * ready Response, and writes it out (partial socket writes are parked
- * in a per-connection send buffer and drained on POLLOUT).
+ * ready Response as its own frame, and ships all frames queued on a
+ * connection with one vectored send (sendmsg/writev) per poll
+ * iteration -- group completions leave as one syscall and typically
+ * one TCP segment.  Partial writes park mid-frame and drain on
+ * POLLOUT.
+ *
+ * The read side batches symmetrically: consecutive Request frames
+ * decoded from one read burst that target the same session are handed
+ * to the shard as ONE Session::submitBatch call -- one queue lock,
+ * one controller wakeup for the whole burst, which is what lets the
+ * shard's group commit amortize its journal fsync across them.  Any
+ * non-Request message (or a Request for a different session) first
+ * flushes the pending batch, so cross-message ordering on a
+ * connection is exactly submission order.
  *
  * Sessions are connection-scoped: OpenSession binds a RimeService
  * session to the connection, and a disconnect (or protocol error)
@@ -137,8 +149,13 @@ class RimeServer
         int fd = -1;
         /** Received, not yet parsed. */
         std::vector<std::uint8_t> in;
-        /** Encoded, not yet sent (from `outOffset`). */
-        std::vector<std::uint8_t> out;
+        /**
+         * Encoded frames not yet sent, one buffer per wire frame --
+         * flush() gathers them into a single vectored send.  The
+         * front frame is partially sent when `outOffset` > 0.
+         */
+        std::deque<std::vector<std::uint8_t>> out;
+        /** Bytes of out.front() already on the wire. */
         std::size_t outOffset = 0;
         /** Hello validated; anything else first is a BadMessage. */
         bool greeted = false;
@@ -155,6 +172,16 @@ class RimeServer
         };
         /** Submitted requests whose Response is still due. */
         std::deque<InFlight> inFlight;
+
+        /**
+         * Consecutive inbound Requests (all on `batchSessionId`)
+         * accumulated during one parse sweep, awaiting a single
+         * submitBatch hand-off.  Flushed before any other message
+         * kind is handled and at the end of every sweep.
+         */
+        std::uint64_t batchSessionId = 0;
+        std::vector<std::uint64_t> batchCorrIds;
+        std::vector<service::Request> batchReqs;
     };
 
     /** A disconnected client's session awaiting ResumeSession. */
@@ -170,12 +197,17 @@ class RimeServer
     /** Read + parse + dispatch; false when the connection died. */
     bool handleReadable(Connection &conn);
     void handleMessage(Connection &conn, service::wire::Message &&msg);
+    /** Encode `msg` as one frame onto the connection's send queue. */
+    static void queueFrame(Connection &conn,
+                           const service::wire::Message &msg);
+    /** Hand the accumulated Request batch to its shard (one submit). */
+    void flushRequestBatch(Connection &conn);
     /** Queue an Error message and start closing the connection. */
     void failConnection(Connection &conn, std::uint64_t corr_id,
                         service::wire::WireError error, const std::string &why);
-    /** Encode every ready future of `conn` into its send buffer. */
+    /** Encode every ready future of `conn` into its send queue. */
     void pumpCompletions(Connection &conn);
-    /** Non-blocking send of the buffered bytes; false = conn died. */
+    /** Vectored non-blocking send of queued frames; false = died. */
     bool flush(Connection &conn);
     void closeConnection(Connection &conn);
 

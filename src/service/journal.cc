@@ -337,7 +337,10 @@ JournalWriter::open(const std::string &path, bool fsync_every_append)
         // The file itself is durable only once its *directory entry*
         // is: a first-time create needs the parent dir synced too.
         if (fsync_) {
-            ::fsync(fd_);
+            if (::fsync(fd_) != 0) {
+                fatal("cannot fsync new journal '%s': %s",
+                      path.c_str(), std::strerror(errno));
+            }
             if (!fsyncParentDir(path)) {
                 fatal("cannot fsync journal directory of '%s': %s",
                       path.c_str(), std::strerror(errno));
@@ -347,8 +350,8 @@ JournalWriter::open(const std::string &path, bool fsync_every_append)
 }
 
 void
-JournalWriter::append(std::uint64_t seq,
-                      const std::vector<std::uint8_t> &payload)
+JournalWriter::bufferAppend(std::uint64_t seq,
+                            const std::vector<std::uint8_t> &payload)
 {
     // A closed/never-opened journal must not silently drop the
     // record: that would leave committed ops outside the journaled
@@ -359,23 +362,58 @@ JournalWriter::append(std::uint64_t seq,
               "committed ops would not be recoverable",
               static_cast<unsigned long long>(seq));
     }
-    std::vector<std::uint8_t> framed;
-    appendFrame(framed, payload);
+    appendFrame(batch_, payload);
+    batchLastSeq_ = seq;
+}
+
+void
+JournalWriter::commitBatch()
+{
+    if (batch_.empty())
+        return;
+    if (fd_ < 0) {
+        fatal("journal commit (through seq %llu) with no open "
+              "journal: committed ops would not be recoverable",
+              static_cast<unsigned long long>(batchLastSeq_));
+    }
     crashPoint("journal-append");
-    if (!writeFully(fd_, framed.data(), framed.size())) {
-        fatal("journal append failed (%zu bytes): %s", framed.size(),
+    if (!writeFully(fd_, batch_.data(), batch_.size())) {
+        fatal("journal append failed (%zu bytes): %s", batch_.size(),
               std::strerror(errno));
     }
     crashPoint("journal-flush");
-    if (fsync_)
-        ::fsync(fd_);
-    crashAtSeq(seq);
+    // A failed fsync means the kernel could not promise durability;
+    // carrying on would acknowledge ops that may not survive power
+    // loss, so it is as fatal as a short write.
+    if (fsync_ && ::fsync(fd_) != 0) {
+        fatal("journal fsync failed (through seq %llu): %s",
+              static_cast<unsigned long long>(batchLastSeq_),
+              std::strerror(errno));
+    }
+    crashPoint("batch-commit");
+    const std::uint64_t last = batchLastSeq_;
+    batch_.clear();
+    batchLastSeq_ = 0;
+    crashAtSeq(last);
+}
+
+void
+JournalWriter::append(std::uint64_t seq,
+                      const std::vector<std::uint8_t> &payload)
+{
+    bufferAppend(seq, payload);
+    commitBatch();
 }
 
 void
 JournalWriter::close()
 {
     if (fd_ >= 0) {
+        // Never drop buffered records on the floor: a batch still
+        // pending at close commits first (its futures were not
+        // acknowledged, but the shutdown path may complete them
+        // right after).
+        commitBatch();
         ::close(fd_);
         fd_ = -1;
     }
@@ -455,7 +493,13 @@ writeSnapshotFile(const std::string &path,
         fatal("snapshot write failed '%s': %s", tmp.c_str(),
               std::strerror(errno));
     }
-    ::fsync(fd);
+    // An unsynced snapshot that the rename then publishes could be
+    // read back torn after a power cut; a failed fsync is fatal here
+    // for the same reason it is on the journal path.
+    if (::fsync(fd) != 0) {
+        fatal("snapshot fsync failed '%s': %s", tmp.c_str(),
+              std::strerror(errno));
+    }
     ::close(fd);
     crashPoint("snapshot-written");
     if (::rename(tmp.c_str(), path.c_str()) != 0) {

@@ -32,9 +32,19 @@
  * installs it on a healthy peer (journaled on both sides, so a crash
  * during the hand-off recovers consistently).
  *
+ * Group commit: records are *buffered* with bufferAppend() and made
+ * durable by commitBatch(), which ships every buffered frame in one
+ * write and (when fsync is on) one fsync -- the classic WAL
+ * amortization.  No future is completed before its record's batch
+ * committed, so the WAL invariant holds at batch granularity: a crash
+ * before the batch fsync loses only never-acknowledged ops, and a
+ * torn batch tail truncates at recovery like any torn frame.
+ *
  * Deterministic chaos hooks: RIME_CRASH_POINT=<name>:<n> raises
  * SIGKILL at the n-th hit of a named kill point (journal-create,
- * journal-append, journal-flush, snapshot-begin, snapshot-written,
+ * journal-append -- before the batch write -- journal-flush -- after
+ * the write, before the fsync -- batch-commit -- after the fsync,
+ * before any future completes -- snapshot-begin, snapshot-written,
  * snapshot-renamed -- after rename, before the directory fsync --
  * snapshot-done) and
  * RIME_CRASH_AT_SEQ=<n> kills at journal sequence n, so the recovery
@@ -179,9 +189,9 @@ bool decodeSessionImage(const std::vector<std::uint8_t> &payload,
 /**
  * Append-only journal file handle.  Controller-thread-only: appends
  * happen inside the serve path, between execute and the promise.
- * Each append is one write() of a complete frame, so a kill between
- * appends loses nothing and a kill mid-append leaves a detectable
- * torn tail.
+ * A commit writes every buffered frame with one write(), so a kill
+ * between commits loses nothing and a kill mid-commit leaves a
+ * detectable torn tail (truncated at recovery).
  */
 class JournalWriter
 {
@@ -197,7 +207,28 @@ class JournalWriter
 
     bool active() const { return fd_ >= 0; }
 
-    /** Frame + append one record payload; hits the crash points. */
+    /**
+     * Frame one record payload into the pending batch.  Nothing
+     * touches the file until commitBatch(); callers must not
+     * acknowledge the op before the batch commits.
+     */
+    void bufferAppend(std::uint64_t seq,
+                      const std::vector<std::uint8_t> &payload);
+
+    /**
+     * Group commit: ship every buffered frame with one write and --
+     * when fsync-on-append is configured -- one checked fsync, then
+     * hit the batch-commit crash point.  No-op on an empty batch.
+     */
+    void commitBatch();
+
+    /** Records buffered but not yet committed. */
+    bool batchPending() const { return !batch_.empty(); }
+
+    /** An open journal fsyncs on every commit (durability pricing). */
+    bool fsyncEnabled() const { return active() && fsync_; }
+
+    /** bufferAppend + commitBatch: the one-record convenience. */
     void append(std::uint64_t seq,
                 const std::vector<std::uint8_t> &payload);
 
@@ -206,6 +237,10 @@ class JournalWriter
   private:
     int fd_ = -1;
     bool fsync_ = false;
+    /** Framed records awaiting the next commitBatch(). */
+    std::vector<std::uint8_t> batch_;
+    /** Highest seq in the pending batch (for RIME_CRASH_AT_SEQ). */
+    std::uint64_t batchLastSeq_ = 0;
 };
 
 /** Result of scanning a journal file. */

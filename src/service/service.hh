@@ -87,6 +87,17 @@ class Session
     std::future<Response> submit(Request req,
                                  std::function<void()> notify);
 
+    /**
+     * Submit several requests with one shard queue lock and one
+     * controller wakeup (the wire server's whole-read hand-off).
+     * Returns one future per request, in request order; shed entries
+     * (quota, backpressure, closed) are already ready, and -- as with
+     * submit(notify) -- their `notify` is NOT invoked.  The same
+     * `notify` hook is installed on every accepted request.
+     */
+    std::vector<std::future<Response>> submitBatch(
+        std::vector<Request> reqs, std::function<void()> notify);
+
     /** submit + wait: the synchronous convenience form. */
     Response call(Request req) { return submit(std::move(req)).get(); }
 

@@ -53,6 +53,15 @@ complete(SessionState::Pending &pending, Response &&r)
         notify();
 }
 
+/** Clamp nonsense knob values once, at construction. */
+SchedulerConfig
+normalized(SchedulerConfig config)
+{
+    if (config.batchOps == 0)
+        config.batchOps = 1;
+    return config;
+}
+
 ServiceStatus
 fromRimeStatus(RimeStatus status)
 {
@@ -145,7 +154,7 @@ ShardController::ShardController(unsigned index,
                                  const LibraryConfig &library,
                                  const SchedulerConfig &scheduler,
                                  ShardDurability durability)
-    : index_(index), config_(scheduler),
+    : index_(index), config_(normalized(scheduler)),
       durability_(std::move(durability)), lib_(library),
       inbox_(scheduler.queueCapacity),
       stats_("shard." + std::to_string(index))
@@ -212,6 +221,19 @@ ShardController::submitData(Pending &&pending)
     return true;
 }
 
+std::size_t
+ShardController::submitDataBatch(std::vector<Pending> &batch)
+{
+    const std::size_t accepted = inbox_.tryPushBatch(batch);
+    if (accepted > 0)
+        inboxDepth_.fetch_add(accepted, std::memory_order_relaxed);
+    if (accepted < batch.size()) {
+        rejectedBackpressure_.fetch_add(batch.size() - accepted,
+                                        std::memory_order_relaxed);
+    }
+    return accepted;
+}
+
 bool
 ShardController::submitControl(Pending &&pending)
 {
@@ -265,6 +287,10 @@ ShardController::controllerLoop()
     while (true) {
         drainInbox();
         if (!anyPendingWork()) {
+            // About to block: commit the deferred batch first, or a
+            // closed-loop client waiting on a withheld future would
+            // never submit the work this pop is waiting for.
+            flushBatch();
             // Idle: block for the next submission (or shutdown).
             auto next = inbox_.pop();
             if (!next)
@@ -311,8 +337,10 @@ ShardController::route(Pending &&pending)
     if (pending.control == Pending::Control::Install) {
         // Served inline: the sweep skips migrated-away sessions, and
         // the install is exactly what revives this one.  Same thread
-        // as serveHead, so only the stat lock is due.
+        // as serveHead, so only the stat lock is due.  The deferred
+        // batch commits first so completions stay in serve order.
         std::lock_guard<std::mutex> stats_lock(statsMutex_);
+        flushBatchLocked();
         installSession(s, pending);
         return;
     }
@@ -351,9 +379,17 @@ ShardController::waitFor(SessionState &s)
     while (s.fifo.empty()) {
         if (s.closed || s.migratedAway)
             return false;
-        auto pending = inbox_.pop();
-        if (!pending)
-            return false; // service stopping
+        auto pending = inbox_.tryPop();
+        if (!pending) {
+            // About to block for this session's next request: commit
+            // the deferred batch so its closed-loop client (and every
+            // other tenant in the round) can observe completions and
+            // keep the lockstep pipeline moving.
+            flushBatch();
+            pending = inbox_.pop();
+            if (!pending)
+                return false; // service stopping
+        }
         inboxDepth_.fetch_sub(1, std::memory_order_relaxed);
         route(std::move(*pending));
     }
@@ -413,10 +449,14 @@ ShardController::serveHead(SessionState &s, unsigned budget)
     Pending head = std::move(s.fifo.front());
     s.fifo.pop_front();
     if (head.control == Pending::Control::Close) {
+        // Controls complete their own futures inline; the deferred
+        // data ops ahead of them must commit and complete first.
+        flushBatchLocked();
         closeSession(s, head);
         return 1;
     }
     if (head.control == Pending::Control::Drain) {
+        flushBatchLocked();
         drainSession(s, head);
         return 1;
     }
@@ -432,8 +472,20 @@ ShardController::serveHead(SessionState &s, unsigned budget)
         const RequestKind kind = batch.front().req.kind;
         const Addr start = batch.front().req.start;
         const Addr end = batch.front().req.end;
-        const std::size_t cap =
-            std::min<std::size_t>(budget, config_.maxBatch);
+        // Work-conserving mode widens the window past the round
+        // budget up to the group-commit batch: a drained batch of
+        // same-range extractions rides one envelope instead of one
+        // per sweep.  Lockstep keeps the budget cap -- a round must
+        // serve exactly the requests it waited for, or the device
+        // order would depend on client pipelining instead of the
+        // session scripts.
+        std::size_t cap = std::min<std::size_t>(budget,
+                                                config_.maxBatch);
+        if (!config_.deterministic) {
+            cap = std::min<std::size_t>(
+                std::max<std::size_t>(cap, config_.batchOps),
+                config_.maxBatch);
+        }
         while (batch.size() < cap && !s.fifo.empty()) {
             const Pending &next = s.fifo.front();
             if (next.control != Pending::Control::Data ||
@@ -483,14 +535,88 @@ ShardController::serveOne(SessionState &s, Pending &pending)
     // Write-ahead discipline: the op reaches the journal before the
     // client can observe its completion, so every committed op is
     // journaled (the converse -- journaled but never acknowledged --
-    // is resolved at recovery; see test_recovery.cc).
+    // is resolved at recovery; see test_recovery.cc).  With a journal
+    // the record is only *buffered* here and the future withheld: the
+    // group commit makes the batch durable and completes them in
+    // serve order (the quota slot is released there too, just before
+    // each completion).
     journalOp(s, pending.req, r);
+    if (!replaying_) {
+        // Withhold the completion (journal or not): completions then
+        // land in clusters at the flush points, which is what lets
+        // the wire tier ship a whole group of responses as one
+        // vectored write and the client refill with one batched
+        // submit.  With a journal the same flush is the group commit.
+        deferred_.push_back({std::move(pending), std::move(r)});
+        if (deferred_.size() >= config_.batchOps)
+            flushBatchLocked();
+        return;
+    }
 
     // Drop the in-flight slot *before* completing the future: a
     // closed-loop client may resubmit the instant it observes the
     // completion, and must find its quota slot free.
     s.inFlight.fetch_sub(1, std::memory_order_release);
     complete(pending, std::move(r));
+}
+
+void
+ShardController::flushBatch()
+{
+    if (deferred_.empty() && !journal_.batchPending())
+        return;
+    std::lock_guard<std::mutex> lock(statsMutex_);
+    flushBatchLocked();
+}
+
+void
+ShardController::flushBatchLocked()
+{
+    if (deferred_.empty() && !journal_.batchPending())
+        return;
+    // One write + one fsync covers the whole batch (group commit);
+    // crashing before this line loses only never-acknowledged ops.
+    journal_.commitBatch();
+    if (!deferred_.empty()) {
+        // Realized batch sizes depend on client pipelining and host
+        // timing, so the counters are Host-suffixed (excluded from
+        // deterministic dumps).
+        stats_.inc("groupCommitsHost");
+        stats_.hist("commitBatchOpsHost")
+            .record(static_cast<double>(deferred_.size()));
+    }
+    // Fulfil every future first, then fire the notifies.  A notify
+    // wakes the wire server's event loop, and on a loaded (or single
+    // core) host the scheduler may preempt this thread for the woken
+    // one right there: notifying per completion would let the loop
+    // harvest a one-response dribble and the group the batch was
+    // built for fragments back to singles.  With the split, whoever
+    // wakes finds the whole batch ready.
+    std::vector<std::function<void()>> notifies;
+    notifies.reserve(deferred_.size());
+    for (auto &d : deferred_) {
+        // Slot before future, as in the undeferred path: a
+        // closed-loop client resubmits the instant it observes the
+        // completion and must find its quota slot free.
+        d.pending.session->inFlight.fetch_sub(
+            1, std::memory_order_release);
+        if (d.pending.notify)
+            notifies.push_back(std::move(d.pending.notify));
+    }
+    // Fulfil newest-first: a pipelining caller blocks on its oldest
+    // future, so completing that one last means its waiter -- which
+    // may preempt this thread the instant it becomes runnable --
+    // finds the whole batch ready and drains (then resubmits) it as
+    // a group.  Within one commit the promises are independent, so
+    // the order carries no meaning.
+    for (auto it = deferred_.rbegin(); it != deferred_.rend(); ++it)
+        it->pending.promise.set_value(std::move(it->response));
+    deferred_.clear();
+    for (const auto &notify : notifies)
+        notify();
+    // Snapshots cover only committed sequences, so the cadence check
+    // runs at commit time, not per buffered record.
+    maybeSnapshot();
 }
 
 Response
@@ -753,6 +879,7 @@ ShardController::closeSession(SessionState &s, Pending &pending)
         rec.kind = JournalRecordKind::SessionClose;
         rec.sessionId = s.id;
         appendRecord(rec);
+        journal_.commitBatch();
         maybeSnapshot();
     }
 
@@ -797,6 +924,7 @@ ShardController::drainSession(SessionState &s, Pending &pending)
         rec.sessionId = s.id;
         rec.image = encoded;
         appendRecord(rec);
+        journal_.commitBatch();
     }
 
     for (const Addr base : s.allocations)
@@ -865,6 +993,7 @@ ShardController::installSession(SessionState &s, Pending &pending)
         rec.sessionId = s.id;
         rec.image = std::move(pending.image);
         appendRecord(rec);
+        journal_.commitBatch();
         // The Install record carries the session metadata, so no
         // separate SessionOpen is due on this shard.
         s.journalOpened = true;
@@ -900,6 +1029,7 @@ ShardController::installRecovered(std::shared_ptr<SessionState> state,
         rec.sessionId = s.id;
         rec.image = encodeSessionImage(image);
         appendRecord(rec);
+        journal_.commitBatch();
     }
     registerSession(std::move(state));
     return true;
@@ -913,7 +1043,7 @@ void
 ShardController::appendRecord(JournalRecord &record)
 {
     record.seq = ++journalSeq_;
-    journal_.append(record.seq, encodeRecord(record));
+    journal_.bufferAppend(record.seq, encodeRecord(record));
     ++opsSinceSnapshot_;
 }
 
@@ -945,8 +1075,9 @@ ShardController::journalOp(SessionState &s, const Request &req,
     rec.req = req;
     rec.status = r.status;
     rec.resultAddr = r.addr;
+    // Buffered, not committed: the group commit (flushBatch) writes
+    // the batch, fsyncs once, and checks the snapshot cadence.
     appendRecord(rec);
-    maybeSnapshot();
 }
 
 void
@@ -984,6 +1115,7 @@ ShardController::writeSnapshot()
     JournalRecord rec;
     rec.kind = JournalRecordKind::SnapshotMark;
     appendRecord(rec);
+    journal_.commitBatch();
     opsSinceSnapshot_ = 0;
     stats_.inc("snapshotsHost");
 }
@@ -1338,8 +1470,12 @@ ShardController::collectStats(
 void
 ShardController::failAllPending()
 {
-    // Shutdown: the inbox is closed and drained; complete whatever is
-    // still parked in session FIFOs so no client blocks forever.
+    // Shutdown: commit and complete the deferred batch first -- those
+    // ops executed and their records are buffered; their clients get
+    // real results, not Closed.
+    flushBatch();
+    // The inbox is closed and drained; complete whatever is still
+    // parked in session FIFOs so no client blocks forever.
     auto round = sessionSnapshot();
     for (const auto &sp : round) {
         for (auto &queued : sp->fifo) {

@@ -34,7 +34,17 @@
  * Consecutive extractions of one session on the same range and
  * direction are batched: one dequeue/trace/accounting envelope covers
  * the run, amortizing the per-request overhead over the multi-chip
- * merge the way the DIMM buffers amortize the scan setup.
+ * merge the way the DIMM buffers amortize the scan setup.  In
+ * work-conserving mode the coalescing window widens past the session's
+ * round budget up to SchedulerConfig::batchOps, so a drained batch of
+ * same-range extractions rides one envelope instead of one per sweep.
+ *
+ * Journaled shards group-commit: a served op's record is buffered and
+ * its future withheld until the batch commits (one journal write, one
+ * fsync), amortizing the WAL cost across up to `batchOps` ops; the
+ * controller commits whenever it would otherwise block for work, so
+ * synchronous clients keep per-op latency and lockstep rounds never
+ * deadlock on a withheld completion.
  */
 
 #ifndef RIME_SERVICE_SHARD_HH
@@ -77,6 +87,18 @@ struct SchedulerConfig
     unsigned maxBatch = 32;
     /** Lockstep deterministic scheduling (see file comment). */
     bool deterministic = false;
+    /**
+     * Group-commit batch: how many served ops may accumulate --
+     * journal records buffered, futures withheld -- before the batch
+     * is committed with one write + one fsync and the futures
+     * complete.  The controller also commits whenever it would block
+     * for work, so a lone synchronous client still sees per-op
+     * latency.  Execution order is untouched (ops run the moment they
+     * are served); only journaling and acknowledgement are deferred,
+     * so results and deterministic stats are bit-identical across
+     * values.  Env override: RIME_BATCH_OPS (0 is clamped to 1).
+     */
+    std::size_t batchOps = 32;
 };
 
 /** Per-shard durability wiring (derived from DurabilityConfig). */
@@ -216,6 +238,14 @@ class ShardController
     /** Data-path submit: false when the queue is full (shed load). */
     bool submitData(Pending &&pending);
 
+    /**
+     * Data-path batch submit: push a prefix of `batch` with one queue
+     * lock and one consumer wakeup (the wire server's whole-read
+     * hand-off).  Returns how many were accepted; the caller sheds
+     * the rejected suffix with Rejected/Backpressure.
+     */
+    std::size_t submitDataBatch(std::vector<Pending> &batch);
+
     /** Control-path submit: waits for space; false once stopped. */
     bool submitControl(Pending &&pending);
 
@@ -333,6 +363,16 @@ class ShardController
     /** Serve the FIFO head (plus a compatible batch); returns count. */
     unsigned serveHead(SessionState &s, unsigned budget);
     void serveOne(SessionState &s, Pending &pending);
+    /**
+     * Group commit: make every buffered journal record durable (one
+     * write + one fsync), then -- and only then -- complete the
+     * deferred futures in serve order and release their in-flight
+     * slots.  Runs whenever the batch fills, before the controller
+     * blocks for work, before any control op, and at shutdown.
+     */
+    void flushBatch();
+    /** flushBatch body; requires statsMutex_ held. */
+    void flushBatchLocked();
     Response execute(SessionState &s, Request &req);
     /** Session owns an allocation fully covering [start, end)? */
     bool ownsRange(const SessionState &s, Addr start, Addr end);
@@ -407,6 +447,17 @@ class ShardController
     std::atomic<bool> draining_{false};
 
     JournalWriter journal_;
+    /**
+     * Served ops whose journal records are buffered but not yet
+     * committed: executed, response ready, future deliberately
+     * withheld until the group commit (controller-thread only).
+     */
+    struct DeferredCompletion
+    {
+        Pending pending;
+        Response response;
+    };
+    std::vector<DeferredCompletion> deferred_;
     /** Last sequence number appended (or recovered). */
     std::uint64_t journalSeq_ = 0;
     /** Records appended since the last snapshot. */

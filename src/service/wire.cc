@@ -172,6 +172,11 @@ void
 encodeMessage(std::vector<std::uint8_t> &out, const Message &msg)
 {
     BitWriter w;
+    // Responses dominate the serve path; pre-sizing for the item list
+    // keeps the encode to one allocation instead of a growth ladder.
+    w.reserve(msg.kind == MessageKind::Response
+                  ? 64 + msg.resp.items.size() * 10
+                  : 64);
     w.putU8(static_cast<std::uint8_t>(msg.kind));
     w.putVarint(msg.corrId);
     switch (msg.kind) {

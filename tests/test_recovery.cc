@@ -38,8 +38,10 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <fstream>
+#include <future>
 #include <memory>
 #include <string>
 #include <vector>
@@ -235,6 +237,50 @@ runScript(const std::string &dir, unsigned ops,
                         // the session stays open in the journal
 }
 
+/**
+ * Pipelined variant for the group-commit sweep: arm one range with
+ * three blocking setup calls, then keep a full window of async Min
+ * submissions in flight so the shard's deferred batch actually fills.
+ * Every completed future appends one byte to dir/acked.log via raw
+ * write(2) (page cache survives SIGKILL), letting the parent check
+ * the WAL invariant -- acked ⊆ journaled -- at batch granularity.
+ */
+void
+runPipelinedScript(const std::string &dir, unsigned min_ops, bool fsync)
+{
+    RimeService svc(journaledConfig(dir, 0, RecoveryMode::Replay,
+                                    fsync));
+    auto s = svc.openSession(scriptSessionConfig());
+    Addr base = 0;
+    for (unsigned i = 0; i < 3; ++i) {
+        const Response r = s->call(scriptRequest(i, base, 0));
+        if (i == kOpMalloc1)
+            base = r.addr;
+    }
+    const int ack = ::open((dir + "/acked.log").c_str(),
+                           O_WRONLY | O_CREAT | O_APPEND, 0644);
+    std::deque<std::future<Response>> window;
+    const auto reap = [&] {
+        window.front().get();
+        window.pop_front();
+        const char byte = 'a';
+        (void)!::write(ack, &byte, 1);
+    };
+    for (unsigned i = 0; i < min_ops; ++i) {
+        while (window.size() >= scriptSessionConfig().maxInFlight)
+            reap();
+        Request r;
+        r.kind = RequestKind::Min;
+        r.start = base;
+        r.end = base + kRangeBytes;
+        window.push_back(s->submit(std::move(r)));
+    }
+    while (!window.empty())
+        reap();
+    ::close(ack);
+    svc.shutdown();
+}
+
 // ---------------------------------------------------------------------
 // Child process plumbing.
 // ---------------------------------------------------------------------
@@ -282,7 +328,8 @@ selfExe()
 int
 runChild(const std::string &dir, unsigned ops,
          std::uint64_t snapshot_interval, const std::string &crash_point,
-         std::uint64_t crash_seq, bool fsync = false)
+         std::uint64_t crash_seq, bool fsync = false,
+         unsigned batch_ops = 0, unsigned pipelined_min_ops = 0)
 {
     const std::string exe = selfExe();
     EXPECT_FALSE(exe.empty());
@@ -294,6 +341,14 @@ runChild(const std::string &dir, unsigned ops,
                  std::to_string(snapshot_interval).c_str(), 1);
         if (fsync)
             ::setenv("RIME_TEST_CHILD_FSYNC", "1", 1);
+        if (batch_ops != 0) {
+            ::setenv("RIME_BATCH_OPS",
+                     std::to_string(batch_ops).c_str(), 1);
+        }
+        if (pipelined_min_ops != 0) {
+            ::setenv("RIME_TEST_CHILD_PIPE",
+                     std::to_string(pipelined_min_ops).c_str(), 1);
+        }
         if (!crash_point.empty())
             ::setenv("RIME_CRASH_POINT", crash_point.c_str(), 1);
         if (crash_seq != 0) {
@@ -373,6 +428,48 @@ referenceDump(const std::string &dir, unsigned m, bool open_session,
     return svc.statDumpJson(false);
 }
 
+/** Futures the pipelined child completed before dying (one byte each). */
+unsigned
+ackedOps(const std::string &dir)
+{
+    struct ::stat st{};
+    if (::stat((dir + "/acked.log").c_str(), &st) != 0)
+        return 0;
+    return static_cast<unsigned>(st.st_size);
+}
+
+/**
+ * Reference dump for the pipelined workload's committed prefix: the
+ * three setup ops followed by m - 3 Min extractions, run blocking.
+ * Batched live execution (deferral, extraction coalescing) must not
+ * leak into deterministic state, so this sequential run is the oracle
+ * the recovered service has to match bit-for-bit.
+ */
+std::string
+pipelinedReferenceDump(const std::string &dir, unsigned m,
+                       bool open_session)
+{
+    RimeService svc(journaledConfig(dir, 0));
+    if (!open_session)
+        return svc.statDumpJson(false);
+    auto s = svc.openSession(scriptSessionConfig());
+    Addr base = 0;
+    for (unsigned i = 0; i < m; ++i) {
+        Request r;
+        if (i < 3) {
+            r = scriptRequest(i, base, 0);
+        } else {
+            r.kind = RequestKind::Min;
+            r.start = base;
+            r.end = base + kRangeBytes;
+        }
+        const Response resp = s->call(std::move(r));
+        if (i == kOpMalloc1)
+            base = resp.addr;
+    }
+    return svc.statDumpJson(false);
+}
+
 /**
  * A Sort (or over-asking TopK) of a partially drained range produces
  * the remaining prefix and ends with Empty; a full range ends Ok.
@@ -434,6 +531,11 @@ TEST(RecoveryChild, DISABLED_Run)
     const std::uint64_t snap = std::strtoull(
         std::getenv("RIME_TEST_CHILD_SNAP"), nullptr, 10);
     const bool fsync = std::getenv("RIME_TEST_CHILD_FSYNC") != nullptr;
+    if (const char *pipe = std::getenv("RIME_TEST_CHILD_PIPE")) {
+        runPipelinedScript(dir, static_cast<unsigned>(std::atoi(pipe)),
+                           fsync);
+        return;
+    }
     runScript(dir, ops, snap, /*close_session=*/false, fsync);
 }
 
@@ -563,6 +665,125 @@ TEST(CrashRecovery, KillPointSweepDirectoryFsyncs)
     };
     for (const auto &c : cases)
         checkCrashCase(c);
+}
+
+// ---------------------------------------------------------------------
+// Group commit: SIGKILL around the *batch* kill points while a
+// pipelined client keeps the deferred batch full.  The WAL invariant
+// must hold at batch granularity -- no future completes for an op that
+// is not in the journal -- and recovery must still reproduce exactly
+// the committed prefix.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+void
+checkBatchCrashCase(const char *label, const std::string &crash_point)
+{
+    SCOPED_TRACE(label);
+    constexpr unsigned kBatchOps = 8;
+    constexpr unsigned kMinOps = 40;
+    TempDirs tmp;
+    const std::string dir = tmp.make();
+    const int status = runChild(dir, 0, 0, crash_point, 0,
+                                /*fsync=*/true, kBatchOps, kMinOps);
+    ASSERT_TRUE(killedBySigkill(status))
+        << "child was not killed (status " << status << ")";
+
+    const JournalScan scan = readJournal(journalPath(dir));
+    const unsigned m = committedOps(scan);
+    ASSERT_LT(m, 3u + kMinOps) << "crash fired after the whole workload";
+
+    // acked ⊆ journaled: the three setup ops ack through blocking
+    // call() and are not counted in acked.log, so every byte there is
+    // a completed Min future whose op must already be in the file.
+    const unsigned journaled_mins = m > 3 ? m - 3 : 0;
+    EXPECT_LE(ackedOps(dir), journaled_mins)
+        << "a future completed for an op the journal never committed";
+
+    RimeService recovered(journaledConfig(dir, 0, RecoveryMode::Replay));
+    EXPECT_EQ(recovered.statDumpJson(false),
+              pipelinedReferenceDump(tmp.make(), m, hasSessionOpen(scan)))
+        << "recovered state diverged after " << m << " committed ops";
+}
+
+} // namespace
+
+TEST(CrashRecovery, KillPointSweepBatchCommits)
+{
+    // The session open and each blocking setup call flush as their own
+    // commits; from roughly the fifth commit on, each hit is a full
+    // deferred batch of pipelined Min ops.  Sweep all three batch
+    // stages: before the batch write (journal-append), between write
+    // and fsync (journal-flush), and between fsync and the deferred
+    // completions (batch-commit).
+    const std::pair<const char *, const char *> cases[] = {
+        {"journal-append:2 (batch 8)", "journal-append:2"},
+        {"journal-append:5 (batch 8)", "journal-append:5"},
+        {"journal-append:7 (batch 8)", "journal-append:7"},
+        {"journal-flush:5 (batch 8)", "journal-flush:5"},
+        {"journal-flush:6 (batch 8)", "journal-flush:6"},
+        {"batch-commit:5 (batch 8)", "batch-commit:5"},
+        {"batch-commit:7 (batch 8)", "batch-commit:7"},
+    };
+    for (const auto &[label, point] : cases)
+        checkBatchCrashCase(label, point);
+}
+
+TEST(CrashRecovery, TornBatchTailTruncatesToCommittedPrefix)
+{
+    TempDirs tmp;
+    const std::string dir = tmp.make();
+    const int status = runChild(dir, 0, 0, "batch-commit:6", 0,
+                                /*fsync=*/false, /*batch_ops=*/8,
+                                /*pipelined_min_ops=*/40);
+    ASSERT_TRUE(killedBySigkill(status));
+
+    const JournalScan scan = readJournal(journalPath(dir));
+    const unsigned m = committedOps(scan);
+    ASSERT_GT(m, 4u);
+    ASSERT_EQ(scan.tail, FrameStatus::End);
+    ASSERT_GT(scan.cleanBytes, 7u);
+
+    // Tear the final record of the last batch mid-frame, as if the
+    // kill had landed inside the batch's write instead of after it.
+    std::filesystem::resize_file(journalPath(dir),
+                                 scan.cleanBytes - 7);
+    const JournalScan torn = readJournal(journalPath(dir));
+    EXPECT_NE(torn.tail, FrameStatus::End);
+    const unsigned m2 = committedOps(torn);
+    ASSERT_EQ(m2, m - 1);
+
+    Addr base = 0;
+    bool have_base = false;
+    for (const auto &rec : torn.records) {
+        if (rec.kind == JournalRecordKind::Op &&
+            rec.req.kind == RequestKind::Malloc) {
+            base = rec.resultAddr;
+            have_base = true;
+        }
+    }
+    ASSERT_TRUE(have_base);
+
+    {
+        RimeService recovered(journaledConfig(dir, 0));
+        EXPECT_EQ(recovered.statDumpJson(false),
+                  pipelinedReferenceDump(tmp.make(), m2,
+                                         hasSessionOpen(torn)));
+        // The torn batch tail was truncated away; the journal stays
+        // appendable on the clean prefix.
+        auto handles = recovered.recoveredSessions();
+        ASSERT_EQ(handles.size(), 1u);
+        const Response r =
+            handles.front()->min(base, base + kRangeBytes).get();
+        EXPECT_TRUE(r.ok());
+        recovered.shutdown();
+    }
+    const JournalScan rescan = readJournal(journalPath(dir));
+    EXPECT_EQ(rescan.tail, FrameStatus::End);
+    EXPECT_GT(rescan.records.size(), torn.records.size());
+    EXPECT_GT(rescan.lastSeq, torn.lastSeq);
 }
 
 // ---------------------------------------------------------------------

@@ -420,10 +420,13 @@ namespace
  * Seeded closed-loop soak under the lockstep scheduler: 4 sessions
  * (two tenants, different weights) over 2 bit-level shards, driven by
  * `client_groups` client threads.  Returns the deterministic stat
- * dump.
+ * dump plus a digest of every extracted value (in session-id order),
+ * so callers compare both state and client-visible results.
+ * `batch_ops` != 0 overrides the group-commit batch size.
  */
 std::string
-lockstepSoakDump(unsigned host_threads, unsigned client_groups)
+lockstepSoakDump(unsigned host_threads, unsigned client_groups,
+                 std::size_t batch_ops = 0)
 {
     ServiceConfig cfg;
     cfg.shards = 2;
@@ -432,6 +435,8 @@ lockstepSoakDump(unsigned host_threads, unsigned client_groups)
     cfg.scheduler.deterministic = true;
     cfg.scheduler.queueCapacity = 64;
     cfg.scheduler.maxBatch = 8;
+    if (batch_ops != 0)
+        cfg.scheduler.batchOps = batch_ops;
     RimeService svc(std::move(cfg));
 
     constexpr unsigned kSessions = 4;
@@ -482,6 +487,7 @@ lockstepSoakDump(unsigned host_threads, unsigned client_groups)
     // sessions, keeping every session exactly one request in flight
     // (submit-all, then wait-all, per step).
     std::vector<std::thread> clients;
+    std::vector<std::vector<std::uint64_t>> extracted(kSessions);
     for (unsigned g = 0; g < client_groups; ++g) {
         clients.emplace_back([&, g] {
             std::vector<unsigned> mine;
@@ -493,8 +499,14 @@ lockstepSoakDump(unsigned host_threads, unsigned client_groups)
                     futs.push_back(sessions[i]->min(ranges[i].first,
                                                     ranges[i].second));
                 }
-                for (auto &f : futs)
-                    EXPECT_TRUE(f.get().ok());
+                for (std::size_t k = 0; k < futs.size(); ++k) {
+                    const Response r = futs[k].get();
+                    EXPECT_TRUE(r.ok());
+                    ASSERT_EQ(r.items.size(), 1u);
+                    // Each thread owns a disjoint session group, so
+                    // these rows never race.
+                    extracted[mine[k]].push_back(r.items[0].raw);
+                }
             }
         });
     }
@@ -505,7 +517,12 @@ lockstepSoakDump(unsigned host_threads, unsigned client_groups)
     // sessions in that same order.
     for (auto &s : sessions)
         s->close();
-    return svc.statDumpJson();
+    std::string out = svc.statDumpJson();
+    out += "\nextracted:";
+    for (const auto &vals : extracted)
+        for (const std::uint64_t v : vals)
+            out += " " + std::to_string(v);
+    return out;
 }
 
 } // namespace
@@ -526,6 +543,19 @@ TEST(ServiceDeterminism, LockstepStatDumpBitIdentical)
     EXPECT_EQ(lockstepSoakDump(1, 2), base) << "client threads leaked";
     EXPECT_EQ(lockstepSoakDump(4, 1), base) << "host threads leaked";
     EXPECT_EQ(lockstepSoakDump(4, 4), base);
+}
+
+TEST(ServiceDeterminism, GroupCommitBatchSizeIsInvisibleInLockstep)
+{
+    // Group commit changes *when* completions are delivered, never
+    // what they contain: the deterministic dump and every extracted
+    // value must be byte-identical whether completions flush one at a
+    // time or in deferred batches of 32, including with host threads
+    // and concurrent clients in play.
+    const std::string base = lockstepSoakDump(1, 1, /*batch_ops=*/1);
+    EXPECT_EQ(lockstepSoakDump(1, 1, 32), base)
+        << "batchOps leaked into deterministic state or results";
+    EXPECT_EQ(lockstepSoakDump(4, 2, 32), base);
 }
 
 // ---------------------------------------------------------------------
